@@ -1,0 +1,39 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/synth"
+)
+
+var (
+	benchPipeOnce sync.Once
+	benchPipe     *repro.Pipeline
+	benchPipeErr  error
+)
+
+// buildBenchPipeline memoizes one moderately sized pipeline for the
+// end-to-end benchmarks, so every bench does not pay the build cost.
+func buildBenchPipeline(b *testing.B) *repro.Pipeline {
+	b.Helper()
+	benchPipeOnce.Do(func() {
+		benchPipe, benchPipeErr = repro.Build(repro.Config{
+			Corpus: synth.CorpusSpec{
+				Seed: 17, NumTopics: 10, MinSubtopics: 2, MaxSubtopics: 5,
+				DocsPerSubtopic: 20, GenericDocsPerTopic: 10, NoiseDocs: 500, DocLength: 50,
+				BackgroundVocab: 1000, TopicVocab: 12, SubtopicVocab: 8,
+			},
+			Log:           synth.AOLLike(18, 5000),
+			NumCandidates: 500,
+			PerSpec:       20,
+			K:             20,
+			Threshold:     0.2,
+		})
+	})
+	if benchPipeErr != nil {
+		b.Fatal(benchPipeErr)
+	}
+	return benchPipe
+}

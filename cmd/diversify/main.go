@@ -1,0 +1,103 @@
+// Command diversify is the end-user face of the system: it assembles the
+// full pipeline (corpus, index, query log, recommender) and answers
+// queries from the command line, printing the mined specializations and
+// the diversified SERP next to the plain ranking.
+//
+//	diversify -alg optselect topic01 topic02
+//	diversify -alg xquad -k 10 "noise query 0001"
+//
+// With no query arguments it reads one query per line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	algName := flag.String("alg", "optselect", "algorithm: optselect, xquad, iaselect, mmr, baseline")
+	k := flag.Int("k", 10, "diversified SERP size")
+	topics := flag.Int("topics", 10, "synthetic testbed topics")
+	sessions := flag.Int("sessions", 6000, "query-log sessions to mine")
+	seed := flag.Int64("seed", 7, "generator seed")
+	threshold := flag.Float64("c", 0.3, "utility threshold c")
+	lambda := flag.Float64("lambda", 0.15, "relevance/diversity mix λ")
+	flag.Parse()
+
+	alg := core.Algorithm(*algName)
+	valid := false
+	for _, a := range core.Algorithms {
+		if a == alg {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "diversify: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "building pipeline (%d topics, %d sessions)...\n", *topics, *sessions)
+	pipe, err := repro.Build(repro.Config{
+		Corpus:    synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
+		Log:       synth.AOLLike(*seed+1, *sessions),
+		K:         *k,
+		Lambda:    *lambda,
+		Threshold: *threshold,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diversify:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ready: %d documents indexed, %d log records mined\n\n",
+		pipe.Engine.NumDocs(), pipe.Log.Len())
+
+	queries := flag.Args()
+	if len(queries) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if q := sc.Text(); q != "" {
+				answer(pipe, alg, q)
+			}
+		}
+		return
+	}
+	for _, q := range queries {
+		answer(pipe, alg, q)
+	}
+}
+
+func answer(pipe *repro.Pipeline, alg core.Algorithm, query string) {
+	specs := pipe.DetectSpecializations(query)
+	problem := pipe.BuildProblem(query, specs)
+	baseline := core.Baseline(problem)
+
+	fmt.Printf("query: %q\n", query)
+	if len(specs) == 0 {
+		fmt.Println("  unambiguous — serving the plain ranking")
+		for _, s := range baseline {
+			fmt.Printf("  %2d. %s\n", s.Rank, s.ID)
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Printf("  ambiguous — %d specializations mined:\n", len(specs))
+	for _, s := range specs {
+		fmt.Printf("    P=%.3f %q\n", s.Prob, s.Query)
+	}
+	diversified := core.Diversify(alg, problem)
+	fmt.Printf("  %-4s %-24s | %s (%s)\n", "rank", "plain", "diversified", alg)
+	for i := 0; i < len(diversified); i++ {
+		plain := "-"
+		if i < len(baseline) {
+			plain = baseline[i].ID
+		}
+		fmt.Printf("  %-4d %-24s | %s\n", i+1, plain, diversified[i].ID)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,63 @@
+// Command footprint reproduces the §4.1 feasibility analysis: it mines the
+// ambiguous queries of a synthetic log, stores the R_q′ snippet surrogates
+// for each specialization, and reports the measured memory footprint
+// against the paper's back-of-the-envelope bound N·|S_q̂|·|R_q̂′|·L.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/engine"
+	"repro/internal/synth"
+)
+
+func main() {
+	topics := flag.Int("topics", 30, "number of ambiguous topics")
+	sessions := flag.Int("sessions", 8000, "query-log sessions")
+	perList := flag.Int("rq1", 20, "|Rq'|: surrogates stored per specialization")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	cfg := repro.Config{
+		Corpus: synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
+		Log:    synth.AOLLike(*seed+1, *sessions),
+	}
+	pipe, err := repro.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "footprint:", err)
+		os.Exit(1)
+	}
+
+	store := engine.NewSurrogateStore()
+	mined := 0
+	for _, topic := range pipe.Testbed.Topics {
+		specs := pipe.DetectSpecializations(topic.Query)
+		if len(specs) == 0 {
+			continue
+		}
+		mined++
+		queries := make([]string, len(specs))
+		for i, s := range specs {
+			queries[i] = s.Query
+		}
+		store.PopulateFromEngine(pipe.Engine, topic.Query, queries, *perList)
+	}
+
+	f := store.ComputeFootprint()
+	fmt.Println("== §4.1 feasibility: surrogate-store footprint ==")
+	fmt.Printf("ambiguous queries mined (N):        %d (of %d topics)\n", f.AmbiguousQueries, len(pipe.Testbed.Topics))
+	fmt.Printf("max specializations (|S_q̂|):        %d\n", f.MaxSpecs)
+	fmt.Printf("max surrogates per list (|R_q̂'|):   %d\n", f.MaxListLen)
+	fmt.Printf("mean surrogate bytes (L):           %d\n", f.AvgSurrogateBytes)
+	fmt.Printf("measured snippet bytes:             %d (%.2f MiB)\n", f.ActualBytes, float64(f.ActualBytes)/(1<<20))
+	fmt.Printf("paper bound N*|S_q̂|*|R_q̂'|*L:       %d (%.2f MiB)\n", f.BoundBytes, float64(f.BoundBytes)/(1<<20))
+	if f.BoundBytes >= f.ActualBytes {
+		fmt.Println("bound holds: measured usage <= paper's estimate")
+	} else {
+		fmt.Println("WARNING: measured usage exceeds the paper's bound")
+	}
+	_ = mined
+}

@@ -1,0 +1,56 @@
+// Command loggen generates a synthetic query log (AOL-like or MSN-like
+// preset) over a synthetic topic testbed and writes it as TSV — the
+// format every other tool and the querylog package consume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/querylog"
+	"repro/internal/synth"
+)
+
+func main() {
+	preset := flag.String("preset", "aol", "log preset: aol or msn")
+	sessions := flag.Int("sessions", 5000, "number of sessions")
+	topics := flag.Int("topics", 20, "ambiguous topics in the testbed")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "-", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print log statistics to stderr")
+	flag.Parse()
+
+	tb := synth.GenerateTestbed(synth.CorpusSpec{Seed: *seed, NumTopics: *topics})
+	var spec synth.LogSpec
+	switch *preset {
+	case "aol":
+		spec = synth.AOLLike(*seed+1, *sessions)
+	case "msn":
+		spec = synth.MSNLike(*seed+1, *sessions)
+	default:
+		fmt.Fprintf(os.Stderr, "loggen: unknown preset %q (want aol or msn)\n", *preset)
+		os.Exit(2)
+	}
+	log := synth.GenerateLog(tb, spec)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := querylog.Write(w, log); err != nil {
+		fmt.Fprintln(os.Stderr, "loggen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		st := log.ComputeStats()
+		fmt.Fprintf(os.Stderr, "queries=%d distinct=%d users=%d span=%s clicked=%d\n",
+			st.Queries, st.DistinctQuery, st.Users, st.Span, st.ClickedQueries)
+	}
+}

@@ -1,0 +1,88 @@
+// Command mine runs the §3.1 query-log mining pipeline over a TSV log
+// (as produced by loggen): query-flow-graph session splitting, recommender
+// training, and Algorithm 1 ambiguity detection. It prints, for each
+// detected ambiguous query, its specializations with the Definition 1
+// probabilities — the exact knowledge base the diversifier consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/qfg"
+	"repro/internal/querylog"
+	"repro/internal/suggest"
+)
+
+func main() {
+	in := flag.String("i", "-", "input TSV log (default stdin)")
+	s := flag.Float64("s", 10, "Algorithm 1 popularity divisor s")
+	minFreq := flag.Int("min-freq", 3, "only report queries with f(q) >= this")
+	max := flag.Int("max", 50, "max ambiguous queries to print")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mine:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	log, err := querylog.Read(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mine:", err)
+		os.Exit(1)
+	}
+
+	sessions := qfg.ExtractSessions(log, qfg.Options{})
+	sessionStats := qfg.ComputeSessionStats(sessions)
+	fmt.Printf("# log: %d records; %d logical sessions (mean length %.2f, %d satisfactory)\n",
+		log.Len(), sessionStats.Sessions, sessionStats.MeanLength, sessionStats.Satisfactory)
+
+	freq := log.Frequencies()
+	rec := suggest.Train(sessions, freq, suggest.TrainOptions{})
+	opts := suggest.DefaultDetectOptions()
+	opts.S = *s
+
+	// Scan distinct queries by descending popularity.
+	type qf struct {
+		q string
+		f int
+	}
+	var queries []qf
+	for q, f := range freq {
+		if f >= *minFreq {
+			queries = append(queries, qf{q, f})
+		}
+	}
+	sort.Slice(queries, func(i, j int) bool {
+		if queries[i].f != queries[j].f {
+			return queries[i].f > queries[j].f
+		}
+		return queries[i].q < queries[j].q
+	})
+
+	printed := 0
+	for _, e := range queries {
+		if printed >= *max {
+			break
+		}
+		specs := suggest.AmbiguousQueryDetect(e.q, rec, opts)
+		if len(specs) == 0 {
+			continue
+		}
+		printed++
+		fmt.Printf("\n%q  f=%d  |Sq|=%d\n", e.q, e.f, len(specs))
+		for _, sp := range specs {
+			fmt.Printf("    %-50q P=%.3f f=%d\n", sp.Query, sp.Prob, sp.Freq)
+		}
+	}
+	if printed == 0 {
+		fmt.Println("# no ambiguous queries detected (try lowering -min-freq or raising -s)")
+	}
+}

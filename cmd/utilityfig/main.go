@@ -1,0 +1,48 @@
+// Command utilityfig regenerates the paper's Figure 1 (average utility
+// ratio per number of specializations, AOL-like and MSN-like curves) and,
+// with -recall, the Appendix C recall measurement (paper: 61% AOL, 65%
+// MSN).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	recall := flag.Bool("recall", false, "also run the Appendix C recall measurement")
+	sessions := flag.Int("sessions", 12000, "query-log sessions per preset")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	spec := exp.DefaultFigure1Spec()
+	spec.Seed = *seed
+	spec.Sessions = *sessions
+
+	fmt.Println("== Figure 1: average utility ratio per number of specializations ==")
+	res, err := exp.RunFigure1(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "utilityfig:", err)
+		os.Exit(1)
+	}
+	if err := res.Format(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "utilityfig:", err)
+		os.Exit(1)
+	}
+
+	if *recall {
+		fmt.Println("\n== Appendix C: specialization-coverage recall ==")
+		rspec := exp.DefaultRecallSpec()
+		rspec.Seed = *seed
+		rspec.Sessions = *sessions
+		results, err := exp.RunRecall(rspec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "utilityfig:", err)
+			os.Exit(1)
+		}
+		exp.FormatRecall(os.Stdout, results)
+	}
+}

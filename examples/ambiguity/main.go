@@ -1,0 +1,87 @@
+// Ambiguity detection on the paper's own intro scenario: users who query
+// "leopard" and then refine to "leopard mac os x", "leopard tank" or
+// "leopard pictures" (§3), and the "apple" example of §1. The example
+// hand-writes a miniature query log, runs query-flow-graph session
+// splitting and Algorithm 1, and prints the mined specializations with
+// their probabilities — no document corpus needed.
+//
+//	go run ./examples/ambiguity
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/qfg"
+	"repro/internal/querylog"
+	"repro/internal/suggest"
+)
+
+func main() {
+	log := buildLog()
+	fmt.Printf("query log: %d records from %d users\n\n",
+		log.Len(), log.ComputeStats().Users)
+
+	sessions := qfg.ExtractSessions(log, qfg.DefaultOptions())
+	rec := suggest.Train(sessions, log.Frequencies(), suggest.TrainOptions{})
+
+	for _, q := range []string{"leopard", "apple", "weather boston"} {
+		specs := suggest.AmbiguousQueryDetect(q, rec, suggest.DefaultDetectOptions())
+		if len(specs) == 0 {
+			fmt.Printf("%-16q -> unambiguous: no diversification needed\n\n", q)
+			continue
+		}
+		fmt.Printf("%-16q -> AMBIGUOUS, %d specializations:\n", q, len(specs))
+		for _, s := range specs {
+			fmt.Printf("    P(q'|q)=%.3f  f=%-3d %q\n", s.Prob, s.Freq, s.Query)
+		}
+		fmt.Println()
+	}
+}
+
+// buildLog fabricates the behavioural evidence: several users refine
+// "leopard" (OS X is the most popular reading, then the tank, then
+// pictures) and "apple" (company vs fruit), one user checks the weather.
+func buildLog() *querylog.Log {
+	base := time.Date(2006, 3, 15, 9, 0, 0, 0, time.UTC)
+	var recs []querylog.Record
+	user := 0
+	session := func(gapMinutes int, queries ...string) {
+		user++
+		t := base.Add(time.Duration(user) * time.Hour)
+		for i, q := range queries {
+			rec := querylog.Record{
+				User:  fmt.Sprintf("u%03d", user),
+				Time:  t.Add(time.Duration(i*gapMinutes) * time.Minute),
+				Query: q,
+			}
+			if i == len(queries)-1 {
+				rec.Clicks = []string{"http://example.com/clicked"}
+			}
+			recs = append(recs, rec)
+		}
+	}
+
+	// leopard -> mac os x: 4 users.
+	for i := 0; i < 4; i++ {
+		session(1, "leopard", "leopard mac os x")
+	}
+	// leopard -> tank: 2 users.
+	session(1, "leopard", "leopard tank")
+	session(2, "leopard", "leopard tank")
+	// leopard -> pictures: 1 user.
+	session(1, "leopard", "leopard pictures")
+
+	// apple -> company (3 users) vs fruit pie (2 users).
+	for i := 0; i < 3; i++ {
+		session(1, "apple", "apple iphone store")
+	}
+	session(1, "apple", "apple pie recipe")
+	session(2, "apple", "apple pie recipe")
+
+	// An unambiguous navigational need.
+	session(1, "weather boston")
+	session(1, "weather boston")
+
+	return querylog.New(recs)
+}

@@ -1,0 +1,145 @@
+// Package core implements §3 of the paper: the result-diversification
+// problem over query-log-mined specializations, the paper's utility
+// measure (Definition 2), and the three algorithms compared in the
+// evaluation — OptSelect (the paper's contribution, Algorithm 2 solving
+// MaxUtility Diversify(k)), IASelect (the greedy approximation of
+// Agrawal et al.'s QL Diversify(k)), and xQuAD (Santos et al.) — plus the
+// classic MMR re-ranker as an additional baseline.
+//
+// All algorithms consume the same Problem and the same precomputed
+// Utilities, so efficiency comparisons time exactly the selection logic
+// the paper's Table 2 measures.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/textsim"
+)
+
+// Doc is one candidate result d ∈ R_q.
+type Doc struct {
+	ID string
+	// Rank is the 1-based position of d in the original ranking R_q.
+	Rank int
+	// Rel is P(d|q): the normalized relevance of d for q in [0,1]
+	// (retrieval score divided by the maximum score of R_q).
+	Rel float64
+	// Vector is the term vector of the document surrogate (snippet) used
+	// by the distance function δ.
+	Vector textsim.Vector
+}
+
+// SpecResult is one entry of R_q′, the result list of a specialization.
+type SpecResult struct {
+	ID     string
+	Rank   int // 1-based rank in R_q′
+	Vector textsim.Vector
+}
+
+// Specialization is one mined specialization q′ ∈ S_q with its probability
+// P(q′|q) (Definition 1) and its result list R_q′.
+type Specialization struct {
+	Query   string
+	Prob    float64 // P(q′|q); the Probs over a Problem's Specs sum to 1
+	Results []SpecResult
+}
+
+// Problem is the diversification input: the ambiguous query q, its
+// candidates R_q, its specializations S_q, and the paper's parameters.
+type Problem struct {
+	Query      string
+	Candidates []Doc
+	Specs      []Specialization
+	// K is the size of the diversified result set S.
+	K int
+	// Lambda is the relevance/diversity mixing parameter λ ∈ [0,1] of
+	// Equations (5) and (7). The paper uses λ = 0.15.
+	Lambda float64
+	// Threshold is the utility cutoff c of §5: utilities strictly below c
+	// are forced to 0 before the algorithms run.
+	Threshold float64
+}
+
+// Selected is one document of the diversified set S, with the score under
+// which the algorithm selected it.
+type Selected struct {
+	Doc
+	Score float64
+}
+
+// IDs extracts the document IDs of a selection, in order.
+func IDs(sel []Selected) []string {
+	out := make([]string, len(sel))
+	for i, s := range sel {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// clampK returns the effective k: non-positive K selects nothing; K larger
+// than the candidate set selects everything.
+func (p *Problem) clampK() int {
+	k := p.K
+	if k < 0 {
+		k = 0
+	}
+	if k > len(p.Candidates) {
+		k = len(p.Candidates)
+	}
+	return k
+}
+
+// Baseline returns the top-k candidates of R_q in their original retrieval
+// order — the "no diversification" row of Table 3.
+func Baseline(p *Problem) []Selected {
+	k := p.clampK()
+	docs := make([]Doc, len(p.Candidates))
+	copy(docs, p.Candidates)
+	sort.SliceStable(docs, func(i, j int) bool { return docs[i].Rank < docs[j].Rank })
+	out := make([]Selected, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, Selected{Doc: docs[i], Score: docs[i].Rel})
+	}
+	return out
+}
+
+// Algorithm names the diversification methods of the evaluation.
+type Algorithm string
+
+// The diversification methods compared in the paper's evaluation, plus the
+// no-op baseline and the classic MMR re-ranker.
+const (
+	AlgBaseline  Algorithm = "baseline"
+	AlgOptSelect Algorithm = "optselect"
+	AlgXQuAD     Algorithm = "xquad"
+	AlgIASelect  Algorithm = "iaselect"
+	AlgMMR       Algorithm = "mmr"
+)
+
+// Algorithms lists the selectable methods in evaluation order.
+var Algorithms = []Algorithm{AlgBaseline, AlgOptSelect, AlgXQuAD, AlgIASelect, AlgMMR}
+
+// Diversify runs the named algorithm on the problem, computing utilities
+// as needed. It is the high-level entry point; harnesses that time the
+// algorithms precompute Utilities once and call the algorithm functions
+// directly.
+func Diversify(alg Algorithm, p *Problem) []Selected {
+	switch alg {
+	case AlgBaseline:
+		return Baseline(p)
+	case AlgMMR:
+		return MMR(p)
+	}
+	u := ComputeUtilities(p)
+	switch alg {
+	case AlgOptSelect:
+		return OptSelect(p, u)
+	case AlgXQuAD:
+		return XQuAD(p, u)
+	case AlgIASelect:
+		return IASelect(p, u)
+	default:
+		return Baseline(p)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/topk"
+)
+
+// OptSelect solves MaxUtility Diversify(k) (§3.1.3) with the paper's
+// Algorithm 2. Because Equation (8) makes the objective additive —
+// Ũ(S|q) = Σ_{d∈S} Ũ(d|q) — the optimum is the top-k candidates by
+// overall score Ũ(d|q), subject to the proportional-coverage constraint
+// |R_q ⋈ q′| ≥ ⌊k·P(q′|q)⌋ for every specialization.
+//
+// The implementation follows the published data-structure design: one
+// bounded heap of size ⌊k·P(q′|q)⌋+1 per specialization holding its most
+// useful candidates, plus one global k-heap M for candidates useful to no
+// specialization. Selection first pops per-specialization heaps until each
+// specialization's coverage quota ⌊k·P(q′|q)⌋ is met (most probable
+// specialization first), then fills the remaining slots with the best
+// unselected candidates overall. Every heap operation is O(log k), giving
+// the O(n·|S_q|·log k) bound of Table 1.
+//
+// The printed pseudocode pops a single document per specialization before
+// filling from M; as discussed in DESIGN.md we implement the constraint
+// stated in the problem definition (coverage proportional to P(q′|q)),
+// which the one-pop reading cannot guarantee. The returned set is ordered
+// by descending overall score — the re-ranked SERP order.
+func OptSelect(p *Problem, u *Utilities) []Selected {
+	k := p.clampK()
+	if k == 0 {
+		return nil
+	}
+	if len(p.Specs) == 0 {
+		return Baseline(p)
+	}
+	n := len(p.Candidates)
+
+	// Specialization processing order: descending probability, matching
+	// "the more popular a specialization, the greater the number of
+	// results relevant for it". Ties break on declaration order.
+	order := make([]int, len(p.Specs))
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Specs[order[a]].Prob > p.Specs[order[b]].Prob
+	})
+
+	// Build the heaps: M_q′ per specialization (size ⌊k·P⌋+1), M for
+	// documents useful to no specialization (size k). Heap keys are the
+	// overall score Ũ(d|q) of Equation (9); ties break toward the better
+	// original rank.
+	quota := make([]int, len(p.Specs))
+	specHeaps := make([]*topk.Bounded[int], len(p.Specs))
+	for j := range p.Specs {
+		quota[j] = int(float64(k) * p.Specs[j].Prob)
+		specHeaps[j] = topk.NewBounded[int](quota[j] + 1)
+	}
+	global := topk.NewBounded[int](k)
+
+	// Line 05–06 of Algorithm 2: for each q′ and each d, push d onto M_q′
+	// when Ũ(d|R_q′) > 0 and onto M otherwise. We strengthen M slightly:
+	// every document is offered to M exactly once, making M the global
+	// top-k reservoir by overall score. This keeps the O(log k) per-push
+	// cost but guarantees the fill phase always sees the best unselected
+	// candidates (a document useful for every specialization can be
+	// evicted from all bounded spec heaps; under the literal "else" rule
+	// it would vanish from the selectable pool).
+	for i := 0; i < n; i++ {
+		for j := range p.Specs {
+			if u.U[i][j] > 0 {
+				specHeaps[j].Push(i, u.Overall[i], int64(p.Candidates[i].Rank))
+			}
+		}
+		global.Push(i, u.Overall[i], int64(p.Candidates[i].Rank))
+	}
+
+	selected := make([]bool, n)
+	cover := make([]int, len(p.Specs)) // |S ⋈ q′_j| so far
+	out := make([]Selected, 0, k)
+
+	add := func(i int) {
+		selected[i] = true
+		for j := range p.Specs {
+			if u.U[i][j] > 0 {
+				cover[j]++
+			}
+		}
+		out = append(out, Selected{Doc: p.Candidates[i], Score: u.Overall[i]})
+	}
+
+	// Phase 1 — proportional coverage. Drain gives each heap's contents
+	// best-first. Documents already selected for an earlier specialization
+	// count toward this quota when useful for it too (cover[] tracks that).
+	drained := make([][]topk.Item[int], len(p.Specs))
+	for j := range p.Specs {
+		drained[j] = specHeaps[j].Drain()
+	}
+	for _, j := range order {
+		pos := 0
+		for cover[j] < quota[j] && len(out) < k && pos < len(drained[j]) {
+			i := drained[j][pos].Value
+			pos++
+			if !selected[i] {
+				add(i)
+			}
+		}
+		drained[j] = drained[j][pos:]
+	}
+
+	// Phase 2 — fill: best remaining candidates by overall score, drawn
+	// from the leftovers of every specialization heap and from M.
+	fill := topk.NewMax[int](k)
+	for j := range drained {
+		for _, it := range drained[j] {
+			if !selected[it.Value] {
+				fill.PushItem(it)
+			}
+		}
+	}
+	for _, it := range global.Drain() {
+		fill.PushItem(it)
+	}
+	for len(out) < k {
+		it, ok := fill.Pop()
+		if !ok {
+			break
+		}
+		if selected[it.Value] {
+			continue
+		}
+		add(it.Value)
+	}
+
+	// Fallback sweep: a document useful to every specialization but evicted
+	// from all bounded heaps is unreachable through them; when the fill
+	// pool underflows, complete S from the remaining candidates by overall
+	// score so the algorithm always returns min(k, n) documents.
+	if len(out) < k {
+		rest := topk.NewBounded[int](k - len(out))
+		for i := 0; i < n; i++ {
+			if !selected[i] {
+				rest.Push(i, u.Overall[i], int64(p.Candidates[i].Rank))
+			}
+		}
+		for _, it := range rest.Drain() {
+			add(it.Value)
+		}
+	}
+
+	// Final SERP order: descending overall score (stable, rank tie-break).
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Rank < out[b].Rank
+	})
+	return out
+}

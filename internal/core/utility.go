@@ -1,0 +1,130 @@
+package core
+
+import (
+	"repro/internal/stats"
+	"repro/internal/textsim"
+)
+
+// Utilities holds the precomputed normalized utilities of Definition 2 and
+// the overall per-document scores of Equation (9). Building it costs
+// O(n·|S_q|·|R_q′|) vector operations; every algorithm then reads it in
+// O(1) per (document, specialization) pair — mirroring the paper's setup,
+// where utilities come from snippet similarity and the timed algorithms
+// operate on them.
+type Utilities struct {
+	// U[i][j] = Ũ(candidate i | R_q′ of specialization j) ∈ [0,1], already
+	// thresholded: values below Problem.Threshold are 0.
+	U [][]float64
+	// Overall[i] = Ũ(d_i|q) per Equation (9):
+	// Σ_j [(1−λ)·P(d|q) + λ·P(q′_j|q)·U[i][j]].
+	Overall []float64
+}
+
+// ComputeUtilities evaluates Definition 2 for every (candidate,
+// specialization) pair:
+//
+//	U(d|R_q′) = Σ_{d′∈R_q′} (1−δ(d,d′)) / rank(d′,R_q′)
+//	Ũ(d|R_q′) = U(d|R_q′) / H_{|R_q′|}
+//
+// with δ(d,d′) = 1 − cosine(d,d′) (Equation (2)), computed on document
+// surrogates. A pair with identical IDs is the same document (δ = 0)
+// regardless of surrogate quality. Utilities strictly below the threshold
+// c are forced to 0, as in §5: "we forced its returning value to be 0
+// when it is below a given threshold c".
+func ComputeUtilities(p *Problem) *Utilities {
+	n := len(p.Candidates)
+	s := len(p.Specs)
+	u := &Utilities{
+		U:       make([][]float64, n),
+		Overall: make([]float64, n),
+	}
+	flat := make([]float64, n*s)
+
+	// Precompute per-specialization normalization H_{|R_q'|}.
+	norm := make([]float64, s)
+	for j, spec := range p.Specs {
+		norm[j] = stats.Harmonic(len(spec.Results))
+	}
+
+	for i := range p.Candidates {
+		row := flat[i*s : (i+1)*s : (i+1)*s]
+		d := &p.Candidates[i]
+		for j := range p.Specs {
+			spec := &p.Specs[j]
+			if len(spec.Results) == 0 || norm[j] == 0 {
+				continue
+			}
+			sum := 0.0
+			for r := range spec.Results {
+				dr := &spec.Results[r]
+				var sim float64
+				if dr.ID == d.ID {
+					sim = 1 // δ(d,d) = 0
+				} else {
+					sim = textsim.Cosine(d.Vector, dr.Vector)
+				}
+				if sim <= 0 {
+					continue
+				}
+				rank := dr.Rank
+				if rank <= 0 {
+					rank = r + 1
+				}
+				sum += sim / float64(rank)
+			}
+			util := sum / norm[j]
+			if util < p.Threshold {
+				util = 0
+			}
+			row[j] = util
+		}
+		u.U[i] = row
+		u.Overall[i] = overallScore(p, row, d.Rel)
+	}
+	return u
+}
+
+// overallScore evaluates Equation (9) for one document given its utility
+// row: Ũ(d|q) = (1−λ)·|S_q|·P(d|q) + λ·Σ_j P(q′_j|q)·Ũ(d|R_q′_j).
+func overallScore(p *Problem, row []float64, rel float64) float64 {
+	sum := 0.0
+	for j := range p.Specs {
+		sum += p.Specs[j].Prob * row[j]
+	}
+	return (1-p.Lambda)*float64(len(p.Specs))*rel + p.Lambda*sum
+}
+
+// UtilityOf returns Ũ(candidate i | specialization j), for callers probing
+// the matrix (tests, the coverage-constraint checker).
+func (u *Utilities) UtilityOf(i, j int) float64 { return u.U[i][j] }
+
+// WithThreshold derives a new Utilities with cutoff c applied to this
+// matrix and the overall scores recomputed for p. It lets the Table 3
+// harness sweep the threshold without re-running the O(n·|S_q|·|R_q′|)
+// cosine computation: u must have been computed with threshold 0 (raw
+// utilities) on the same problem.
+func (u *Utilities) WithThreshold(p *Problem, c float64) *Utilities {
+	n := len(u.U)
+	s := 0
+	if n > 0 {
+		s = len(u.U[0])
+	}
+	out := &Utilities{
+		U:       make([][]float64, n),
+		Overall: make([]float64, n),
+	}
+	flat := make([]float64, n*s)
+	for i := 0; i < n; i++ {
+		row := flat[i*s : (i+1)*s : (i+1)*s]
+		for j := 0; j < s; j++ {
+			v := u.U[i][j]
+			if v < c {
+				v = 0
+			}
+			row[j] = v
+		}
+		out.U[i] = row
+		out.Overall[i] = overallScore(p, row, p.Candidates[i].Rel)
+	}
+	return out
+}

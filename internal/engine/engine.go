@@ -1,0 +1,178 @@
+// Package engine assembles the search-engine substrate: it indexes a
+// corpus through the text analysis chain, retrieves ranked result lists
+// under a pluggable weighting model (DPH by default, as in §5), and
+// produces the query-biased snippets that serve as document surrogates —
+// "actually only short summaries, and not whole documents, can be used
+// without significative loss in the precision of our method" (§4.1). It
+// also implements the surrogate store whose memory footprint §4.1
+// estimates as N·|S_q̂|·|R_q̂′|·L bytes.
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/ranking"
+	"repro/internal/text"
+	"repro/internal/textsim"
+)
+
+// Document is one raw corpus document.
+type Document struct {
+	ID    string
+	Title string
+	Body  string
+}
+
+// Result is one retrieved document with its display snippet.
+type Result struct {
+	DocID   string
+	Rank    int // 1-based
+	Score   float64
+	Snippet string
+}
+
+// Config tunes engine construction.
+type Config struct {
+	// Model is the weighting model; nil means DPH (the paper's baseline).
+	Model ranking.Model
+	// Analyzer is the analysis chain; nil means stopwords + Porter.
+	Analyzer *text.Analyzer
+	// SnippetWindow is the surrogate length in raw tokens. 0 means 30.
+	SnippetWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == nil {
+		c.Model = ranking.DPH{}
+	}
+	if c.Analyzer == nil {
+		c.Analyzer = text.NewAnalyzer()
+	}
+	if c.SnippetWindow == 0 {
+		c.SnippetWindow = 30
+	}
+	return c
+}
+
+// Engine is an immutable built search engine.
+type Engine struct {
+	cfg     Config
+	idx     *index.Index
+	rawBody map[string]string // docID → raw body (for snippets)
+	idf     textsim.IDF
+}
+
+// Build analyzes and indexes the corpus. Duplicate document IDs are an
+// error (propagated from the index builder).
+func Build(docs []Document, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	b := index.NewBuilder()
+	raw := make(map[string]string, len(docs))
+	for _, d := range docs {
+		full := d.Title + " " + d.Body
+		if err := b.Add(d.ID, cfg.Analyzer.Tokens(full)); err != nil {
+			return nil, err
+		}
+		raw[d.ID] = strings.TrimSpace(full)
+	}
+	idx := b.Build()
+	return &Engine{
+		cfg:     cfg,
+		idx:     idx,
+		rawBody: raw,
+		idf:     textsim.ComputeIDF(idx.DocFreqs(), idx.NumDocs()),
+	}, nil
+}
+
+// Index exposes the underlying inverted index (read-only use).
+func (e *Engine) Index() *index.Index { return e.idx }
+
+// Model returns the engine's weighting model.
+func (e *Engine) Model() ranking.Model { return e.cfg.Model }
+
+// NumDocs returns the collection size.
+func (e *Engine) NumDocs() int { return e.idx.NumDocs() }
+
+// Search retrieves the top-k documents for the raw query and attaches
+// query-biased snippets. k <= 0 retrieves all matches.
+func (e *Engine) Search(query string, k int) []Result {
+	qTokens := e.cfg.Analyzer.Tokens(query)
+	hits := ranking.Retrieve(e.idx, e.cfg.Model, qTokens, k)
+	out := make([]Result, len(hits))
+	for i, h := range hits {
+		out[i] = Result{
+			DocID:   h.DocID,
+			Rank:    h.Rank,
+			Score:   h.Score,
+			Snippet: e.snippetFor(h.DocID, qTokens),
+		}
+	}
+	return out
+}
+
+// Snippet returns the query-biased snippet of a document: the
+// SnippetWindow-token window of the raw text containing the most query
+// term matches (earliest such window on ties). An unknown document yields
+// the empty string; a document with no match yields its leading window.
+func (e *Engine) Snippet(docID, query string) string {
+	return e.snippetFor(docID, e.cfg.Analyzer.Tokens(query))
+}
+
+func (e *Engine) snippetFor(docID string, qTokens []string) string {
+	body, ok := e.rawBody[docID]
+	if !ok {
+		return ""
+	}
+	raw := strings.Fields(body)
+	if len(raw) == 0 {
+		return ""
+	}
+	w := e.cfg.SnippetWindow
+	if len(raw) <= w {
+		return strings.Join(raw, " ")
+	}
+	qset := make(map[string]bool, len(qTokens))
+	for _, t := range qTokens {
+		qset[t] = true
+	}
+	// match[i] = 1 when raw token i analyzes to a query term.
+	match := make([]int, len(raw))
+	for i, tok := range raw {
+		ts := e.cfg.Analyzer.Tokens(tok)
+		for _, t := range ts {
+			if qset[t] {
+				match[i] = 1
+				break
+			}
+		}
+	}
+	// Sliding window of width w maximizing matches.
+	cur := 0
+	for i := 0; i < w; i++ {
+		cur += match[i]
+	}
+	best, bestAt := cur, 0
+	for i := w; i < len(raw); i++ {
+		cur += match[i] - match[i-w]
+		if cur > best {
+			best = cur
+			bestAt = i - w + 1
+		}
+	}
+	return strings.Join(raw[bestAt:bestAt+w], " ")
+}
+
+// SurrogateVector returns the IDF-weighted term vector of the document's
+// query-biased snippet: the representation the paper's utility function
+// operates on.
+func (e *Engine) SurrogateVector(docID, query string) textsim.Vector {
+	snip := e.Snippet(docID, query)
+	return e.VectorOfText(snip)
+}
+
+// VectorOfText analyzes arbitrary text and returns its IDF-weighted vector
+// under the engine's collection statistics.
+func (e *Engine) VectorOfText(s string) textsim.Vector {
+	return e.idf.Apply(textsim.FromTokens(e.cfg.Analyzer.Tokens(s)))
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/index"
+	"repro/internal/textsim"
+)
+
+// Engine persistence: a built engine can be written to a single stream and
+// reloaded without re-analyzing the corpus — the index goes through the
+// index codec, the raw document text (needed for snippet extraction)
+// follows as length-prefixed pairs, and the IDF table is recomputed from
+// the index at load time. Layout:
+//
+//	magic "RENG1\n"
+//	index (index codec)
+//	numDocs, then per doc: idLen, idBytes, bodyLen, bodyBytes
+//
+// The weighting model and analyzer are code, not data: the loader supplies
+// them through Config exactly as Build does.
+
+const engineMagic = "RENG1\n"
+
+// ErrBadEngineFormat reports a corrupt or foreign engine stream.
+var ErrBadEngineFormat = errors.New("engine: bad engine format")
+
+// SaveTo serializes the engine's index and document store.
+func (e *Engine) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(engineMagic); err != nil {
+		return err
+	}
+	if _, err := e.idx.WriteTo(bw); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeUvarint(uint64(e.idx.NumDocs())); err != nil {
+		return err
+	}
+	// Iterate in internal doc order so the stream is canonical.
+	for d := int32(0); d < int32(e.idx.NumDocs()); d++ {
+		id := e.idx.DocID(d)
+		if err := writeString(id); err != nil {
+			return err
+		}
+		if err := writeString(e.rawBody[id]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs an engine written by SaveTo. cfg supplies the model
+// and analyzer (they must match the ones used at build time for query
+// analysis to agree with the stored index).
+func Load(r io.Reader, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	br := bufio.NewReader(r)
+	head := make([]byte, len(engineMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEngineFormat, err)
+	}
+	if string(head) != engineMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadEngineFormat, head)
+	}
+	idx, err := index.Read(br)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading index: %w", err)
+	}
+	numDocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: doc count: %v", ErrBadEngineFormat, err)
+	}
+	if numDocs != uint64(idx.NumDocs()) {
+		return nil, fmt.Errorf("%w: doc store has %d docs, index %d",
+			ErrBadEngineFormat, numDocs, idx.NumDocs())
+	}
+	readString := func() (string, error) {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if l > 1<<28 {
+			return "", fmt.Errorf("%w: string too long (%d)", ErrBadEngineFormat, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	raw := make(map[string]string, numDocs)
+	for i := uint64(0); i < numDocs; i++ {
+		id, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("%w: doc id %d: %v", ErrBadEngineFormat, i, err)
+		}
+		body, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("%w: doc body %d: %v", ErrBadEngineFormat, i, err)
+		}
+		raw[id] = body
+	}
+	return &Engine{
+		cfg:     cfg,
+		idx:     idx,
+		rawBody: raw,
+		idf:     textsim.ComputeIDF(idx.DocFreqs(), idx.NumDocs()),
+	}, nil
+}

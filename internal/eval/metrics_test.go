@@ -1,0 +1,340 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trec"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// twoSubtopicQrels: topic 1 with subtopics 1 and 2.
+// a1, a2 relevant to sub 1; b1 relevant to sub 2; mixed relevant to both.
+func twoSubtopicQrels() *trec.Qrels {
+	q := trec.NewQrels()
+	q.Add(1, 1, "a1", 1)
+	q.Add(1, 1, "a2", 1)
+	q.Add(1, 2, "b1", 1)
+	q.Add(1, 1, "mixed", 1)
+	q.Add(1, 2, "mixed", 1)
+	return q
+}
+
+func TestAlphaNDCGPerfectSingleDoc(t *testing.T) {
+	q := trec.NewQrels()
+	q.Add(1, 1, "only", 1)
+	got := AlphaNDCG([]string{"only"}, q, 1, DefaultAlpha, []int{1, 5})
+	if !almostEq(got[1], 1, 1e-12) || !almostEq(got[5], 1, 1e-12) {
+		t.Errorf("perfect ranking scored %v", got)
+	}
+}
+
+func TestAlphaNDCGDiverseBeatsRedundant(t *testing.T) {
+	q := twoSubtopicQrels()
+	diverse := AlphaNDCG([]string{"a1", "b1"}, q, 1, DefaultAlpha, []int{2})
+	redundant := AlphaNDCG([]string{"a1", "a2"}, q, 1, DefaultAlpha, []int{2})
+	if diverse[2] <= redundant[2] {
+		t.Errorf("diverse %f <= redundant %f", diverse[2], redundant[2])
+	}
+}
+
+func TestAlphaNDCGAlphaZeroIgnoresRedundancy(t *testing.T) {
+	q := twoSubtopicQrels()
+	// With α = 0 novelty is not rewarded: a redundant pair covering one
+	// subtopic twice scores the same as two singles from the same subtopic.
+	redundant := AlphaNDCG([]string{"a1", "a2"}, q, 1, 0, []int{2})
+	if redundant[2] <= 0 {
+		t.Errorf("alpha=0 scored %f", redundant[2])
+	}
+	// And "mixed" (2 subtopics) counts double vs a1 at rank 1.
+	mixed := AlphaNDCG([]string{"mixed"}, q, 1, 0, []int{1})
+	single := AlphaNDCG([]string{"a1"}, q, 1, 0, []int{1})
+	if mixed[1] <= single[1] {
+		t.Errorf("mixed %f <= single %f at alpha=0", mixed[1], single[1])
+	}
+}
+
+func TestAlphaNDCGIrrelevantRanking(t *testing.T) {
+	q := twoSubtopicQrels()
+	got := AlphaNDCG([]string{"x", "y", "z"}, q, 1, DefaultAlpha, []int{5})
+	if got[5] != 0 {
+		t.Errorf("irrelevant ranking scored %f", got[5])
+	}
+}
+
+func TestAlphaNDCGNoJudgments(t *testing.T) {
+	q := trec.NewQrels()
+	got := AlphaNDCG([]string{"a"}, q, 42, DefaultAlpha, []int{5})
+	if got[5] != 0 {
+		t.Errorf("unjudged topic scored %f", got[5])
+	}
+}
+
+func TestAlphaNDCGIdealIsOne(t *testing.T) {
+	// Whatever the judgments, the greedy-ideal ordering itself must score 1
+	// at every cutoff within pool size.
+	q := twoSubtopicQrels()
+	// Greedy ideal: mixed (gain 2), then a1 or b1...; emulate by scoring
+	// the pool in greedy order computed through the exported function: the
+	// ranking [mixed, a1, b1, a2] is one greedy solution.
+	got := AlphaNDCG([]string{"mixed", "b1", "a1", "a2"}, q, 1, DefaultAlpha, []int{1})
+	if !almostEq(got[1], 1, 1e-12) {
+		t.Errorf("greedy-first ranking @1 = %f, want 1", got[1])
+	}
+}
+
+func TestAlphaNDCGMonotoneUnderImprovement(t *testing.T) {
+	q := twoSubtopicQrels()
+	worse := AlphaNDCG([]string{"x", "a1"}, q, 1, DefaultAlpha, []int{2})
+	better := AlphaNDCG([]string{"a1", "x"}, q, 1, DefaultAlpha, []int{2})
+	if better[2] <= worse[2] {
+		t.Errorf("moving relevant doc up did not help: %f <= %f", better[2], worse[2])
+	}
+}
+
+func TestAlphaNDCGRange(t *testing.T) {
+	prop := func(perm uint32) bool {
+		docs := []string{"a1", "a2", "b1", "mixed", "junk1", "junk2"}
+		// Deterministic pseudo-shuffle driven by perm.
+		p := perm
+		for i := len(docs) - 1; i > 0; i-- {
+			j := int(p % uint32(i+1))
+			p /= uint32(i + 1)
+			docs[i], docs[j] = docs[j], docs[i]
+		}
+		q := twoSubtopicQrels()
+		got := AlphaNDCG(docs, q, 1, DefaultAlpha, []int{1, 3, 6})
+		for _, v := range got {
+			if v < 0 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIAPrecisionUniform(t *testing.T) {
+	q := twoSubtopicQrels()
+	// Top-2 = a1 (sub1), b1 (sub2): P_1@2 = 1/2, P_2@2 = 1/2 → IA-P = 0.5.
+	got := IAPrecision([]string{"a1", "b1"}, q, 1, nil, []int{2})
+	if !almostEq(got[2], 0.5, 1e-12) {
+		t.Errorf("IA-P@2 = %f, want 0.5", got[2])
+	}
+	// Redundant list: P_1@2 = 1, P_2@2 = 0 → IA-P = 0.5 as well.
+	got = IAPrecision([]string{"a1", "a2"}, q, 1, nil, []int{2})
+	if !almostEq(got[2], 0.5, 1e-12) {
+		t.Errorf("IA-P@2 redundant = %f, want 0.5", got[2])
+	}
+	// "mixed" covers both: IA-P@1 = 1.
+	got = IAPrecision([]string{"mixed"}, q, 1, nil, []int{1})
+	if !almostEq(got[1], 1, 1e-12) {
+		t.Errorf("IA-P@1 mixed = %f, want 1", got[1])
+	}
+}
+
+func TestIAPrecisionWeighted(t *testing.T) {
+	q := twoSubtopicQrels()
+	w := map[int]float64{1: 0.9, 2: 0.1}
+	got := IAPrecision([]string{"a1"}, q, 1, w, []int{1})
+	if !almostEq(got[1], 0.9, 1e-12) {
+		t.Errorf("weighted IA-P = %f, want 0.9", got[1])
+	}
+}
+
+func TestIAPrecisionShortRanking(t *testing.T) {
+	q := twoSubtopicQrels()
+	// Ranking shorter than cutoff: missing positions count as misses.
+	got := IAPrecision([]string{"mixed"}, q, 1, nil, []int{10})
+	if !almostEq(got[10], 0.1, 1e-12) {
+		t.Errorf("IA-P@10 = %f, want 0.1", got[10])
+	}
+	// Empty ranking.
+	got = IAPrecision(nil, q, 1, nil, []int{5})
+	if got[5] != 0 {
+		t.Errorf("empty ranking IA-P = %f", got[5])
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	q := twoSubtopicQrels()
+	if p := PrecisionAt([]string{"a1", "junk", "b1", "junk2"}, q, 1, 4); !almostEq(p, 0.5, 1e-12) {
+		t.Errorf("P@4 = %f, want 0.5", p)
+	}
+	if p := PrecisionAt(nil, q, 1, 5); p != 0 {
+		t.Errorf("P@5 empty = %f", p)
+	}
+	if p := PrecisionAt([]string{"a1"}, q, 1, 0); p != 0 {
+		t.Errorf("P@0 = %f", p)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	q := twoSubtopicQrels()
+	// Pool = {a1, a2, b1, mixed} (4 relevant docs).
+	// Ranking: a1 (hit, 1/1), junk, b1 (hit, 2/3) → AP = (1 + 2/3)/4.
+	ap := AveragePrecision([]string{"a1", "junk", "b1"}, q, 1)
+	if !almostEq(ap, (1+2.0/3)/4, 1e-12) {
+		t.Errorf("AP = %f", ap)
+	}
+	if ap := AveragePrecision([]string{"x"}, trec.NewQrels(), 9); ap != 0 {
+		t.Errorf("AP unjudged = %f", ap)
+	}
+}
+
+func TestSubtopicRecall(t *testing.T) {
+	q := twoSubtopicQrels()
+	if sr := SubtopicRecall([]string{"a1", "a2"}, q, 1, 2); !almostEq(sr, 0.5, 1e-12) {
+		t.Errorf("S-recall redundant = %f, want 0.5", sr)
+	}
+	if sr := SubtopicRecall([]string{"a1", "b1"}, q, 1, 2); sr != 1 {
+		t.Errorf("S-recall diverse = %f, want 1", sr)
+	}
+	if sr := SubtopicRecall(nil, q, 1, 5); sr != 0 {
+		t.Errorf("S-recall empty = %f", sr)
+	}
+}
+
+func TestERRIA(t *testing.T) {
+	q := twoSubtopicQrels()
+	got := ERRIA([]string{"a1", "b1"}, q, 1, nil, []int{1, 2})
+	// Sub 1: a1 at rank 1 → 0.5; sub 2: b1 at rank 2 → 0.25.
+	want1 := 0.5 * 0.5 // only sub1 covered at k=1
+	want2 := 0.5*0.5 + 0.5*0.25
+	if !almostEq(got[1], want1, 1e-12) || !almostEq(got[2], want2, 1e-12) {
+		t.Errorf("ERR-IA = %v, want @1=%f @2=%f", got, want1, want2)
+	}
+	// Diverse beats redundant.
+	red := ERRIA([]string{"a1", "a2"}, q, 1, nil, []int{2})
+	if got[2] <= red[2] {
+		t.Errorf("ERR-IA diverse %f <= redundant %f", got[2], red[2])
+	}
+	if out := ERRIA([]string{"x"}, trec.NewQrels(), 3, nil, []int{5}); out[5] != 0 {
+		t.Error("ERR-IA on unjudged topic non-zero")
+	}
+}
+
+func TestEvaluateRunAndReport(t *testing.T) {
+	q := twoSubtopicQrels()
+	q.Add(2, 1, "z1", 1)
+	q.Add(2, 2, "z2", 1)
+
+	run := trec.NewRun()
+	run.AddRanking(1, []string{"mixed", "a1", "b1"}, "t")
+	run.AddRanking(2, []string{"z1", "z2"}, "t")
+
+	rep := EvaluateRun("test", run, q, DefaultAlpha, []int{1, 2})
+	if rep.MeanAlphaNDCG(1) <= 0 || rep.MeanAlphaNDCG(1) > 1 {
+		t.Errorf("mean α-NDCG@1 = %f", rep.MeanAlphaNDCG(1))
+	}
+	topics, vals := rep.PerTopic("alpha-ndcg", 2)
+	if len(topics) != 2 || len(vals) != 2 {
+		t.Fatalf("PerTopic = %v, %v", topics, vals)
+	}
+	if topics[0] != 1 || topics[1] != 2 {
+		t.Errorf("topics = %v", topics)
+	}
+	if _, bad := rep.PerTopic("nosuch", 2); bad != nil {
+		t.Error("unknown metric returned values")
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "test") {
+		t.Errorf("table output missing name: %q", sb.String())
+	}
+}
+
+func TestEvaluateRunMissingTopicScoresZero(t *testing.T) {
+	q := twoSubtopicQrels()
+	q.Add(2, 1, "z1", 1)
+	run := trec.NewRun()
+	run.AddRanking(1, []string{"mixed"}, "t")
+	// Topic 2 absent from run.
+	rep := EvaluateRun("test", run, q, DefaultAlpha, []int{1})
+	if v := rep.AlphaNDCG[1][2]; v != 0 {
+		t.Errorf("missing topic scored %f", v)
+	}
+	if rep.MeanAlphaNDCG(1) >= rep.AlphaNDCG[1][1] {
+		t.Error("mean not dragged down by missing topic")
+	}
+}
+
+func TestCompareSignificance(t *testing.T) {
+	q := trec.NewQrels()
+	for topic := 1; topic <= 12; topic++ {
+		q.Add(topic, 1, "good", 1)
+		q.Add(topic, 1, "alsogood", 1)
+	}
+	good := trec.NewRun()
+	bad := trec.NewRun()
+	for topic := 1; topic <= 12; topic++ {
+		good.AddRanking(topic, []string{"good", "alsogood"}, "g")
+		bad.AddRanking(topic, []string{"x1", "x2", "good"}, "b")
+	}
+	rg := EvaluateRun("good", good, q, DefaultAlpha, []int{2})
+	rb := EvaluateRun("bad", bad, q, DefaultAlpha, []int{2})
+	res, err := CompareSignificance(rg, rb, "alpha-ndcg", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P >= 0.05 {
+		t.Errorf("uniformly better system not significant: p = %f", res.P)
+	}
+}
+
+func TestAlphaNDCGCutoffBeyondPool(t *testing.T) {
+	q := twoSubtopicQrels()
+	// Cutoff far beyond both the ranking and the judged pool: the value
+	// must equal the full-list value, not degrade or panic.
+	full := AlphaNDCG([]string{"mixed", "a1", "b1", "a2"}, q, 1, DefaultAlpha, []int{4})
+	big := AlphaNDCG([]string{"mixed", "a1", "b1", "a2"}, q, 1, DefaultAlpha, []int{5000})
+	if !almostEq(full[4], big[5000], 1e-12) {
+		t.Errorf("@4 = %f vs @5000 = %f", full[4], big[5000])
+	}
+}
+
+func TestAlphaNDCGAlphaOneMaximalNoveltyPressure(t *testing.T) {
+	q := twoSubtopicQrels()
+	// α = 1: a second document for an already-covered subtopic contributes
+	// zero gain, so [a1 a2] at k=2 must score the same as [a1 junk].
+	redundant := AlphaNDCG([]string{"a1", "a2"}, q, 1, 1.0, []int{2})
+	single := AlphaNDCG([]string{"a1", "junk"}, q, 1, 1.0, []int{2})
+	if !almostEq(redundant[2], single[2], 1e-12) {
+		t.Errorf("alpha=1: redundant %f != single %f", redundant[2], single[2])
+	}
+}
+
+func TestIAPrecisionUnsortedCutoffs(t *testing.T) {
+	q := twoSubtopicQrels()
+	got := IAPrecision([]string{"mixed", "a1"}, q, 1, nil, []int{10, 1, 5})
+	if len(got) != 3 {
+		t.Fatalf("cutoffs = %v", got)
+	}
+	if got[1] < got[5] || got[5] < got[10] {
+		t.Errorf("precision should not increase with cutoff here: %v", got)
+	}
+}
+
+func TestSubtopicRecallMonotoneInK(t *testing.T) {
+	q := twoSubtopicQrels()
+	ranking := []string{"junk", "a1", "junk2", "b1"}
+	prev := 0.0
+	for k := 1; k <= 4; k++ {
+		sr := SubtopicRecall(ranking, q, 1, k)
+		if sr < prev {
+			t.Fatalf("S-recall decreased at k=%d: %f < %f", k, sr, prev)
+		}
+		prev = sr
+	}
+	if prev != 1 {
+		t.Errorf("full-list S-recall = %f, want 1", prev)
+	}
+}

@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trec"
+)
+
+// Report aggregates per-topic metric values for one run, at the standard
+// cutoffs. It is the programmatic form of one row of the paper's Table 3.
+type Report struct {
+	Name      string
+	Cutoffs   []int
+	AlphaNDCG map[int]map[int]float64 // cutoff → topic → value
+	IAP       map[int]map[int]float64 // cutoff → topic → value
+}
+
+// EvaluateRun scores every topic of the run against the qrels and returns
+// the per-topic α-NDCG and IA-P values at the given cutoffs (DefaultCutoffs
+// if nil).
+func EvaluateRun(name string, run *trec.Run, qrels *trec.Qrels, alpha float64, cutoffs []int) *Report {
+	if cutoffs == nil {
+		cutoffs = DefaultCutoffs
+	}
+	r := &Report{
+		Name:      name,
+		Cutoffs:   cutoffs,
+		AlphaNDCG: make(map[int]map[int]float64, len(cutoffs)),
+		IAP:       make(map[int]map[int]float64, len(cutoffs)),
+	}
+	for _, k := range cutoffs {
+		r.AlphaNDCG[k] = make(map[int]float64)
+		r.IAP[k] = make(map[int]float64)
+	}
+	// Evaluate over the union of qrels topics: topics missing from the run
+	// score zero, as in trec_eval -c.
+	for _, topic := range qrels.Topics() {
+		ranking := run.Ranking(topic)
+		and := AlphaNDCG(ranking, qrels, topic, alpha, cutoffs)
+		iap := IAPrecision(ranking, qrels, topic, nil, cutoffs)
+		for _, k := range cutoffs {
+			r.AlphaNDCG[k][topic] = and[k]
+			r.IAP[k][topic] = iap[k]
+		}
+	}
+	return r
+}
+
+// MeanAlphaNDCG returns the topic-averaged α-NDCG at cutoff k.
+func (r *Report) MeanAlphaNDCG(k int) float64 { return meanOver(r.AlphaNDCG[k]) }
+
+// MeanIAP returns the topic-averaged IA-P at cutoff k.
+func (r *Report) MeanIAP(k int) float64 { return meanOver(r.IAP[k]) }
+
+func meanOver(m map[int]float64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return stats.Mean(vals)
+}
+
+// PerTopic returns the per-topic values of the metric ("alpha-ndcg" or
+// "ia-p") at cutoff k as aligned slices (sorted by topic), the form the
+// Wilcoxon significance test consumes.
+func (r *Report) PerTopic(metric string, k int) (topics []int, values []float64) {
+	var m map[int]float64
+	switch metric {
+	case "alpha-ndcg":
+		m = r.AlphaNDCG[k]
+	case "ia-p":
+		m = r.IAP[k]
+	default:
+		return nil, nil
+	}
+	topics = make([]int, 0, len(m))
+	for t := range m {
+		topics = append(topics, t)
+	}
+	sort.Ints(topics)
+	values = make([]float64, len(topics))
+	for i, t := range topics {
+		values[i] = m[t]
+	}
+	return topics, values
+}
+
+// CompareSignificance runs the Wilcoxon signed-rank test between two
+// reports on the given metric and cutoff, returning the p-value. The
+// reports must cover the same topics.
+func CompareSignificance(a, b *Report, metric string, k int) (stats.WilcoxonResult, error) {
+	_, va := a.PerTopic(metric, k)
+	_, vb := b.PerTopic(metric, k)
+	return stats.Wilcoxon(va, vb)
+}
+
+// WriteTable writes the report means in the layout of the paper's Table 3
+// row: α-NDCG at each cutoff, then IA-P at each cutoff.
+func (r *Report) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-24s", r.Name); err != nil {
+		return err
+	}
+	for _, k := range r.Cutoffs {
+		if _, err := fmt.Fprintf(w, " %6.3f", r.MeanAlphaNDCG(k)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, " |"); err != nil {
+		return err
+	}
+	for _, k := range r.Cutoffs {
+		if _, err := fmt.Fprintf(w, " %6.3f", r.MeanIAP(k)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/boss"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qfg"
+	"repro/internal/suggest"
+	"repro/internal/synth"
+)
+
+// Figure1Spec parameterizes the Appendix C utility-ratio experiment behind
+// Figure 1: for every ambiguous query mined from a log, fetch |R_q| = 200
+// results from the (simulated) external engine, diversify with OptSelect
+// at |R_q′| = k = 20, and report the ratio
+//
+//	Σ_{i≤k} Ũ(d_i ∈ S) / Σ_{i≤k} Ũ(d_i ∈ R_q)
+//
+// bucketed by the number of mined specializations |S_q| (x-axis 2…28 in
+// the paper, with one curve per query log).
+type Figure1Spec struct {
+	Seed     int64
+	Corpus   synth.CorpusSpec
+	Sessions int      // log sessions per preset
+	Presets  []string // "aol", "msn"
+	NRq      int      // |R_q| fetched from the external engine (paper: 200)
+	PerSpec  int      // |R_q′| (paper: 20)
+	K        int      // k (paper: 20)
+	MaxSpecs int      // cap on |S_q| (paper's x-axis reaches 28)
+	// Threshold is the utility cutoff c applied when computing Ũ — the
+	// same cutoff the deployed diversifier uses (§5), which zeroes the
+	// weak everything-and-nothing similarities of generic pages. 0 means
+	// the default 0.30.
+	Threshold float64
+}
+
+// DefaultFigure1Spec mirrors the Appendix C parameters; the corpus gives
+// topics between 2 and 28 sub-topics so every x-axis bucket is reachable.
+func DefaultFigure1Spec() Figure1Spec {
+	return Figure1Spec{
+		Seed: 1,
+		Corpus: synth.CorpusSpec{
+			Seed:            1,
+			NumTopics:       60,
+			MinSubtopics:    2,
+			MaxSubtopics:    28,
+			DocsPerSubtopic: 12,
+			// Ambiguous SERPs on the real web are crowded with generic
+			// pages useless for any particular refinement; they are what
+			// the utility ratio of Figure 1 feeds on.
+			GenericDocsPerTopic: 120,
+			NoiseDocs:           500,
+			DocLength:           50,
+			SearchedFrac:        1, // the figure studies |S_q|, not intent gaps
+			BackgroundVocab:     2000,
+			TopicVocab:          15,
+			SubtopicVocab:       10,
+		},
+		Sessions:  12000,
+		Presets:   []string{"aol", "msn"},
+		NRq:       200,
+		PerSpec:   20,
+		K:         20,
+		MaxSpecs:  28,
+		Threshold: 0.30,
+	}
+}
+
+// Figure1Row is one plotted point: the mean utility ratio over queries
+// with |S_q| = NumSpecs.
+type Figure1Row struct {
+	NumSpecs int
+	AvgRatio float64
+	Queries  int
+}
+
+// Figure1Result maps each log preset to its curve.
+type Figure1Result struct {
+	Spec   Figure1Spec
+	Curves map[string][]Figure1Row
+}
+
+// RunFigure1 executes the experiment.
+func RunFigure1(spec Figure1Spec) (*Figure1Result, error) {
+	if spec.NRq == 0 || spec.PerSpec == 0 || spec.K == 0 {
+		d := DefaultFigure1Spec()
+		if spec.NRq == 0 {
+			spec.NRq = d.NRq
+		}
+		if spec.PerSpec == 0 {
+			spec.PerSpec = d.PerSpec
+		}
+		if spec.K == 0 {
+			spec.K = d.K
+		}
+		if spec.MaxSpecs == 0 {
+			spec.MaxSpecs = d.MaxSpecs
+		}
+		if spec.Sessions == 0 {
+			spec.Sessions = d.Sessions
+		}
+		if len(spec.Presets) == 0 {
+			spec.Presets = d.Presets
+		}
+		if spec.Corpus.NumTopics == 0 {
+			spec.Corpus = d.Corpus
+		}
+	}
+	if spec.Threshold == 0 {
+		spec.Threshold = DefaultFigure1Spec().Threshold
+	}
+	if spec.Threshold < 0 {
+		spec.Threshold = 0
+	}
+
+	tb := synth.GenerateTestbed(spec.Corpus)
+	eng, err := engine.Build(tb.Docs, engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	client := boss.New(eng)
+
+	res := &Figure1Result{Spec: spec, Curves: make(map[string][]Figure1Row)}
+	for _, preset := range spec.Presets {
+		var logSpec synth.LogSpec
+		switch preset {
+		case "msn":
+			logSpec = synth.MSNLike(spec.Seed+7, spec.Sessions)
+		default:
+			logSpec = synth.AOLLike(spec.Seed+3, spec.Sessions)
+		}
+		log := synth.GenerateLog(tb, logSpec)
+		sessions := qfg.ExtractSessions(log, qfg.Options{})
+		rec := suggest.Train(sessions, log.Frequencies(), suggest.TrainOptions{})
+
+		sums := make(map[int]float64)
+		counts := make(map[int]int)
+		opts := suggest.DefaultDetectOptions()
+		opts.MaxCandidates = 200
+		// Figure 1 sweeps |S_q| up to 28: the paper mines 20M-query logs
+		// where even rank-28 specializations clear the f(q)/s popularity
+		// bar. At laptop-scale session counts a strict divisor would prune
+		// the tail and empty the right side of the figure, so the filter
+		// is opened up for this experiment.
+		opts.S = 200
+
+		for _, topic := range tb.Topics {
+			specs := suggest.TopSpecializations(
+				suggest.AmbiguousQueryDetect(topic.Query, rec, opts), spec.MaxSpecs)
+			if len(specs) < 2 {
+				continue
+			}
+			ratio, ok := utilityRatio(client, topic.Query, specs, spec)
+			if !ok {
+				continue
+			}
+			sums[len(specs)] += ratio
+			counts[len(specs)]++
+		}
+
+		var rows []Figure1Row
+		for m, c := range counts {
+			rows = append(rows, Figure1Row{NumSpecs: m, AvgRatio: sums[m] / float64(c), Queries: c})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].NumSpecs < rows[j].NumSpecs })
+		res.Curves[preset] = rows
+	}
+	return res, nil
+}
+
+// utilityRatio performs one Appendix C comparison for a single query.
+// Lambda is set to 1 so the overall score of Equation (9) reduces to the
+// pure aggregated utility Σ_j P(q′_j|q)·Ũ(d|R_q′_j), the quantity whose
+// sums the paper compares.
+func utilityRatio(client *boss.Client, query string, specs []suggest.Specialization, spec Figure1Spec) (float64, bool) {
+	results := client.Search(query, spec.NRq)
+	if len(results) < spec.K {
+		return 0, false
+	}
+	problem := &core.Problem{
+		Query:      query,
+		Candidates: client.CandidateDocs(results),
+		K:          spec.K,
+		Lambda:     1.0,
+		Threshold:  spec.Threshold,
+	}
+	for _, s := range specs {
+		sr := client.Search(s.Query, spec.PerSpec)
+		problem.Specs = append(problem.Specs, core.Specialization{
+			Query:   s.Query,
+			Prob:    s.Prob,
+			Results: client.SpecResults(sr),
+		})
+	}
+	u := core.ComputeUtilities(problem)
+	sel := core.OptSelect(problem, u)
+
+	diversified := 0.0
+	for _, s := range sel {
+		diversified += s.Score
+	}
+	original := 0.0
+	for i := 0; i < spec.K; i++ {
+		original += u.Overall[i] // candidates are in rank order
+	}
+	if original <= 0 {
+		return 0, false
+	}
+	return diversified / original, true
+}
+
+// Format prints the two curves in a gnuplot-friendly layout.
+func (r *Figure1Result) Format(w io.Writer) error {
+	fmt.Fprintf(w, "Average utility ratio per number of specializations (|Rq|=%d, |Rq'|=k=%d)\n",
+		r.Spec.NRq, r.Spec.K)
+	fmt.Fprintf(w, "%8s", "#specs")
+	presets := make([]string, 0, len(r.Curves))
+	for p := range r.Curves {
+		presets = append(presets, p)
+	}
+	sort.Strings(presets)
+	for _, p := range presets {
+		fmt.Fprintf(w, " %12s %8s", p+"-ratio", "queries")
+	}
+	fmt.Fprintln(w)
+
+	buckets := map[int]bool{}
+	for _, rows := range r.Curves {
+		for _, row := range rows {
+			buckets[row.NumSpecs] = true
+		}
+	}
+	var xs []int
+	for x := range buckets {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%8d", x)
+		for _, p := range presets {
+			found := false
+			for _, row := range r.Curves[p] {
+				if row.NumSpecs == x {
+					fmt.Fprintf(w, " %12.2f %8d", row.AvgRatio, row.Queries)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(w, " %12s %8s", "-", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

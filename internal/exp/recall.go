@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/qfg"
+	"repro/internal/suggest"
+	"repro/internal/synth"
+)
+
+// RecallSpec parameterizes the Appendix C recall measurement: split each
+// log 70/30, train the recommender on the first part, and measure on the
+// second "the number of times a user, after submitting an
+// ambiguous/faceted query, issued a new query that is a specialization of
+// the previous one" for which our system would have provided diversified
+// results (paper: 61% on AOL, 65% on MSN).
+type RecallSpec struct {
+	Seed      int64
+	Corpus    synth.CorpusSpec
+	Sessions  int
+	Presets   []string
+	TrainFrac float64
+}
+
+// DefaultRecallSpec mirrors Appendix C on the default synthetic testbed.
+func DefaultRecallSpec() RecallSpec {
+	return RecallSpec{
+		Seed:      1,
+		Corpus:    synth.DefaultCorpusSpec(),
+		Sessions:  12000,
+		Presets:   []string{"aol", "msn"},
+		TrainFrac: 0.7,
+	}
+}
+
+// RecallResult is one log's measurement.
+type RecallResult struct {
+	Preset string
+	// Events counts test-set occurrences of (ambiguous query → its
+	// specialization) inside a logical session.
+	Events int
+	// Detected is the fraction of events whose head query Algorithm 1
+	// flags as ambiguous (S_q non-empty).
+	Detected float64
+	// Covered is the fraction of events where, additionally, the
+	// specialization the user actually chose is in the mined S_q — the
+	// paper's "able to provide diversified results" recall.
+	Covered float64
+}
+
+// RunRecall executes the measurement for each preset.
+func RunRecall(spec RecallSpec) ([]RecallResult, error) {
+	if spec.Sessions == 0 {
+		d := DefaultRecallSpec()
+		spec.Sessions = d.Sessions
+		if len(spec.Presets) == 0 {
+			spec.Presets = d.Presets
+		}
+		if spec.TrainFrac == 0 {
+			spec.TrainFrac = d.TrainFrac
+		}
+		if spec.Corpus.NumTopics == 0 {
+			spec.Corpus = d.Corpus
+		}
+	}
+	if spec.TrainFrac == 0 {
+		spec.TrainFrac = 0.7
+	}
+
+	tb := synth.GenerateTestbed(spec.Corpus)
+	var out []RecallResult
+	for _, preset := range spec.Presets {
+		var logSpec synth.LogSpec
+		switch preset {
+		case "msn":
+			logSpec = synth.MSNLike(spec.Seed+7, spec.Sessions)
+		default:
+			logSpec = synth.AOLLike(spec.Seed+3, spec.Sessions)
+		}
+		log := synth.GenerateLog(tb, logSpec)
+		train, test := log.SplitByTime(spec.TrainFrac)
+
+		trainSessions := qfg.ExtractSessions(train, qfg.Options{})
+		rec := suggest.Train(trainSessions, train.Frequencies(), suggest.TrainOptions{})
+		opts := suggest.DefaultDetectOptions()
+		opts.MaxCandidates = 100
+
+		// Cache detection per distinct head query.
+		detected := make(map[string][]suggest.Specialization)
+		detect := func(q string) []suggest.Specialization {
+			if s, ok := detected[q]; ok {
+				return s
+			}
+			s := suggest.AmbiguousQueryDetect(q, rec, opts)
+			detected[q] = s
+			return s
+		}
+
+		events, detCount, covCount := 0, 0, 0
+		for _, session := range qfg.ExtractSessions(test, qfg.Options{}) {
+			qs := session.Queries()
+			for i := 1; i < len(qs); i++ {
+				if !suggest.IsSpecialization(qs[i-1], qs[i]) {
+					continue
+				}
+				events++
+				specs := detect(qs[i-1])
+				if len(specs) == 0 {
+					continue
+				}
+				detCount++
+				for _, s := range specs {
+					if s.Query == qs[i] {
+						covCount++
+						break
+					}
+				}
+			}
+		}
+		res := RecallResult{Preset: preset, Events: events}
+		if events > 0 {
+			res.Detected = float64(detCount) / float64(events)
+			res.Covered = float64(covCount) / float64(events)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatRecall prints the Appendix C recall lines.
+func FormatRecall(w io.Writer, results []RecallResult) {
+	fmt.Fprintf(w, "%-8s %8s %10s %10s\n", "log", "events", "detected", "covered")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %8d %9.1f%% %9.1f%%\n",
+			r.Preset, r.Events, 100*r.Detected, 100*r.Covered)
+	}
+}

@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/stats"
+	"repro/internal/suggest"
+	"repro/internal/trec"
+)
+
+// Table3Spec parameterizes the effectiveness experiment of Table 3: the
+// TREC-2009-Diversity-style evaluation of the DPH baseline and the three
+// diversification methods across the utility-threshold sweep
+// c ∈ {0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.35, 0.50, 0.75}, with λ = 0.15,
+// |R_q′| = 20 and k = 1000, reporting α-NDCG (α=0.5) and IA-P at cutoffs
+// {5, 10, 20, 100, 1000}.
+type Table3Spec struct {
+	Pipeline   repro.Config
+	Thresholds []float64
+	Cutoffs    []int
+	Alpha      float64
+	// GroundTruthFallback substitutes the testbed's ground-truth
+	// specializations when Algorithm 1 detects nothing for a topic (keeps
+	// the sweep comparable across topics; the result records how many
+	// topics needed it).
+	GroundTruthFallback bool
+}
+
+// DefaultTable3Spec mirrors the paper's §5 parameters on the default
+// synthetic testbed.
+func DefaultTable3Spec() Table3Spec {
+	cfg := repro.Config{
+		NumCandidates: 25000, // clamped by the corpus; the paper's |R_q|
+		PerSpec:       20,
+		K:             1000,
+		Lambda:        0.15,
+		MaxSpecs:      10,
+	}
+	return Table3Spec{
+		Pipeline:            cfg,
+		Thresholds:          []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.35, 0.50, 0.75},
+		Cutoffs:             []int{5, 10, 20, 100, 1000},
+		Alpha:               0.5,
+		GroundTruthFallback: true,
+	}
+}
+
+// Table3Row is one (algorithm, threshold) row of the table.
+type Table3Row struct {
+	Alg    core.Algorithm
+	C      float64
+	Report *eval.Report
+}
+
+// Table3Result holds the full sweep.
+type Table3Result struct {
+	Spec           Table3Spec
+	Baseline       *eval.Report
+	Rows           []Table3Row
+	TotalTopics    int
+	DetectedTopics int // topics where Algorithm 1 fired (no fallback needed)
+}
+
+// table3Algorithms are the three diversifiers of Table 3.
+var table3Algorithms = []core.Algorithm{core.AlgOptSelect, core.AlgXQuAD, core.AlgIASelect}
+
+// RunTable3 builds the pipeline, diversifies every topic's retrieval under
+// every (algorithm, threshold) pair, and evaluates all runs against the
+// testbed's diversity qrels.
+func RunTable3(spec Table3Spec) (*Table3Result, error) {
+	pipe, err := repro.Build(spec.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	qrels := pipe.Testbed.Qrels
+
+	baselineRun := trec.NewRun()
+	runs := make(map[core.Algorithm]map[float64]*trec.Run, len(table3Algorithms))
+	for _, alg := range table3Algorithms {
+		runs[alg] = make(map[float64]*trec.Run, len(spec.Thresholds))
+		for _, c := range spec.Thresholds {
+			runs[alg][c] = trec.NewRun()
+		}
+	}
+
+	res := &Table3Result{Spec: spec, TotalTopics: len(pipe.Testbed.Topics)}
+
+	for _, topic := range pipe.Testbed.Topics {
+		specs := pipe.DetectSpecializations(topic.Query)
+		if len(specs) > 0 {
+			res.DetectedTopics++
+		} else if spec.GroundTruthFallback {
+			specs = groundTruthSpecs(pipe, topic.ID)
+		}
+		problem := pipe.BuildProblem(topic.Query, specs)
+		problem.Threshold = 0
+		uRaw := core.ComputeUtilities(problem)
+
+		baselineRun.AddRanking(topic.ID, selIDs(core.Baseline(problem)), "DPH")
+
+		for _, c := range spec.Thresholds {
+			u := uRaw.WithThreshold(problem, c)
+			for _, alg := range table3Algorithms {
+				var sel []core.Selected
+				switch alg {
+				case core.AlgOptSelect:
+					sel = core.OptSelect(problem, u)
+				case core.AlgXQuAD:
+					sel = core.XQuAD(problem, u)
+				case core.AlgIASelect:
+					sel = core.IASelect(problem, u)
+				}
+				runs[alg][c].AddRanking(topic.ID, selIDs(sel), string(alg))
+			}
+		}
+	}
+
+	res.Baseline = eval.EvaluateRun("DPH baseline", baselineRun, qrels, spec.Alpha, spec.Cutoffs)
+	for _, alg := range table3Algorithms {
+		for _, c := range spec.Thresholds {
+			name := fmt.Sprintf("%s c=%.2f", algLabel(alg), c)
+			res.Rows = append(res.Rows, Table3Row{
+				Alg:    alg,
+				C:      c,
+				Report: eval.EvaluateRun(name, runs[alg][c], qrels, spec.Alpha, spec.Cutoffs),
+			})
+		}
+	}
+	return res, nil
+}
+
+// groundTruthSpecs converts the testbed's per-topic sub-topic queries and
+// ground-truth popularity into the suggest.Specialization shape.
+func groundTruthSpecs(pipe *repro.Pipeline, topicID int) []suggest.Specialization {
+	queries := pipe.Testbed.SubtopicQuery[topicID]
+	pops := pipe.Testbed.SubtopicPopularity[topicID]
+	specs := make([]suggest.Specialization, 0, len(pops))
+	for s := 1; s <= len(queries); s++ {
+		// Only searched sub-topics exist in the ground truth the log
+		// would reveal; the rest have no popularity mass.
+		if pops[s] <= 0 {
+			continue
+		}
+		specs = append(specs, suggest.Specialization{
+			Query: queries[s],
+			Freq:  int(pops[s]*1000) + 1,
+			Prob:  pops[s],
+		})
+	}
+	return suggest.TopSpecializations(specs, pipe.Config.MaxSpecs)
+}
+
+func selIDs(sel []core.Selected) []string {
+	out := make([]string, len(sel))
+	for i, s := range sel {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// Row returns the report for (alg, c).
+func (r *Table3Result) Row(alg core.Algorithm, c float64) (*eval.Report, bool) {
+	for _, row := range r.Rows {
+		if row.Alg == alg && row.C == c {
+			return row.Report, true
+		}
+	}
+	return nil, false
+}
+
+// BestRow returns the (c, report) maximizing mean α-NDCG at the cutoff.
+func (r *Table3Result) BestRow(alg core.Algorithm, cutoff int) (float64, *eval.Report) {
+	bestC, best := 0.0, (*eval.Report)(nil)
+	for _, row := range r.Rows {
+		if row.Alg != alg {
+			continue
+		}
+		if best == nil || row.Report.MeanAlphaNDCG(cutoff) > best.MeanAlphaNDCG(cutoff) {
+			best = row.Report
+			bestC = row.C
+		}
+	}
+	return bestC, best
+}
+
+// Significance runs the Wilcoxon signed-rank test between two rows on the
+// per-topic metric at the cutoff (the paper's §5 significance check).
+func (r *Table3Result) Significance(a core.Algorithm, ca float64, b core.Algorithm, cb float64, metric string, cutoff int) (stats.WilcoxonResult, error) {
+	ra, ok1 := r.Row(a, ca)
+	rb, ok2 := r.Row(b, cb)
+	if !ok1 || !ok2 {
+		return stats.WilcoxonResult{}, fmt.Errorf("exp: missing rows %s/%.2f or %s/%.2f", a, ca, b, cb)
+	}
+	return eval.CompareSignificance(ra, rb, metric, cutoff)
+}
+
+// Format writes the sweep in the layout of the paper's Table 3.
+func (r *Table3Result) Format(w io.Writer) error {
+	fmt.Fprintf(w, "%-24s", "method / c")
+	for _, k := range r.Spec.Cutoffs {
+		fmt.Fprintf(w, " aN@%-4d", k)
+	}
+	fmt.Fprint(w, " |")
+	for _, k := range r.Spec.Cutoffs {
+		fmt.Fprintf(w, " IA@%-4d", k)
+	}
+	fmt.Fprintln(w)
+
+	writeRow := func(rep *eval.Report) {
+		fmt.Fprintf(w, "%-24s", rep.Name)
+		for _, k := range r.Spec.Cutoffs {
+			fmt.Fprintf(w, " %6.3f ", rep.MeanAlphaNDCG(k))
+		}
+		fmt.Fprint(w, " |")
+		for _, k := range r.Spec.Cutoffs {
+			fmt.Fprintf(w, " %6.3f ", rep.MeanIAP(k))
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(r.Baseline)
+	last := core.Algorithm("")
+	for _, row := range r.Rows {
+		if row.Alg != last {
+			fmt.Fprintln(w)
+			last = row.Alg
+		}
+		writeRow(row.Report)
+	}
+	fmt.Fprintf(w, "\ntopics: %d (Algorithm 1 fired on %d; ground-truth fallback on %d)\n",
+		r.TotalTopics, r.DetectedTopics, r.TotalTopics-r.DetectedTopics)
+	return nil
+}

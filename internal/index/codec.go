@@ -1,0 +1,201 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary serialization of an Index. Layout (all integers unsigned varints
+// unless noted):
+//
+//	magic  "RIDX1\n"
+//	numDocs, then per doc: idLen, idBytes, docLen
+//	totalTokens
+//	numTerms, then per term (in term-id order):
+//	    termLen, termBytes, cf, df,
+//	    df postings as (docDelta, tf) with docDelta = doc - prevDoc
+//	    (first delta = doc + 1 so deltas are always >= 1)
+//
+// The format is self-contained and versioned by the magic string.
+
+const magic = "RIDX1\n"
+
+// ErrBadFormat reports a corrupt or foreign index stream.
+var ErrBadFormat = errors.New("index: bad index format")
+
+// WriteTo serializes the index to w.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		m := binary.PutUvarint(buf[:], v)
+		return write(buf[:m])
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		return write([]byte(s))
+	}
+
+	if err := write([]byte(magic)); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(x.docIDs))); err != nil {
+		return n, err
+	}
+	for i, id := range x.docIDs {
+		if err := writeString(id); err != nil {
+			return n, err
+		}
+		if err := writeUvarint(uint64(x.docLens[i])); err != nil {
+			return n, err
+		}
+	}
+	if err := writeUvarint(uint64(x.total)); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(x.termList))); err != nil {
+		return n, err
+	}
+	for id, term := range x.termList {
+		if err := writeString(term); err != nil {
+			return n, err
+		}
+		if err := writeUvarint(uint64(x.cf[id])); err != nil {
+			return n, err
+		}
+		plist := x.postings[id]
+		if err := writeUvarint(uint64(len(plist))); err != nil {
+			return n, err
+		}
+		prev := int32(-1)
+		for _, p := range plist {
+			if err := writeUvarint(uint64(p.Doc - prev)); err != nil {
+				return n, err
+			}
+			if err := writeUvarint(uint64(p.TF)); err != nil {
+				return n, err
+			}
+			prev = p.Doc
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readString := func() (string, error) {
+		l, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if l > 1<<24 {
+			return "", fmt.Errorf("%w: string too long (%d)", ErrBadFormat, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	numDocs, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: numDocs: %v", ErrBadFormat, err)
+	}
+	if numDocs > 1<<31 {
+		return nil, fmt.Errorf("%w: numDocs %d too large", ErrBadFormat, numDocs)
+	}
+	x := &Index{
+		docIDs:  make([]string, numDocs),
+		docLens: make([]int32, numDocs),
+		terms:   make(map[string]int32, 1024),
+	}
+	for i := range x.docIDs {
+		if x.docIDs[i], err = readString(); err != nil {
+			return nil, fmt.Errorf("%w: docID %d: %v", ErrBadFormat, i, err)
+		}
+		dl, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: docLen %d: %v", ErrBadFormat, i, err)
+		}
+		x.docLens[i] = int32(dl)
+	}
+	total, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: totalTokens: %v", ErrBadFormat, err)
+	}
+	x.total = int64(total)
+	numTerms, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: numTerms: %v", ErrBadFormat, err)
+	}
+	if numTerms > 1<<31 {
+		return nil, fmt.Errorf("%w: numTerms %d too large", ErrBadFormat, numTerms)
+	}
+	x.termList = make([]string, numTerms)
+	x.postings = make([][]Posting, numTerms)
+	x.cf = make([]int64, numTerms)
+	for id := range x.termList {
+		term, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("%w: term %d: %v", ErrBadFormat, id, err)
+		}
+		x.termList[id] = term
+		x.terms[term] = int32(id)
+		cf, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: cf: %v", ErrBadFormat, err)
+		}
+		x.cf[id] = int64(cf)
+		df, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: df: %v", ErrBadFormat, err)
+		}
+		if df > numDocs {
+			return nil, fmt.Errorf("%w: df %d > numDocs %d", ErrBadFormat, df, numDocs)
+		}
+		plist := make([]Posting, df)
+		prev := int32(-1)
+		for j := range plist {
+			delta, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("%w: posting delta: %v", ErrBadFormat, err)
+			}
+			if delta == 0 {
+				return nil, fmt.Errorf("%w: zero doc delta", ErrBadFormat)
+			}
+			tf, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("%w: posting tf: %v", ErrBadFormat, err)
+			}
+			doc := prev + int32(delta)
+			if doc < 0 || uint64(doc) >= numDocs {
+				return nil, fmt.Errorf("%w: doc %d out of range", ErrBadFormat, doc)
+			}
+			plist[j] = Posting{Doc: doc, TF: int32(tf)}
+			prev = doc
+		}
+		x.postings[id] = plist
+	}
+	return x, nil
+}

@@ -1,0 +1,191 @@
+// Package index implements the inverted-index substrate of the search
+// engine: a document-at-a-time index with term dictionary, frequency
+// postings, document lengths and collection statistics — everything the
+// DFR ranking models of package ranking need. It replaces the Terrier
+// index of the paper's experimental setup (§5).
+//
+// The index is token-agnostic: callers analyze text (package text) before
+// adding documents, so index and query processing are guaranteed to agree
+// on the analysis chain.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Posting records one (document, term frequency) pair. Doc is the internal
+// document number assigned in insertion order.
+type Posting struct {
+	Doc int32
+	TF  int32
+}
+
+// TermStats carries the per-term statistics ranking models consume.
+type TermStats struct {
+	ID int32 // internal term number
+	DF int64 // document frequency: #docs containing the term
+	CF int64 // collection frequency: total occurrences in the collection
+}
+
+// CollectionStats carries the collection-wide statistics ranking models
+// consume.
+type CollectionStats struct {
+	NumDocs     int64
+	TotalTokens int64
+	AvgDocLen   float64
+}
+
+// Builder accumulates documents and produces an immutable Index.
+type Builder struct {
+	docIDs   []string
+	docLens  []int32
+	seen     map[string]bool
+	terms    map[string]int32
+	postings [][]Posting
+	cf       []int64
+	total    int64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		seen:  make(map[string]bool),
+		terms: make(map[string]int32),
+	}
+}
+
+// ErrDuplicateDoc is returned when the same external document ID is added
+// twice.
+var ErrDuplicateDoc = errors.New("index: duplicate document ID")
+
+// Add indexes one document given its external ID and analyzed tokens.
+// Documents are assigned consecutive internal numbers in insertion order.
+func (b *Builder) Add(docID string, tokens []string) error {
+	if b.seen[docID] {
+		return fmt.Errorf("%w: %q", ErrDuplicateDoc, docID)
+	}
+	b.seen[docID] = true
+	doc := int32(len(b.docIDs))
+	b.docIDs = append(b.docIDs, docID)
+	b.docLens = append(b.docLens, int32(len(tokens)))
+	b.total += int64(len(tokens))
+
+	// Per-document term counts.
+	counts := make(map[string]int32, len(tokens))
+	for _, t := range tokens {
+		counts[t]++
+	}
+	// Deterministic term-id assignment: sort new terms of this doc.
+	newTerms := make([]string, 0)
+	for t := range counts {
+		if _, ok := b.terms[t]; !ok {
+			newTerms = append(newTerms, t)
+		}
+	}
+	sort.Strings(newTerms)
+	for _, t := range newTerms {
+		b.terms[t] = int32(len(b.postings))
+		b.postings = append(b.postings, nil)
+		b.cf = append(b.cf, 0)
+	}
+	for t, tf := range counts {
+		id := b.terms[t]
+		b.postings[id] = append(b.postings[id], Posting{Doc: doc, TF: tf})
+		b.cf[id] += int64(tf)
+	}
+	return nil
+}
+
+// NumDocs returns the number of documents added so far.
+func (b *Builder) NumDocs() int { return len(b.docIDs) }
+
+// Build finalizes the index. The Builder must not be used afterwards.
+func (b *Builder) Build() *Index {
+	// Postings were appended in doc order already (Add assigns increasing
+	// doc numbers), so no per-term sort is needed; assert order in debug
+	// builds by construction.
+	termList := make([]string, len(b.terms))
+	for t, id := range b.terms {
+		termList[id] = t
+	}
+	idx := &Index{
+		docIDs:   b.docIDs,
+		docLens:  b.docLens,
+		terms:    b.terms,
+		termList: termList,
+		postings: b.postings,
+		cf:       b.cf,
+		total:    b.total,
+	}
+	return idx
+}
+
+// Index is an immutable inverted index.
+type Index struct {
+	docIDs   []string
+	docLens  []int32
+	terms    map[string]int32
+	termList []string
+	postings [][]Posting
+	cf       []int64
+	total    int64
+}
+
+// NumDocs returns the number of indexed documents.
+func (x *Index) NumDocs() int { return len(x.docIDs) }
+
+// NumTerms returns the dictionary size.
+func (x *Index) NumTerms() int { return len(x.termList) }
+
+// DocID maps an internal document number to its external ID.
+func (x *Index) DocID(doc int32) string { return x.docIDs[doc] }
+
+// DocLen returns the token count of the document.
+func (x *Index) DocLen(doc int32) int32 { return x.docLens[doc] }
+
+// Stats returns the collection statistics.
+func (x *Index) Stats() CollectionStats {
+	n := int64(len(x.docIDs))
+	avg := 0.0
+	if n > 0 {
+		avg = float64(x.total) / float64(n)
+	}
+	return CollectionStats{NumDocs: n, TotalTokens: x.total, AvgDocLen: avg}
+}
+
+// Lookup returns the statistics of term, if indexed.
+func (x *Index) Lookup(term string) (TermStats, bool) {
+	id, ok := x.terms[term]
+	if !ok {
+		return TermStats{}, false
+	}
+	return TermStats{ID: id, DF: int64(len(x.postings[id])), CF: x.cf[id]}, true
+}
+
+// Postings returns the postings list of term (nil if absent). The returned
+// slice is shared and must not be modified.
+func (x *Index) Postings(term string) []Posting {
+	id, ok := x.terms[term]
+	if !ok {
+		return nil
+	}
+	return x.postings[id]
+}
+
+// PostingsByID returns the postings list for an internal term number.
+func (x *Index) PostingsByID(id int32) []Posting { return x.postings[id] }
+
+// Term returns the term string for an internal term number.
+func (x *Index) Term(id int32) string { return x.termList[id] }
+
+// DocFreqs returns a term→document-frequency map (for IDF computations
+// over the whole collection).
+func (x *Index) DocFreqs() map[string]int {
+	df := make(map[string]int, len(x.termList))
+	for id, t := range x.termList {
+		df[t] = len(x.postings[id])
+	}
+	return df
+}

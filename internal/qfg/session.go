@@ -1,0 +1,99 @@
+package qfg
+
+import (
+	"time"
+
+	"repro/internal/querylog"
+)
+
+// Session is a logical user session: a maximal run of one user's
+// chronological submissions in which every consecutive pair is chained
+// (same search mission) according to the query-flow-graph model.
+type Session struct {
+	User    string
+	Records []querylog.Record
+}
+
+// Start returns the session's first submission time.
+func (s Session) Start() time.Time {
+	if len(s.Records) == 0 {
+		return time.Time{}
+	}
+	return s.Records[0].Time
+}
+
+// Queries returns the session's query strings in order.
+func (s Session) Queries() []string {
+	qs := make([]string, len(s.Records))
+	for i, r := range s.Records {
+		qs[i] = r.Query
+	}
+	return qs
+}
+
+// Satisfactory reports whether the session ends with a click — the
+// "successful session" signal the search-shortcuts recommender trains on.
+func (s Session) Satisfactory() bool {
+	return len(s.Records) > 0 && len(s.Records[len(s.Records)-1].Clicks) > 0
+}
+
+// ExtractSessions splits every user stream of the log into logical
+// sessions: a cut is placed between consecutive submissions whenever their
+// chaining probability falls below opts.ChainThreshold (or the time gap
+// exceeds opts.MaxGap). This realizes the paper's §3 preprocessing step:
+// "by processing a query log Q we obtain the set of logical user sessions
+// exploited by our result diversification solution."
+func ExtractSessions(log *querylog.Log, opts Options) []Session {
+	opts = opts.withDefaults()
+	var sessions []Session
+	for _, stream := range log.UserStreams() {
+		start := 0
+		for i := 1; i <= len(stream); i++ {
+			cut := i == len(stream)
+			if !cut {
+				prev, cur := stream[i-1], stream[i]
+				p := ChainProbability(prev.Query, cur.Query, cur.Time.Sub(prev.Time), opts)
+				cut = p < opts.ChainThreshold
+			}
+			if cut {
+				sessions = append(sessions, Session{
+					User:    stream[start].User,
+					Records: stream[start:i],
+				})
+				start = i
+			}
+		}
+	}
+	return sessions
+}
+
+// SessionStats summarizes extracted sessions.
+type SessionStats struct {
+	Sessions       int
+	MeanLength     float64
+	Satisfactory   int
+	MultiQuery     int // sessions with at least two queries
+	Reformulations int // total consecutive in-session query pairs
+}
+
+// ComputeSessionStats aggregates statistics over sessions.
+func ComputeSessionStats(sessions []Session) SessionStats {
+	var st SessionStats
+	st.Sessions = len(sessions)
+	if len(sessions) == 0 {
+		return st
+	}
+	totalLen := 0
+	for _, s := range sessions {
+		totalLen += len(s.Records)
+		if s.Satisfactory() {
+			st.Satisfactory++
+		}
+		if len(s.Records) > 1 {
+			st.MultiQuery++
+			st.Reformulations += len(s.Records) - 1
+		}
+	}
+	st.MeanLength = float64(totalLen) / float64(len(sessions))
+	return st
+}

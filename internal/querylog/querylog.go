@@ -1,0 +1,148 @@
+// Package querylog models the query-log substrate of §3.1: a log Q is a
+// set of records ⟨q_i, u_i, t_i, V_i, C_i⟩ storing, for each submitted
+// query, the anonymized user, the submission timestamp, the URLs of the
+// top-k results returned, and the URLs the user clicked. The package
+// provides the record model, a TSV serialization (the stand-in for the
+// AOL/MSN log formats), chronological per-user streams, and the popularity
+// function f(·) that Algorithm 1 consumes.
+package querylog
+
+import (
+	"sort"
+	"time"
+)
+
+// Record is one query submission: ⟨q, u, t, V, C⟩ in the paper's notation.
+type Record struct {
+	User    string    // u: anonymized user identifier
+	Time    time.Time // t: submission timestamp
+	Query   string    // q: normalized query string
+	Results []string  // V: URLs of the top-k results shown
+	Clicks  []string  // C: URLs of the clicked results (subset of V)
+}
+
+// Log is an in-memory query log.
+type Log struct {
+	Records []Record
+}
+
+// New returns a Log over the given records (not copied).
+func New(records []Record) *Log { return &Log{Records: records} }
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.Records) }
+
+// SortChronological orders records by (user, time, query) so that per-user
+// streams are contiguous and time-ordered. Sorting is stable with a full
+// tie-break, so logs are canonical after sorting.
+func (l *Log) SortChronological() {
+	sort.SliceStable(l.Records, func(i, j int) bool {
+		a, b := l.Records[i], l.Records[j]
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		return a.Query < b.Query
+	})
+}
+
+// UserStreams returns each user's chronologically ordered submissions.
+// The outer slice is ordered by user id for determinism.
+func (l *Log) UserStreams() [][]Record {
+	sorted := make([]Record, len(l.Records))
+	copy(sorted, l.Records)
+	tmp := Log{Records: sorted}
+	tmp.SortChronological()
+
+	var streams [][]Record
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i == len(sorted) || sorted[i].User != sorted[start].User {
+			streams = append(streams, sorted[start:i])
+			start = i
+		}
+	}
+	return streams
+}
+
+// Freq is the paper's popularity function f(·): query → submission count.
+type Freq map[string]int
+
+// Of returns f(q), zero for unseen queries.
+func (f Freq) Of(q string) int { return f[q] }
+
+// Frequencies computes f over the whole log.
+func (l *Log) Frequencies() Freq {
+	f := make(Freq, len(l.Records)/2+1)
+	for _, r := range l.Records {
+		f[r.Query]++
+	}
+	return f
+}
+
+// Stats summarizes a log, mirroring the corpus descriptions of Appendix B
+// ("about 20 millions of queries issued by about 650,000 different users").
+type Stats struct {
+	Queries        int           // total submissions
+	DistinctQuery  int           // distinct normalized queries
+	Users          int           // distinct users
+	Span           time.Duration // last timestamp − first timestamp
+	ClickedQueries int           // submissions with at least one click
+}
+
+// ComputeStats scans the log once and returns summary statistics.
+func (l *Log) ComputeStats() Stats {
+	var s Stats
+	s.Queries = len(l.Records)
+	if s.Queries == 0 {
+		return s
+	}
+	distinct := make(map[string]struct{})
+	users := make(map[string]struct{})
+	first, last := l.Records[0].Time, l.Records[0].Time
+	for _, r := range l.Records {
+		distinct[r.Query] = struct{}{}
+		users[r.User] = struct{}{}
+		if r.Time.Before(first) {
+			first = r.Time
+		}
+		if r.Time.After(last) {
+			last = r.Time
+		}
+		if len(r.Clicks) > 0 {
+			s.ClickedQueries++
+		}
+	}
+	s.DistinctQuery = len(distinct)
+	s.Users = len(users)
+	s.Span = last.Sub(first)
+	return s
+}
+
+// SplitByTime partitions the log chronologically: the earliest trainFrac
+// of records form the training log, the remainder the test log. This is
+// the 70/30 split of Appendix C ("the first one ... was used for training
+// ... and the second one for testing").
+func (l *Log) SplitByTime(trainFrac float64) (train, test *Log) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	sorted := make([]Record, len(l.Records))
+	copy(sorted, l.Records)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].Time.Equal(sorted[j].Time) {
+			return sorted[i].Time.Before(sorted[j].Time)
+		}
+		if sorted[i].User != sorted[j].User {
+			return sorted[i].User < sorted[j].User
+		}
+		return sorted[i].Query < sorted[j].Query
+	})
+	cut := int(float64(len(sorted)) * trainFrac)
+	return New(sorted[:cut]), New(sorted[cut:])
+}

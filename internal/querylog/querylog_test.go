@@ -1,0 +1,235 @@
+package querylog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func at(min int) time.Time {
+	return time.Date(2006, 3, 1, 10, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute)
+}
+
+func sampleLog() *Log {
+	return New([]Record{
+		{User: "u2", Time: at(5), Query: "leopard tank", Results: []string{"url3"}, Clicks: []string{"url3"}},
+		{User: "u1", Time: at(0), Query: "leopard", Results: []string{"url1", "url2"}},
+		{User: "u1", Time: at(2), Query: "leopard mac os x", Results: []string{"url2"}, Clicks: []string{"url2"}},
+		{User: "u2", Time: at(1), Query: "leopard", Results: []string{"url1"}},
+		{User: "u1", Time: at(90), Query: "apple", Results: []string{"url4"}},
+	})
+}
+
+func TestSortChronological(t *testing.T) {
+	l := sampleLog()
+	l.SortChronological()
+	gotUsers := make([]string, len(l.Records))
+	for i, r := range l.Records {
+		gotUsers[i] = r.User
+	}
+	want := []string{"u1", "u1", "u1", "u2", "u2"}
+	if !reflect.DeepEqual(gotUsers, want) {
+		t.Errorf("user order = %v, want %v", gotUsers, want)
+	}
+	if l.Records[0].Query != "leopard" || l.Records[3].Query != "leopard" {
+		t.Errorf("per-user time order broken: %v", l.Records)
+	}
+}
+
+func TestUserStreams(t *testing.T) {
+	streams := sampleLog().UserStreams()
+	if len(streams) != 2 {
+		t.Fatalf("streams = %d, want 2", len(streams))
+	}
+	if streams[0][0].User != "u1" || len(streams[0]) != 3 {
+		t.Errorf("stream 0 = %v", streams[0])
+	}
+	if streams[1][0].User != "u2" || len(streams[1]) != 2 {
+		t.Errorf("stream 1 = %v", streams[1])
+	}
+	for _, s := range streams {
+		for i := 1; i < len(s); i++ {
+			if s[i].Time.Before(s[i-1].Time) {
+				t.Error("stream not time-ordered")
+			}
+		}
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	f := sampleLog().Frequencies()
+	if f.Of("leopard") != 2 {
+		t.Errorf("f(leopard) = %d, want 2", f.Of("leopard"))
+	}
+	if f.Of("apple") != 1 {
+		t.Errorf("f(apple) = %d, want 1", f.Of("apple"))
+	}
+	if f.Of("unseen") != 0 {
+		t.Errorf("f(unseen) = %d, want 0", f.Of("unseen"))
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := sampleLog().ComputeStats()
+	if s.Queries != 5 || s.DistinctQuery != 4 || s.Users != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Span != 90*time.Minute {
+		t.Errorf("span = %v, want 90m", s.Span)
+	}
+	if s.ClickedQueries != 2 {
+		t.Errorf("clicked = %d, want 2", s.ClickedQueries)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := New(nil).ComputeStats()
+	if s.Queries != 0 || s.Users != 0 || s.Span != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestSplitByTime(t *testing.T) {
+	l := sampleLog()
+	train, test := l.SplitByTime(0.6)
+	if train.Len() != 3 || test.Len() != 2 {
+		t.Fatalf("split = %d/%d, want 3/2", train.Len(), test.Len())
+	}
+	// Every train record must precede (or equal) every test record in time.
+	maxTrain := train.Records[0].Time
+	for _, r := range train.Records {
+		if r.Time.After(maxTrain) {
+			maxTrain = r.Time
+		}
+	}
+	for _, r := range test.Records {
+		if r.Time.Before(maxTrain) {
+			t.Errorf("test record at %v precedes train max %v", r.Time, maxTrain)
+		}
+	}
+}
+
+func TestSplitByTimeClamp(t *testing.T) {
+	l := sampleLog()
+	train, test := l.SplitByTime(-1)
+	if train.Len() != 0 || test.Len() != 5 {
+		t.Error("negative fraction not clamped")
+	}
+	train, test = l.SplitByTime(2)
+	if train.Len() != 5 || test.Len() != 0 {
+		t.Error("fraction > 1 not clamped")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	l := sampleLog()
+	l.SortChronological()
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, l.Records) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got.Records, l.Records)
+	}
+}
+
+func TestTSVEmptyLists(t *testing.T) {
+	l := New([]Record{{User: "u", Time: at(0), Query: "q"}})
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\t-\t-") {
+		t.Errorf("empty lists not encoded as '-': %q", buf.String())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Records[0].Results != nil || got.Records[0].Clicks != nil {
+		t.Errorf("empty lists decoded as %v/%v", got.Records[0].Results, got.Records[0].Clicks)
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nu\t0\tq\t-\t-\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("len = %d, want 1", got.Len())
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"u\t0\tq\t-\n",           // 4 fields
+		"u\tnotatime\tq\t-\t-\n", // bad timestamp
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestWriteRejectsTabInQuery(t *testing.T) {
+	l := New([]Record{{User: "u", Time: at(0), Query: "bad\tquery"}})
+	if err := Write(&bytes.Buffer{}, l); err == nil {
+		t.Error("query with tab accepted")
+	}
+}
+
+// Property: TSV round-trips arbitrary well-formed records.
+func TestTSVRoundTripProperty(t *testing.T) {
+	prop := func(userRaw, queryRaw string, ms int64, nRes, nClk uint8) bool {
+		user := strings.Map(func(r rune) rune {
+			if r == '\t' || r == '\n' || r == ' ' || r == '\r' {
+				return 'x'
+			}
+			return r
+		}, userRaw)
+		if user == "" {
+			user = "u"
+		}
+		query := strings.Join(strings.Fields(strings.Map(func(r rune) rune {
+			if r == '\t' || r == '\n' || r == '\r' {
+				return ' '
+			}
+			return r
+		}, queryRaw)), " ")
+		if query == "" {
+			query = "q"
+		}
+		if strings.HasPrefix(user, "#") {
+			user = "u" + user
+		}
+		var res, clk []string
+		for i := 0; i < int(nRes%5); i++ {
+			res = append(res, "http://example.com/"+string(rune('a'+i)))
+		}
+		for i := 0; i < int(nClk%3); i++ {
+			clk = append(clk, "http://example.com/"+string(rune('a'+i)))
+		}
+		rec := Record{User: user, Time: time.UnixMilli(ms % 1e15).UTC(), Query: query, Results: res, Clicks: clk}
+		var buf bytes.Buffer
+		if err := Write(&buf, New([]Record{rec})); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Len() != 1 {
+			return false
+		}
+		return reflect.DeepEqual(got.Records[0], rec)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package querylog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TSV serialization. One record per line:
+//
+//	user <TAB> unix_millis <TAB> query <TAB> results <TAB> clicks
+//
+// where results and clicks are space-joined URL lists (URLs contain no
+// whitespace; queries are normalized and contain no tabs). Empty lists are
+// written as "-" so every line has exactly five fields. This mirrors the
+// flat formats the AOL and MSN logs shipped in.
+
+// ErrBadRecord wraps line-level parse failures.
+var ErrBadRecord = errors.New("querylog: malformed record")
+
+const emptyField = "-"
+
+func joinList(xs []string) string {
+	if len(xs) == 0 {
+		return emptyField
+	}
+	return strings.Join(xs, " ")
+}
+
+func splitList(s string) []string {
+	if s == emptyField || s == "" {
+		return nil
+	}
+	return strings.Fields(s)
+}
+
+// Write serializes the log to w in TSV form.
+func Write(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range l.Records {
+		if strings.ContainsAny(r.Query, "\t\n") {
+			return fmt.Errorf("%w: record %d: query contains tab/newline", ErrBadRecord, i)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%s\t%s\n",
+			r.User, r.Time.UnixMilli(), r.Query, joinList(r.Results), joinList(r.Clicks)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a TSV-serialized log. Blank lines and lines starting with '#'
+// are skipped.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("%w: line %d: got %d fields, want 5", ErrBadRecord, lineNo, len(fields))
+		}
+		ms, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad timestamp %q", ErrBadRecord, lineNo, fields[1])
+		}
+		records = append(records, Record{
+			User:    fields[0],
+			Time:    time.UnixMilli(ms).UTC(),
+			Query:   fields[2],
+			Results: splitList(fields[3]),
+			Clicks:  splitList(fields[4]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(records), nil
+}

@@ -1,0 +1,133 @@
+package ranking
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/topk"
+)
+
+// Hit is one retrieved document.
+type Hit struct {
+	Doc   int32   // internal document number
+	DocID string  // external document ID
+	Score float64 // retrieval score under the chosen model
+	Rank  int     // 1-based rank in the result list
+}
+
+// Retrieve evaluates the analyzed query against the index document-at-a-
+// time and returns the top-k hits ranked by descending score (ties broken
+// by ascending document number, so results are deterministic). k <= 0
+// means "all matching documents".
+//
+// Duplicate query terms contribute multiplicity: a term appearing twice in
+// the query doubles its contribution, the standard bag-of-words treatment.
+func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit {
+	if len(queryTokens) == 0 {
+		return nil
+	}
+	cstats := idx.Stats()
+
+	// Query term multiplicities.
+	qtf := make(map[string]float64, len(queryTokens))
+	for _, t := range queryTokens {
+		qtf[t]++
+	}
+
+	acc := make(map[int32]float64, 1024)
+	for term, mult := range qtf {
+		tstats, ok := idx.Lookup(term)
+		if !ok {
+			continue
+		}
+		for _, p := range idx.Postings(term) {
+			s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), tstats, cstats)
+			if s != 0 {
+				acc[p.Doc] += mult * s
+			}
+		}
+	}
+	if len(acc) == 0 {
+		return nil
+	}
+
+	qLen := len(queryTokens)
+	heap := topk.NewBounded[int32](boundFor(k, len(acc)))
+	for doc, score := range acc {
+		score += model.DocAdjust(float64(idx.DocLen(doc)), qLen, cstats)
+		heap.Push(doc, score, int64(doc))
+	}
+	items := heap.Drain()
+	hits := make([]Hit, len(items))
+	for i, it := range items {
+		hits[i] = Hit{
+			Doc:   it.Value,
+			DocID: idx.DocID(it.Value),
+			Score: it.Score,
+			Rank:  i + 1,
+		}
+	}
+	return hits
+}
+
+func boundFor(k, matched int) int {
+	if k <= 0 || k > matched {
+		return matched
+	}
+	return k
+}
+
+// ScoreDoc computes the model score of a single known document for the
+// query — used by tests and by re-ranking code that needs P(d|q) for
+// documents outside the retrieved top-k.
+func ScoreDoc(idx *index.Index, model Model, queryTokens []string, doc int32) float64 {
+	cstats := idx.Stats()
+	qtf := make(map[string]float64, len(queryTokens))
+	for _, t := range queryTokens {
+		qtf[t]++
+	}
+	total := 0.0
+	matched := false
+	for term, mult := range qtf {
+		tstats, ok := idx.Lookup(term)
+		if !ok {
+			continue
+		}
+		plist := idx.Postings(term)
+		i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
+		if i < len(plist) && plist[i].Doc == doc {
+			s := model.TermScore(float64(plist[i].TF), float64(idx.DocLen(doc)), tstats, cstats)
+			total += mult * s
+			matched = true
+		}
+	}
+	if !matched {
+		return 0
+	}
+	return total + model.DocAdjust(float64(idx.DocLen(doc)), len(queryTokens), cstats)
+}
+
+// NormalizeScores maps hit scores to [0,1] by dividing by the maximum
+// score (all-zero lists are returned unchanged). The diversification
+// algorithms consume P(d|q) as a normalized relevance; this is the
+// canonical way the reproduction derives it from retrieval scores.
+func NormalizeScores(hits []Hit) []Hit {
+	if len(hits) == 0 {
+		return hits
+	}
+	max := hits[0].Score
+	for _, h := range hits {
+		if h.Score > max {
+			max = h.Score
+		}
+	}
+	if max <= 0 {
+		return hits
+	}
+	out := make([]Hit, len(hits))
+	copy(out, hits)
+	for i := range out {
+		out[i].Score /= max
+	}
+	return out
+}

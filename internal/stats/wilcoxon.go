@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// WilcoxonResult reports the outcome of a Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	N      int     // number of non-zero paired differences
+	WPlus  float64 // sum of ranks of positive differences
+	WMinus float64 // sum of ranks of negative differences
+	W      float64 // test statistic: min(WPlus, WMinus)
+	P      float64 // two-sided p-value
+	Exact  bool    // true if P comes from the exact permutation distribution
+}
+
+// ErrNoDifferences is returned when every paired difference is zero, in
+// which case the test is undefined (the systems are identical on the data).
+var ErrNoDifferences = errors.New("stats: wilcoxon: all paired differences are zero")
+
+// Wilcoxon performs the two-sided Wilcoxon signed-rank test on paired
+// samples x and y, the significance test the paper applies to the per-topic
+// effectiveness scores of Table 3 ("none of these differences can be
+// classified as statistically significant according to the Wilcoxon
+// signed-rank test at 0.05 level").
+//
+// Zero differences are dropped (Wilcoxon's original procedure). Tied
+// absolute differences receive average ranks. For n <= 25 with no ties the
+// exact permutation distribution is used; otherwise a normal approximation
+// with continuity and tie corrections is applied.
+func Wilcoxon(x, y []float64) (WilcoxonResult, error) {
+	if len(x) != len(y) {
+		return WilcoxonResult{}, errors.New("stats: wilcoxon: length mismatch")
+	}
+	type diff struct {
+		abs  float64
+		sign int
+	}
+	diffs := make([]diff, 0, len(x))
+	for i := range x {
+		d := x[i] - y[i]
+		if d == 0 {
+			continue
+		}
+		s := 1
+		if d < 0 {
+			s = -1
+		}
+		diffs = append(diffs, diff{abs: math.Abs(d), sign: s})
+	}
+	n := len(diffs)
+	if n == 0 {
+		return WilcoxonResult{}, ErrNoDifferences
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].abs < diffs[j].abs })
+
+	// Average ranks for ties; collect tie-group sizes for the variance
+	// correction of the normal approximation.
+	ranks := make([]float64, n)
+	hasTies := false
+	var tieGroups []int
+	for i := 0; i < n; {
+		j := i
+		for j < n && diffs[j].abs == diffs[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // mean of ranks i+1..j
+		for t := i; t < j; t++ {
+			ranks[t] = avg
+		}
+		if j-i > 1 {
+			hasTies = true
+			tieGroups = append(tieGroups, j-i)
+		}
+		i = j
+	}
+
+	wPlus, wMinus := 0.0, 0.0
+	for i, d := range diffs {
+		if d.sign > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w := math.Min(wPlus, wMinus)
+	res := WilcoxonResult{N: n, WPlus: wPlus, WMinus: wMinus, W: w}
+
+	if n <= 25 && !hasTies {
+		res.Exact = true
+		res.P = wilcoxonExactP(n, w)
+		return res, nil
+	}
+
+	mean := float64(n*(n+1)) / 4
+	variance := float64(n*(n+1)*(2*n+1)) / 24
+	for _, t := range tieGroups {
+		variance -= float64(t*t*t-t) / 48
+	}
+	if variance <= 0 {
+		// All differences tied to a single value; the statistic is
+		// degenerate. Fall back to p = 1 when perfectly balanced.
+		res.P = 1
+		return res, nil
+	}
+	// Continuity correction toward the mean.
+	z := (w - mean + 0.5) / math.Sqrt(variance)
+	p := 2 * normalCDF(z)
+	if p > 1 {
+		p = 1
+	}
+	res.P = p
+	return res, nil
+}
+
+// wilcoxonExactP returns the exact two-sided p-value
+// P(W <= w) + P(W >= n(n+1)/2 - w) for the null distribution of the
+// signed-rank sum over ranks 1..n (no ties). Computed by dynamic
+// programming over the 2^n equally likely sign assignments.
+func wilcoxonExactP(n int, w float64) float64 {
+	total := n * (n + 1) / 2
+	// counts[s] = number of subsets of {1..n} with rank sum s.
+	counts := make([]float64, total+1)
+	counts[0] = 1
+	for r := 1; r <= n; r++ {
+		for s := total; s >= r; s-- {
+			counts[s] += counts[s-r]
+		}
+	}
+	nAssign := math.Pow(2, float64(n))
+	wi := int(math.Floor(w))
+	lower := 0.0
+	for s := 0; s <= wi && s <= total; s++ {
+		lower += counts[s]
+	}
+	upper := 0.0
+	for s := total - wi; s <= total; s++ {
+		upper += counts[s]
+	}
+	p := (lower + upper) / nAssign
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// normalCDF returns P(Z <= z) for a standard normal variable.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// SignificantlyDifferent reports whether the two paired samples differ at
+// the given significance level alpha according to the Wilcoxon signed-rank
+// test. It returns false (not an error) when the samples are identical.
+func SignificantlyDifferent(x, y []float64, alpha float64) bool {
+	res, err := Wilcoxon(x, y)
+	if err != nil {
+		return false
+	}
+	return res.P < alpha
+}

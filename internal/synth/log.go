@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/querylog"
+)
+
+// LogSpec parameterizes the synthetic query-log generator. Presets
+// AOLLike and MSNLike mirror the two logs of Appendix B at laptop scale:
+// the AOL log spans three months with more users, the MSN log one month.
+type LogSpec struct {
+	Seed     int64
+	Name     string        // log identifier ("aol", "msn", ...)
+	Users    int           // distinct users
+	Sessions int           // total sessions to generate
+	Start    time.Time     // first timestamp
+	Span     time.Duration // log time span
+	// AmbiguousProb is the probability that a session is about one of the
+	// testbed's ambiguous topics (the rest are background noise sessions).
+	AmbiguousProb float64
+	// RefineProb is the probability that a user who submitted an ambiguous
+	// topic query then refines it to a specialization in the same session
+	// — the behavioural signal Algorithm 1 mines.
+	RefineProb float64
+	// ClickProb is the probability that a submitted query receives a click.
+	ClickProb float64
+	// NoiseVocab is the number of distinct one-off noise queries.
+	NoiseVocab int
+}
+
+// AOLLike returns the AOL-shaped preset: ~3 months, larger user base.
+func AOLLike(seed int64, sessions int) LogSpec {
+	return LogSpec{
+		Seed:          seed,
+		Name:          "aol",
+		Users:         sessions / 3,
+		Sessions:      sessions,
+		Start:         time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC),
+		Span:          92 * 24 * time.Hour,
+		AmbiguousProb: 0.55,
+		RefineProb:    0.65,
+		ClickProb:     0.55,
+		NoiseVocab:    2000,
+	}
+}
+
+// MSNLike returns the MSN-shaped preset: one month, denser per-user
+// activity, slightly stronger refinement behaviour (the paper's recall is
+// higher on MSN: 65% vs 61%).
+func MSNLike(seed int64, sessions int) LogSpec {
+	return LogSpec{
+		Seed:          seed,
+		Name:          "msn",
+		Users:         sessions / 5,
+		Sessions:      sessions,
+		Start:         time.Date(2006, 5, 1, 0, 0, 0, 0, time.UTC),
+		Span:          31 * 24 * time.Hour,
+		AmbiguousProb: 0.60,
+		RefineProb:    0.72,
+		ClickProb:     0.60,
+		NoiseVocab:    1500,
+	}
+}
+
+func (s LogSpec) withDefaults() LogSpec {
+	if s.Users == 0 {
+		s.Users = 100
+	}
+	if s.Sessions == 0 {
+		s.Sessions = 1000
+	}
+	if s.Start.IsZero() {
+		s.Start = time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if s.Span == 0 {
+		s.Span = 30 * 24 * time.Hour
+	}
+	if s.AmbiguousProb == 0 {
+		s.AmbiguousProb = 0.5
+	}
+	if s.RefineProb == 0 {
+		s.RefineProb = 0.6
+	}
+	if s.ClickProb == 0 {
+		s.ClickProb = 0.5
+	}
+	if s.NoiseVocab == 0 {
+		s.NoiseVocab = 1000
+	}
+	return s
+}
+
+// GenerateLog simulates user sessions against the testbed's topics:
+// ambiguous sessions submit a topic query and, with RefineProb, follow it
+// with a specialization drawn from the topic's ground-truth sub-topic
+// popularity; noise sessions submit unrelated queries. Timestamps place
+// in-session queries within a minute or two of each other and separate
+// sessions widely, so query-flow-graph session splitting faces the same
+// problem shape it would on the AOL/MSN logs.
+func GenerateLog(tb *Testbed, spec LogSpec) *querylog.Log {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	topicZipf := NewZipf(len(tb.Topics), 1.0)
+
+	var records []querylog.Record
+	emit := func(user string, at time.Time, q string, clicked bool) {
+		rec := querylog.Record{
+			User:  user,
+			Time:  at,
+			Query: q,
+			// Results: three synthetic URLs standing in for the SERP.
+			Results: []string{
+				"http://serp.example/" + sanitize(q) + "/1",
+				"http://serp.example/" + sanitize(q) + "/2",
+				"http://serp.example/" + sanitize(q) + "/3",
+			},
+		}
+		if clicked {
+			rec.Clicks = []string{rec.Results[0]}
+		}
+		records = append(records, rec)
+	}
+
+	for s := 0; s < spec.Sessions; s++ {
+		user := fmt.Sprintf("u%06d", rng.Intn(spec.Users))
+		at := spec.Start.Add(time.Duration(rng.Int63n(int64(spec.Span))))
+
+		if rng.Float64() < spec.AmbiguousProb && len(tb.Topics) > 0 {
+			topic := tb.Topics[topicZipf.Sample(rng)]
+			emit(user, at, topic.Query, rng.Float64() < spec.ClickProb*0.4)
+			if rng.Float64() < spec.RefineProb {
+				// Choose the specialization by ground-truth popularity.
+				sub := sampleSubtopic(rng, tb.SubtopicPopularity[topic.ID])
+				at = at.Add(time.Duration(20+rng.Intn(100)) * time.Second)
+				emit(user, at, tb.SubtopicQuery[topic.ID][sub], rng.Float64() < spec.ClickProb)
+				// Occasionally refine once more to another intent.
+				if rng.Float64() < 0.15 {
+					sub2 := sampleSubtopic(rng, tb.SubtopicPopularity[topic.ID])
+					if sub2 != sub {
+						at = at.Add(time.Duration(20+rng.Intn(100)) * time.Second)
+						emit(user, at, tb.SubtopicQuery[topic.ID][sub2], rng.Float64() < spec.ClickProb)
+					}
+				}
+			}
+		} else {
+			// Noise session: one or two unrelated queries.
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				q := fmt.Sprintf("noise query %04d", rng.Intn(spec.NoiseVocab))
+				emit(user, at, q, rng.Float64() < spec.ClickProb)
+				at = at.Add(time.Duration(30+rng.Intn(90)) * time.Second)
+			}
+		}
+	}
+	l := querylog.New(records)
+	l.SortChronological()
+	return l
+}
+
+// sampleSubtopic draws a sub-topic ID from a (possibly sparse) popularity
+// map. Only searched sub-topics carry mass; iteration is over sorted IDs
+// for determinism.
+func sampleSubtopic(rng *rand.Rand, popularity map[int]float64) int {
+	ids := make([]int, 0, len(popularity))
+	for s := range popularity {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	if len(ids) == 0 {
+		return 1
+	}
+	u := rng.Float64()
+	cum := 0.0
+	for _, s := range ids {
+		cum += popularity[s]
+		if u <= cum {
+			return s
+		}
+	}
+	return ids[len(ids)-1]
+}
+
+func sanitize(q string) string {
+	b := []byte(q)
+	for i := range b {
+		if b[i] == ' ' {
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,67 @@
+// Package synth generates the synthetic stand-ins for the paper's
+// proprietary resources, as inventoried in DESIGN.md §1: a ClueWeb-B-like
+// corpus with TREC-2009-Diversity-style topics/sub-topics/qrels, AOL-like
+// and MSN-like query logs, and the pure-algorithm problem instances of the
+// Table 2 efficiency experiment. Every generator is fully deterministic
+// given its seed.
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^S via a
+// precomputed CDF. It is the skew model for query popularity, topic
+// popularity and specialization popularity throughout the generators
+// (query-log frequency distributions are classically Zipfian).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over {0,...,n-1} with exponent s (s > 0; the
+// conventional choice 1.0 is used by the presets).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one value in [0, N).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of value i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,51 @@
+package text
+
+import "strings"
+
+// stopWordList is a standard English stopword list (the classic Glasgow IR
+// list trimmed to the high-frequency function words that Terrier's default
+// configuration removes). Kept as a single string so the set is cheap to
+// audit and extend.
+const stopWordList = `
+a about above after again against all am an and any are aren as at
+be because been before being below between both but by
+can cannot could couldn
+did didn do does doesn doing don down during
+each
+few for from further
+had hadn has hasn have haven having he her here hers herself him himself his how
+i if in into is isn it its itself
+just
+ll
+me more most mustn my myself
+no nor not now
+of off on once only or other our ours ourselves out over own
+re
+s same shan she should shouldn so some such
+t than that the their theirs them themselves then there these they this those through to too
+under until up
+very
+was wasn we were weren what when where which while who whom why will with won would wouldn
+you your yours yourself yourselves
+`
+
+var stopWordSet = func() map[string]bool {
+	set := make(map[string]bool, 160)
+	for _, w := range strings.Fields(stopWordList) {
+		set[w] = true
+	}
+	return set
+}()
+
+// StopWords returns a fresh copy of the default English stopword set, so
+// callers may mutate their copy safely.
+func StopWords() map[string]bool {
+	out := make(map[string]bool, len(stopWordSet))
+	for w := range stopWordSet {
+		out[w] = true
+	}
+	return out
+}
+
+// IsStopWord reports whether the (lowercase) token is in the default set.
+func IsStopWord(tok string) bool { return stopWordSet[tok] }

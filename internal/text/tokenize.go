@@ -1,0 +1,81 @@
+// Package text implements the lexical analysis chain used by the search
+// engine substrate: Unicode tokenization, the Porter stemming algorithm and
+// standard English stopword removal. The paper's experimental setup (§5)
+// indexes ClueWeb-B with "Porter's stemmer and standard English stopword
+// removal"; this package is the stdlib-only equivalent of that Terrier
+// analysis pipeline.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase alphanumeric tokens. Any rune that is
+// neither a letter nor a digit is a separator. The tokenizer is
+// deliberately simple and deterministic: the same choice Terrier's default
+// "EnglishTokeniser" makes for Latin alphabets.
+func Tokenize(text string) []string {
+	tokens := make([]string, 0, len(text)/6)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// NormalizeQuery canonicalizes a raw query string the way the query-log
+// pipeline expects: lowercase, alphanumeric tokens joined by single spaces.
+// Two queries that normalize identically are treated as the same query
+// throughout log mining.
+func NormalizeQuery(q string) string {
+	return strings.Join(Tokenize(q), " ")
+}
+
+// Analyzer bundles the full analysis chain. The zero value performs
+// tokenization only; NewAnalyzer returns the paper's configuration
+// (stopwords + Porter stemming).
+type Analyzer struct {
+	StopWords map[string]bool // tokens to drop (after lowercasing, before stemming)
+	Stem      bool            // apply the Porter stemmer
+	MinLen    int             // drop tokens shorter than MinLen (0 = keep all)
+}
+
+// NewAnalyzer returns the analysis chain used in the paper's experiments:
+// standard English stopword removal followed by Porter stemming.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{StopWords: StopWords(), Stem: true, MinLen: 1}
+}
+
+// Tokens runs the full chain on text.
+func (a *Analyzer) Tokens(text string) []string {
+	raw := Tokenize(text)
+	out := raw[:0]
+	for _, tok := range raw {
+		if a.MinLen > 0 && len(tok) < a.MinLen {
+			continue
+		}
+		if a.StopWords != nil && a.StopWords[tok] {
+			continue
+		}
+		if a.Stem {
+			tok = Stem(tok)
+		}
+		if tok == "" {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package textsim
+
+import "math"
+
+// IDF maps terms to inverse-document-frequency weights. It turns raw
+// term-frequency vectors into TF-IDF vectors, the weighting we use for the
+// snippet surrogates on which the paper's utility function operates
+// (cosine over raw TF over-weights boilerplate terms shared by all
+// snippets of a result page).
+type IDF map[string]float64
+
+// ComputeIDF derives smoothed IDF weights idf(t) = ln(1 + N/df(t)) from
+// per-term document frequencies over a collection of numDocs documents.
+func ComputeIDF(docFreq map[string]int, numDocs int) IDF {
+	idf := make(IDF, len(docFreq))
+	n := float64(numDocs)
+	for t, df := range docFreq {
+		if df <= 0 {
+			continue
+		}
+		idf[t] = math.Log(1 + n/float64(df))
+	}
+	return idf
+}
+
+// ComputeIDFFromVectors counts document frequencies over the given vectors
+// and returns the corresponding IDF table.
+func ComputeIDFFromVectors(docs []Vector) IDF {
+	df := make(map[string]int)
+	for _, d := range docs {
+		for _, t := range d.Terms {
+			df[t]++
+		}
+	}
+	return ComputeIDF(df, len(docs))
+}
+
+// Apply reweights v by IDF (unknown terms get weight idf=1) and returns a
+// new vector with a recomputed norm.
+func (idf IDF) Apply(v Vector) Vector {
+	counts := make(map[string]float64, len(v.Terms))
+	for i, t := range v.Terms {
+		w := idf[t]
+		if w == 0 {
+			w = 1
+		}
+		counts[t] = v.Weights[i] * w
+	}
+	return FromCounts(counts)
+}

@@ -1,0 +1,141 @@
+package topk
+
+import "sort"
+
+// Bounded keeps the best B items seen so far, by score (with the package's
+// deterministic tie-break). Internally it is a min-heap of size at most B:
+// pushing onto a full heap evicts the current worst item when the new item
+// is better. This is the structure OptSelect uses for its
+// per-specialization heaps of size floor(k*P(q'|q))+1: each insertion costs
+// O(log B), which is the source of the algorithm's O(n log k) bound.
+type Bounded[T any] struct {
+	bound int
+	items []Item[T]
+}
+
+// NewBounded returns a collector keeping the best b items. b must be >= 0;
+// a collector with b == 0 rejects everything.
+func NewBounded[T any](b int) *Bounded[T] {
+	if b < 0 {
+		b = 0
+	}
+	cap := b
+	if cap > 1024 {
+		cap = 1024 // avoid huge upfront allocations for large bounds
+	}
+	return &Bounded[T]{bound: b, items: make([]Item[T], 0, cap)}
+}
+
+// Bound returns the maximum number of items retained.
+func (h *Bounded[T]) Bound() int { return h.bound }
+
+// Len reports the number of items currently retained.
+func (h *Bounded[T]) Len() int { return len(h.items) }
+
+// Push offers an item; it reports whether the item was retained (it may
+// later be evicted by better items).
+func (h *Bounded[T]) Push(value T, score float64, tie int64) bool {
+	return h.PushItem(Item[T]{Value: value, Score: score, Tie: tie})
+}
+
+// PushItem offers a prebuilt item.
+func (h *Bounded[T]) PushItem(it Item[T]) bool {
+	if h.bound == 0 {
+		return false
+	}
+	if len(h.items) < h.bound {
+		h.items = append(h.items, it)
+		h.up(len(h.items) - 1)
+		return true
+	}
+	// Full: replace the root (worst retained) only if the new item is better.
+	if !better(it, h.items[0]) {
+		return false
+	}
+	h.items[0] = it
+	h.down(0)
+	return true
+}
+
+// Worst returns the lowest-scoring retained item without removing it.
+func (h *Bounded[T]) Worst() (Item[T], bool) {
+	if len(h.items) == 0 {
+		var zero Item[T]
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// PopWorst removes and returns the lowest-scoring retained item.
+func (h *Bounded[T]) PopWorst() (Item[T], bool) {
+	if len(h.items) == 0 {
+		var zero Item[T]
+		return zero, false
+	}
+	worst := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return worst, true
+}
+
+// Descending returns the retained items ordered best-first. The heap is
+// left intact; the returned slice is freshly allocated.
+func (h *Bounded[T]) Descending() []Item[T] {
+	out := make([]Item[T], len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// Drain empties the heap and returns the items ordered best-first.
+func (h *Bounded[T]) Drain() []Item[T] {
+	out := h.Descending()
+	h.items = h.items[:0]
+	return out
+}
+
+// min-heap order: the *worst* item (lowest score / highest tie) at the root,
+// i.e. the root is the item every other retained item "betters".
+func (h *Bounded[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !better(h.items[parent], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Bounded[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && better(h.items[worst], h.items[l]) {
+			worst = l
+		}
+		if r < n && better(h.items[worst], h.items[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// Select returns the k best items of input best-first, using a bounded heap
+// (O(n log k)). It is a convenience for callers that have a full slice.
+func Select[T any](items []Item[T], k int) []Item[T] {
+	h := NewBounded[T](k)
+	for _, it := range items {
+		h.PushItem(it)
+	}
+	return h.Drain()
+}

@@ -1,0 +1,144 @@
+package trec
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RunEntry is one line of a TREC run: a retrieved document for a topic.
+type RunEntry struct {
+	Topic int
+	DocID string
+	Rank  int // 1-based
+	Score float64
+	Tag   string // system identifier
+}
+
+// Run maps topics to their ranked result lists.
+type Run struct {
+	byTopic map[int][]RunEntry
+}
+
+// NewRun returns an empty run.
+func NewRun() *Run { return &Run{byTopic: make(map[int][]RunEntry)} }
+
+// Add appends an entry to its topic's list (entries should be added in
+// rank order; Ranking is re-derived by Normalize).
+func (r *Run) Add(e RunEntry) {
+	r.byTopic[e.Topic] = append(r.byTopic[e.Topic], e)
+}
+
+// AddRanking appends a whole ranked list of document IDs for a topic,
+// assigning ranks 1..n and descending synthetic scores when none are
+// provided.
+func (r *Run) AddRanking(topic int, docIDs []string, tag string) {
+	for i, d := range docIDs {
+		r.Add(RunEntry{
+			Topic: topic,
+			DocID: d,
+			Rank:  i + 1,
+			Score: float64(len(docIDs) - i),
+			Tag:   tag,
+		})
+	}
+}
+
+// Topics returns the sorted topic IDs present in the run.
+func (r *Run) Topics() []int {
+	out := make([]int, 0, len(r.byTopic))
+	for t := range r.byTopic {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Ranking returns the ranked document IDs for a topic.
+func (r *Run) Ranking(topic int) []string {
+	entries := r.byTopic[topic]
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.DocID
+	}
+	return out
+}
+
+// Entries returns the raw entries for a topic (rank order).
+func (r *Run) Entries(topic int) []RunEntry { return r.byTopic[topic] }
+
+// Normalize sorts every topic's entries by descending score (stable, with
+// rank and doc ID tie-breaks) and reassigns ranks 1..n, enforcing the
+// TREC convention that rank order and score order agree.
+func (r *Run) Normalize() {
+	for t, entries := range r.byTopic {
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].Score != entries[j].Score {
+				return entries[i].Score > entries[j].Score
+			}
+			if entries[i].Rank != entries[j].Rank {
+				return entries[i].Rank < entries[j].Rank
+			}
+			return entries[i].DocID < entries[j].DocID
+		})
+		for i := range entries {
+			entries[i].Rank = i + 1
+		}
+		r.byTopic[t] = entries
+	}
+}
+
+// WriteRun serializes the run in the classic six-column TREC format:
+// "topic Q0 docno rank score tag".
+func WriteRun(w io.Writer, r *Run) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range r.Topics() {
+		for _, e := range r.byTopic[t] {
+			tag := e.Tag
+			if tag == "" {
+				tag = "run"
+			}
+			if _, err := fmt.Fprintf(bw, "%d Q0 %s %d %g %s\n", e.Topic, e.DocID, e.Rank, e.Score, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadRun reports a malformed run line.
+var ErrBadRun = errors.New("trec: malformed run")
+
+// ReadRun parses the six-column TREC run format.
+func ReadRun(rd io.Reader) (*Run, error) {
+	r := NewRun()
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 {
+			return nil, fmt.Errorf("%w: line %d: %d fields", ErrBadRun, lineNo, len(f))
+		}
+		topic, err1 := strconv.Atoi(f[0])
+		rank, err2 := strconv.Atoi(f[3])
+		score, err3 := strconv.ParseFloat(f[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: line %d: non-numeric field", ErrBadRun, lineNo)
+		}
+		r.Add(RunEntry{Topic: topic, DocID: f[2], Rank: rank, Score: score, Tag: f[5]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

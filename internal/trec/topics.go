@@ -1,0 +1,302 @@
+// Package trec models the TREC 2009 Web track Diversity Task testbed the
+// paper evaluates on (§5, Appendix B): topics with 3–8 manually identified
+// sub-topics, relevance judgements at sub-topic level (diversity qrels),
+// and TREC-format run files. Parsing and formatting follow the flat-text
+// conventions of the track so artifacts are interchangeable with standard
+// tooling (ndeval-style qrels, trec_eval-style runs).
+package trec
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Subtopic is one aspect of an ambiguous/faceted topic, e.g. for TREC
+// topic 1 ("obama family tree"): "Where did Barack Obama's parents and
+// grandparents come from?".
+type Subtopic struct {
+	ID          int    // 1-based within the topic
+	Type        string // "inf" (informational) or "nav" (navigational)
+	Description string
+}
+
+// Topic is one diversity-task topic.
+type Topic struct {
+	ID          int
+	Query       string // the ambiguous/faceted query submitted to the engine
+	Description string
+	Subtopics   []Subtopic
+}
+
+// Topics is an ordered topic collection.
+type Topics []Topic
+
+// ByID returns the topic with the given ID.
+func (ts Topics) ByID(id int) (Topic, bool) {
+	for _, t := range ts {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Topic{}, false
+}
+
+// WriteTopics serializes topics in a line-oriented format:
+//
+//	topic <id> <query>
+//	desc <description>
+//	sub <id> <type> <description>
+func WriteTopics(w io.Writer, topics Topics) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range topics {
+		if _, err := fmt.Fprintf(bw, "topic %d %s\n", t.ID, t.Query); err != nil {
+			return err
+		}
+		if t.Description != "" {
+			if _, err := fmt.Fprintf(bw, "desc %s\n", t.Description); err != nil {
+				return err
+			}
+		}
+		for _, s := range t.Subtopics {
+			typ := s.Type
+			if typ == "" {
+				typ = "inf"
+			}
+			if _, err := fmt.Fprintf(bw, "sub %d %s %s\n", s.ID, typ, s.Description); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTopics parses the WriteTopics format. Blank lines and '#' comments
+// are ignored.
+func ReadTopics(r io.Reader) (Topics, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var topics Topics
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trec: topics line %d: malformed %q", lineNo, line)
+		}
+		switch fields[0] {
+		case "topic":
+			rest := strings.SplitN(fields[1], " ", 2)
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("trec: topics line %d: topic needs id and query", lineNo)
+			}
+			id, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return nil, fmt.Errorf("trec: topics line %d: bad topic id %q", lineNo, rest[0])
+			}
+			topics = append(topics, Topic{ID: id, Query: rest[1]})
+		case "desc":
+			if len(topics) == 0 {
+				return nil, fmt.Errorf("trec: topics line %d: desc before topic", lineNo)
+			}
+			topics[len(topics)-1].Description = fields[1]
+		case "sub":
+			if len(topics) == 0 {
+				return nil, fmt.Errorf("trec: topics line %d: sub before topic", lineNo)
+			}
+			rest := strings.SplitN(fields[1], " ", 3)
+			if len(rest) < 3 {
+				return nil, fmt.Errorf("trec: topics line %d: sub needs id, type, description", lineNo)
+			}
+			id, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return nil, fmt.Errorf("trec: topics line %d: bad sub id %q", lineNo, rest[0])
+			}
+			t := &topics[len(topics)-1]
+			t.Subtopics = append(t.Subtopics, Subtopic{ID: id, Type: rest[1], Description: rest[2]})
+		default:
+			return nil, fmt.Errorf("trec: topics line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return topics, nil
+}
+
+// Qrels holds diversity-task relevance judgements: binary (or graded)
+// relevance per (topic, subtopic, document).
+type Qrels struct {
+	// judgments[topic][subtopic][doc] = relevance (> 0 means relevant)
+	judgments map[int]map[int]map[string]int
+}
+
+// NewQrels returns an empty judgement set.
+func NewQrels() *Qrels {
+	return &Qrels{judgments: make(map[int]map[int]map[string]int)}
+}
+
+// Add records a judgement. Later calls overwrite earlier ones for the same
+// triple.
+func (q *Qrels) Add(topic, subtopic int, docID string, rel int) {
+	t := q.judgments[topic]
+	if t == nil {
+		t = make(map[int]map[string]int)
+		q.judgments[topic] = t
+	}
+	s := t[subtopic]
+	if s == nil {
+		s = make(map[string]int)
+		t[subtopic] = s
+	}
+	s[docID] = rel
+}
+
+// Rel returns the judgement for (topic, subtopic, docID); unjudged
+// documents return 0.
+func (q *Qrels) Rel(topic, subtopic int, docID string) int {
+	return q.judgments[topic][subtopic][docID]
+}
+
+// Relevant reports whether the document is relevant (> 0) to the subtopic.
+func (q *Qrels) Relevant(topic, subtopic int, docID string) bool {
+	return q.Rel(topic, subtopic, docID) > 0
+}
+
+// RelevantToAny reports whether the document is relevant to at least one
+// subtopic of the topic.
+func (q *Qrels) RelevantToAny(topic int, docID string) bool {
+	for _, sub := range q.judgments[topic] {
+		if sub[docID] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Subtopics returns the sorted subtopic IDs judged for the topic.
+func (q *Qrels) Subtopics(topic int) []int {
+	subs := q.judgments[topic]
+	out := make([]int, 0, len(subs))
+	for s := range subs {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Topics returns the sorted topic IDs present in the judgement set.
+func (q *Qrels) Topics() []int {
+	out := make([]int, 0, len(q.judgments))
+	for t := range q.judgments {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumRelevant returns the number of documents relevant to (topic, subtopic).
+func (q *Qrels) NumRelevant(topic, subtopic int) int {
+	n := 0
+	for _, rel := range q.judgments[topic][subtopic] {
+		if rel > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RelevantDocs returns the sorted IDs of documents relevant to the
+// subtopic.
+func (q *Qrels) RelevantDocs(topic, subtopic int) []string {
+	var out []string
+	for doc, rel := range q.judgments[topic][subtopic] {
+		if rel > 0 {
+			out = append(out, doc)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JudgedPool returns the sorted IDs of all documents judged (relevant to
+// any subtopic) for the topic — the pool the ideal-gain computation of
+// α-NDCG greedily selects from.
+func (q *Qrels) JudgedPool(topic int) []string {
+	set := make(map[string]bool)
+	for _, sub := range q.judgments[topic] {
+		for doc, rel := range sub {
+			if rel > 0 {
+				set[doc] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for doc := range set {
+		out = append(out, doc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteQrels serializes judgements in the diversity-qrels format
+// "topic subtopic docno rel", sorted for determinism.
+func WriteQrels(w io.Writer, q *Qrels) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range q.Topics() {
+		for _, s := range q.Subtopics(t) {
+			docs := make([]string, 0, len(q.judgments[t][s]))
+			for d := range q.judgments[t][s] {
+				docs = append(docs, d)
+			}
+			sort.Strings(docs)
+			for _, d := range docs {
+				if _, err := fmt.Fprintf(bw, "%d %d %s %d\n", t, s, d, q.judgments[t][s][d]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadQrels reports a malformed qrels line.
+var ErrBadQrels = errors.New("trec: malformed qrels")
+
+// ReadQrels parses the diversity-qrels format.
+func ReadQrels(r io.Reader) (*Qrels, error) {
+	q := NewQrels()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("%w: line %d: %d fields", ErrBadQrels, lineNo, len(f))
+		}
+		topic, err1 := strconv.Atoi(f[0])
+		sub, err2 := strconv.Atoi(f[1])
+		rel, err3 := strconv.Atoi(f[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: line %d: non-numeric field", ErrBadQrels, lineNo)
+		}
+		q.Add(topic, sub, f[2], rel)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,217 @@
+package trec
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTopics() Topics {
+	return Topics{
+		{
+			ID:          1,
+			Query:       "obama family tree",
+			Description: "Users want genealogy information about Barack Obama.",
+			Subtopics: []Subtopic{
+				{ID: 1, Type: "nav", Description: "Find the TIME magazine photo essay Barack Obama's Family Tree"},
+				{ID: 2, Type: "inf", Description: "Where did Barack Obama's parents and grandparents come from?"},
+				{ID: 3, Type: "inf", Description: "Find biographical information on Barack Obama's mother"},
+			},
+		},
+		{
+			ID:        2,
+			Query:     "leopard",
+			Subtopics: []Subtopic{{ID: 1, Type: "inf", Description: "mac os x"}, {ID: 2, Type: "inf", Description: "tank"}},
+		},
+	}
+}
+
+func TestTopicsRoundTrip(t *testing.T) {
+	topics := sampleTopics()
+	var buf bytes.Buffer
+	if err := WriteTopics(&buf, topics); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTopics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, topics) {
+		t.Errorf("round trip:\ngot  %+v\nwant %+v", got, topics)
+	}
+}
+
+func TestTopicsByID(t *testing.T) {
+	topics := sampleTopics()
+	got, ok := topics.ByID(2)
+	if !ok || got.Query != "leopard" {
+		t.Errorf("ByID(2) = %+v, %v", got, ok)
+	}
+	if _, ok := topics.ByID(99); ok {
+		t.Error("ByID(99) found a topic")
+	}
+}
+
+func TestReadTopicsErrors(t *testing.T) {
+	bad := []string{
+		"sub 1 inf orphan subtopic\n",
+		"desc orphan description\n",
+		"topic notanumber query\n",
+		"topic 1\n",
+		"bogus directive here\n",
+		"topic 1 q\nsub x inf broken\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadTopics(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadTopics(%q) succeeded", in)
+		}
+	}
+}
+
+func TestReadTopicsSkipsComments(t *testing.T) {
+	in := "# comment\n\ntopic 7 some query\nsub 1 inf aspect one\n"
+	got, err := ReadTopics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 7 || len(got[0].Subtopics) != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func sampleQrels() *Qrels {
+	q := NewQrels()
+	q.Add(1, 1, "docA", 1)
+	q.Add(1, 1, "docB", 0)
+	q.Add(1, 2, "docB", 1)
+	q.Add(1, 2, "docC", 1)
+	q.Add(2, 1, "docX", 2)
+	return q
+}
+
+func TestQrelsAccessors(t *testing.T) {
+	q := sampleQrels()
+	if !q.Relevant(1, 1, "docA") {
+		t.Error("docA not relevant to 1.1")
+	}
+	if q.Relevant(1, 1, "docB") {
+		t.Error("docB judged 0 but relevant")
+	}
+	if q.Rel(2, 1, "docX") != 2 {
+		t.Errorf("graded rel = %d", q.Rel(2, 1, "docX"))
+	}
+	if q.Rel(9, 9, "none") != 0 {
+		t.Error("unjudged rel != 0")
+	}
+	if !q.RelevantToAny(1, "docC") || q.RelevantToAny(1, "docZ") {
+		t.Error("RelevantToAny wrong")
+	}
+	if got := q.Subtopics(1); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Subtopics = %v", got)
+	}
+	if got := q.Topics(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Topics = %v", got)
+	}
+	if q.NumRelevant(1, 2) != 2 {
+		t.Errorf("NumRelevant(1,2) = %d", q.NumRelevant(1, 2))
+	}
+	if got := q.RelevantDocs(1, 2); !reflect.DeepEqual(got, []string{"docB", "docC"}) {
+		t.Errorf("RelevantDocs = %v", got)
+	}
+	if got := q.JudgedPool(1); !reflect.DeepEqual(got, []string{"docA", "docB", "docC"}) {
+		t.Errorf("JudgedPool = %v", got)
+	}
+}
+
+func TestQrelsRoundTrip(t *testing.T) {
+	q := sampleQrels()
+	var buf bytes.Buffer
+	if err := WriteQrels(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := ReadQrels(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteQrels(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if first != buf2.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", first, buf2.String())
+	}
+}
+
+func TestReadQrelsErrors(t *testing.T) {
+	for _, in := range []string{"1 1 doc\n", "a 1 doc 1\n", "1 b doc 1\n", "1 1 doc x\n"} {
+		if _, err := ReadQrels(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadQrels(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	r := NewRun()
+	r.AddRanking(1, []string{"d3", "d1", "d2"}, "sys")
+	r.AddRanking(2, []string{"dX"}, "sys")
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ranking(1), []string{"d3", "d1", "d2"}) {
+		t.Errorf("Ranking(1) = %v", got.Ranking(1))
+	}
+	if !reflect.DeepEqual(got.Topics(), []int{1, 2}) {
+		t.Errorf("Topics = %v", got.Topics())
+	}
+	e := got.Entries(1)[0]
+	if e.Rank != 1 || e.Tag != "sys" || e.Score != 3 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestRunNormalize(t *testing.T) {
+	r := NewRun()
+	r.Add(RunEntry{Topic: 1, DocID: "low", Rank: 1, Score: 1})
+	r.Add(RunEntry{Topic: 1, DocID: "high", Rank: 2, Score: 9})
+	r.Add(RunEntry{Topic: 1, DocID: "mid", Rank: 3, Score: 5})
+	r.Normalize()
+	if got := r.Ranking(1); !reflect.DeepEqual(got, []string{"high", "mid", "low"}) {
+		t.Errorf("normalized ranking = %v", got)
+	}
+	for i, e := range r.Entries(1) {
+		if e.Rank != i+1 {
+			t.Errorf("rank[%d] = %d", i, e.Rank)
+		}
+	}
+}
+
+func TestReadRunErrors(t *testing.T) {
+	for _, in := range []string{
+		"1 Q0 doc 1 2.5\n",        // 5 fields
+		"x Q0 doc 1 2.5 tag\n",    // bad topic
+		"1 Q0 doc r 2.5 tag\n",    // bad rank
+		"1 Q0 doc 1 notnum tag\n", // bad score
+	} {
+		if _, err := ReadRun(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadRun(%q) succeeded", in)
+		}
+	}
+}
+
+func TestEmptyRunAndQrels(t *testing.T) {
+	r := NewRun()
+	if len(r.Topics()) != 0 || len(r.Ranking(5)) != 0 {
+		t.Error("empty run misbehaves")
+	}
+	q := NewQrels()
+	if len(q.Topics()) != 0 || len(q.JudgedPool(1)) != 0 {
+		t.Error("empty qrels misbehaves")
+	}
+}

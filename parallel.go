@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/suggest"
+)
+
+// BuildProblemParallel is the §6 future-work architecture the paper
+// sketches — "a search architecture performing the diversification task
+// in parallel with the document scoring phase": the R_q retrieval (the
+// expensive document-scoring call) runs concurrently with the |S_q|
+// specialization retrievals that build the R_q′ surrogate lists, instead
+// of sequentially after them. The output is identical to BuildProblem;
+// only wall-clock latency changes (see BenchmarkParallelPipeline).
+func (p *Pipeline) BuildProblemParallel(query string, specs []suggest.Specialization) *core.Problem {
+	problem := &core.Problem{
+		Query:     query,
+		K:         p.Config.K,
+		Lambda:    p.Config.Lambda,
+		Threshold: p.Config.Threshold,
+		Specs:     make([]core.Specialization, len(specs)),
+	}
+
+	var wg sync.WaitGroup
+
+	// Document scoring phase: retrieve and vectorize R_q.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results := p.Engine.Search(query, p.Config.NumCandidates)
+		maxScore := 0.0
+		for _, r := range results {
+			if r.Score > maxScore {
+				maxScore = r.Score
+			}
+		}
+		candidates := make([]core.Doc, len(results))
+		for i, r := range results {
+			rel := 0.0
+			if maxScore > 0 {
+				rel = r.Score / maxScore
+			}
+			candidates[i] = core.Doc{
+				ID:     r.DocID,
+				Rank:   r.Rank,
+				Rel:    rel,
+				Vector: p.Engine.VectorOfText(r.Snippet),
+			}
+		}
+		problem.Candidates = candidates
+	}()
+
+	// Diversification preparation: one R_q′ list per specialization,
+	// each on its own goroutine (the engine is immutable after Build,
+	// so concurrent searches are safe).
+	for si := range specs {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			s := specs[si]
+			specResults := p.Engine.Search(s.Query, p.Config.PerSpec)
+			rs := make([]core.SpecResult, len(specResults))
+			for i, r := range specResults {
+				rs[i] = core.SpecResult{
+					ID:     r.DocID,
+					Rank:   r.Rank,
+					Vector: p.Engine.VectorOfText(r.Snippet),
+				}
+			}
+			problem.Specs[si] = core.Specialization{
+				Query:   s.Query,
+				Prob:    s.Prob,
+				Results: rs,
+			}
+		}(si)
+	}
+
+	wg.Wait()
+	return problem
+}
+
+// DiversifyParallel is Diversify with the overlapped architecture.
+func (p *Pipeline) DiversifyParallel(query string, alg core.Algorithm) ([]core.Selected, []suggest.Specialization) {
+	specs := p.DetectSpecializations(query)
+	problem := p.BuildProblemParallel(query, specs)
+	if len(specs) == 0 {
+		return core.Baseline(problem), nil
+	}
+	return core.Diversify(alg, problem), specs
+}

@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuildProblemParallelMatchesSequential(t *testing.T) {
+	p := buildTiny(t)
+	specs := p.DetectSpecializations("topic01")
+	if len(specs) == 0 {
+		t.Fatal("topic01 not ambiguous")
+	}
+	seq := p.BuildProblem("topic01", specs)
+	par := p.BuildProblemParallel("topic01", specs)
+
+	if len(seq.Candidates) != len(par.Candidates) {
+		t.Fatalf("candidates: %d vs %d", len(seq.Candidates), len(par.Candidates))
+	}
+	for i := range seq.Candidates {
+		if !reflect.DeepEqual(seq.Candidates[i], par.Candidates[i]) {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+	if len(seq.Specs) != len(par.Specs) {
+		t.Fatalf("specs: %d vs %d", len(seq.Specs), len(par.Specs))
+	}
+	for j := range seq.Specs {
+		if !reflect.DeepEqual(seq.Specs[j], par.Specs[j]) {
+			t.Fatalf("spec %d (%s) differs", j, seq.Specs[j].Query)
+		}
+	}
+}
+
+func TestDiversifyParallelSameSERP(t *testing.T) {
+	p := buildTiny(t)
+	for _, alg := range []core.Algorithm{core.AlgOptSelect, core.AlgXQuAD, core.AlgIASelect} {
+		seq, _ := p.Diversify("topic01", alg)
+		par, _ := p.DiversifyParallel("topic01", alg)
+		if !reflect.DeepEqual(core.IDs(seq), core.IDs(par)) {
+			t.Errorf("%s: parallel SERP differs:\nseq %v\npar %v", alg, core.IDs(seq), core.IDs(par))
+		}
+	}
+}
+
+func TestDiversifyParallelUnambiguous(t *testing.T) {
+	p := buildTiny(t)
+	sel, specs := p.DiversifyParallel("noise query 0002", core.AlgOptSelect)
+	if specs != nil {
+		t.Errorf("unambiguous query got specs %v", specs)
+	}
+	if len(sel) > p.Config.K {
+		t.Errorf("selected %d > K", len(sel))
+	}
+}
+
+// The parallel architecture must be race-free under concurrent queries
+// (run with -race in CI to exercise this fully).
+func TestDiversifyParallelConcurrentQueries(t *testing.T) {
+	p := buildTiny(t)
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- true }()
+			q := "topic01"
+			if g%2 == 1 {
+				q = "topic02"
+			}
+			for i := 0; i < 5; i++ {
+				sel, _ := p.DiversifyParallel(q, core.AlgOptSelect)
+				if len(sel) == 0 {
+					t.Errorf("goroutine %d: empty SERP", g)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,193 @@
+// Package repro is the public facade of this reproduction of
+// "Efficient Diversification of Web Search Results" (Capannini, Nardini,
+// Perego, Silvestri — PVLDB 4(7), 2011). It wires the full §3 pipeline:
+//
+//	query log → logical sessions (query-flow graph) → recommender A(q)
+//	          → AmbiguousQueryDetect (Algorithm 1) → specializations S_q
+//	corpus    → inverted index → DPH retrieval → R_q and the R_q′ lists
+//	          → utilities Ũ(d|R_q′) (Definition 2)
+//	          → OptSelect / xQuAD / IASelect → diversified SERP
+//
+// The examples/ directory shows the intended use; the cmd/ tools and the
+// root benchmarks regenerate every table and figure of the paper through
+// the same API.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qfg"
+	"repro/internal/querylog"
+	"repro/internal/suggest"
+	"repro/internal/synth"
+)
+
+// Config assembles the knobs of the full pipeline. The zero value plus
+// the synth defaults reproduce the paper's §5 setup at laptop scale.
+type Config struct {
+	// Corpus generates the document collection and TREC-style testbed.
+	Corpus synth.CorpusSpec
+	// Log generates the training query log (zero value: AOL-like preset
+	// with 4000 sessions).
+	Log synth.LogSpec
+	// Engine configures analysis and the weighting model (default DPH).
+	Engine engine.Config
+	// Session configures query-flow-graph session splitting.
+	Session qfg.Options
+	// Detect configures Algorithm 1 (ambiguity detection).
+	Detect suggest.DetectOptions
+
+	// NumCandidates is |R_q|, the size of the retrieved list to
+	// diversify. The paper's Table 3 uses 25000. Default 1000.
+	NumCandidates int
+	// PerSpec is |R_q′|, the stored results per specialization (paper: 20).
+	PerSpec int
+	// K is the diversified result size (paper's Table 3: 1000). Default 20.
+	K int
+	// Lambda is λ (paper: 0.15).
+	Lambda float64
+	// Threshold is the utility threshold c (paper sweeps 0…0.75).
+	Threshold float64
+	// MaxSpecs caps |S_q| (the paper selects the k most probable when
+	// |S_q| > k; a small cap keeps SERPs sane). Default 10.
+	MaxSpecs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Log.Sessions == 0 {
+		c.Log = synth.AOLLike(c.Corpus.Seed+1, 4000)
+	}
+	if c.Detect.S == 0 && c.Detect.MaxCandidates == 0 {
+		c.Detect = suggest.DefaultDetectOptions()
+	}
+	if c.NumCandidates == 0 {
+		c.NumCandidates = 1000
+	}
+	if c.PerSpec == 0 {
+		c.PerSpec = 20
+	}
+	if c.K == 0 {
+		c.K = 20
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.15
+	}
+	if c.MaxSpecs == 0 {
+		c.MaxSpecs = 10
+	}
+	return c
+}
+
+// Pipeline is a fully assembled diversification system.
+type Pipeline struct {
+	Config      Config
+	Testbed     *synth.Testbed
+	Engine      *engine.Engine
+	Log         *querylog.Log
+	Sessions    []qfg.Session
+	Graph       *qfg.Graph
+	Recommender *suggest.Recommender
+}
+
+// Build generates the testbed, indexes the corpus, generates and mines the
+// query log, and trains the recommender. Everything is deterministic given
+// Config.Corpus.Seed and Config.Log.Seed.
+func Build(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	tb := synth.GenerateTestbed(cfg.Corpus)
+	eng, err := engine.Build(tb.Docs, cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("repro: building engine: %w", err)
+	}
+	log := synth.GenerateLog(tb, cfg.Log)
+	sessions := qfg.ExtractSessions(log, cfg.Session)
+	graph := qfg.Build(log, cfg.Session)
+	rec := suggest.Train(sessions, log.Frequencies(), suggest.TrainOptions{})
+	return &Pipeline{
+		Config:      cfg,
+		Testbed:     tb,
+		Engine:      eng,
+		Log:         log,
+		Sessions:    sessions,
+		Graph:       graph,
+		Recommender: rec,
+	}, nil
+}
+
+// DetectSpecializations runs Algorithm 1 on the query: a nil result means
+// the query is not ambiguous and its results should not be diversified.
+func (p *Pipeline) DetectSpecializations(query string) []suggest.Specialization {
+	specs := suggest.AmbiguousQueryDetect(query, p.Recommender, p.Config.Detect)
+	return suggest.TopSpecializations(specs, p.Config.MaxSpecs)
+}
+
+// BuildProblem assembles the core diversification problem for an
+// ambiguous query: R_q from the engine (relevance normalized to P(d|q)),
+// one R_q′ snippet-surrogate list per specialization, and the configured
+// k/λ/c parameters.
+func (p *Pipeline) BuildProblem(query string, specs []suggest.Specialization) *core.Problem {
+	results := p.Engine.Search(query, p.Config.NumCandidates)
+	candidates := make([]core.Doc, len(results))
+	// P(d|q) is "the likelihood of document d being observed given q"
+	// (§3.1.2), derived from the retrieval score max-normalized over R_q.
+	// (The other reading — sum-normalizing into a distribution — makes the
+	// (1-λ)·P(d|q) term of Equations (5)/(9) microscopic and collapses
+	// every method into pure utility ordering; max-normalization keeps the
+	// two terms on the comparable footing the paper's λ = 0.15 implies.)
+	maxScore := 0.0
+	for _, r := range results {
+		if r.Score > maxScore {
+			maxScore = r.Score
+		}
+	}
+	for i, r := range results {
+		rel := 0.0
+		if maxScore > 0 {
+			rel = r.Score / maxScore
+		}
+		candidates[i] = core.Doc{
+			ID:     r.DocID,
+			Rank:   r.Rank,
+			Rel:    rel,
+			Vector: p.Engine.VectorOfText(r.Snippet),
+		}
+	}
+	problem := &core.Problem{
+		Query:      query,
+		Candidates: candidates,
+		K:          p.Config.K,
+		Lambda:     p.Config.Lambda,
+		Threshold:  p.Config.Threshold,
+	}
+	for _, s := range specs {
+		specResults := p.Engine.Search(s.Query, p.Config.PerSpec)
+		rs := make([]core.SpecResult, len(specResults))
+		for i, r := range specResults {
+			rs[i] = core.SpecResult{
+				ID:     r.DocID,
+				Rank:   r.Rank,
+				Vector: p.Engine.VectorOfText(r.Snippet),
+			}
+		}
+		problem.Specs = append(problem.Specs, core.Specialization{
+			Query:   s.Query,
+			Prob:    s.Prob,
+			Results: rs,
+		})
+	}
+	return problem
+}
+
+// Diversify answers a query end to end: detect ambiguity, build the
+// problem, and run the chosen algorithm. For unambiguous queries it
+// returns the plain retrieval baseline and a nil specialization list.
+func (p *Pipeline) Diversify(query string, alg core.Algorithm) ([]core.Selected, []suggest.Specialization) {
+	specs := p.DetectSpecializations(query)
+	problem := p.BuildProblem(query, specs)
+	if len(specs) == 0 {
+		return core.Baseline(problem), nil
+	}
+	return core.Diversify(alg, problem), specs
+}
