@@ -2,6 +2,9 @@
 // ambiguous queries of a synthetic log, stores the R_q′ snippet surrogates
 // for each specialization, and reports the measured memory footprint
 // against the paper's back-of-the-envelope bound N·|S_q̂|·|R_q̂′|·L.
+//
+//	footprint                         # 30 topics, 8000 sessions
+//	footprint -topics 50 -rq1 20
 package main
 
 import (

@@ -1,0 +1,187 @@
+// Command loadgen is the load-generation client of the serving benchmark:
+// it fetches the server's known queries (/queries, popularity-ordered),
+// replays a Zipf-skewed sample of them — the head-heavy traffic shape of
+// real query logs (Appendix B) — through concurrent connections, and
+// reports client-observed throughput and latency percentiles together
+// with the server's cache and worker-pool counters.
+//
+//	loadgen                                  # 2000 queries, 8 connections
+//	loadgen -n 10000 -c 32 -zipf 1.2
+//	loadgen -addr http://localhost:9090 -alg xquad -k 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of a running serve instance")
+	n := flag.Int("n", 2000, "total queries to replay")
+	c := flag.Int("c", 8, "concurrent connections")
+	zipfS := flag.Float64("zipf", 1.0, "Zipf exponent over the popularity-ordered query list")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	alg := flag.String("alg", "", "algorithm override (empty = server default)")
+	k := flag.Int("k", 0, "per-request k override (0 = server default)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *c,
+			MaxIdleConnsPerHost: *c,
+		},
+	}
+
+	queries, err := fetchQueries(client, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: server returned no queries")
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d queries over %d known (zipf s=%.2f, %d connections)\n",
+		*n, len(queries), *zipfS, *c)
+
+	// Pre-sample the whole workload so the generators add no latency noise.
+	zipf := synth.NewZipf(len(queries), *zipfS)
+	rng := rand.New(rand.NewSource(*seed))
+	work := make([]string, *n)
+	for i := range work {
+		work[i] = queries[zipf.Sample(rng)]
+	}
+
+	type result struct {
+		latency  time.Duration
+		hit      bool
+		diverse  bool
+		statusOK bool
+	}
+	jobs := make(chan string)
+	results := make(chan result, *n)
+	for w := 0; w < *c; w++ {
+		go func() {
+			for q := range jobs {
+				v := url.Values{"q": {q}}
+				if *alg != "" {
+					v.Set("alg", *alg)
+				}
+				if *k > 0 {
+					v.Set("k", fmt.Sprint(*k))
+				}
+				began := time.Now()
+				var sr server.SearchResponse
+				code, err := getJSON(client, *addr+"/search?"+v.Encode(), &sr)
+				results <- result{
+					latency:  time.Since(began),
+					hit:      sr.CacheHit,
+					diverse:  sr.Ambiguous,
+					statusOK: err == nil && code == http.StatusOK,
+				}
+			}
+		}()
+	}
+
+	wallStart := time.Now()
+	go func() {
+		for _, q := range work {
+			jobs <- q
+		}
+		close(jobs)
+	}()
+
+	latencies := make([]time.Duration, 0, *n)
+	okCount, hitCount, diverseCount := 0, 0, 0
+	for i := 0; i < *n; i++ {
+		r := <-results
+		if !r.statusOK {
+			continue
+		}
+		okCount++
+		latencies = append(latencies, r.latency)
+		if r.hit {
+			hitCount++
+		}
+		if r.diverse {
+			diverseCount++
+		}
+	}
+	wall := time.Since(wallStart)
+
+	if okCount == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: every request failed; is serve running at", *addr, "?")
+		os.Exit(1)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	fmt.Printf("requests      %d ok, %d failed\n", okCount, *n-okCount)
+	fmt.Printf("wall clock    %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("throughput    %.1f qps\n", float64(okCount)/wall.Seconds())
+	fmt.Printf("latency p50   %v\n", percentile(latencies, 0.50).Round(time.Microsecond))
+	fmt.Printf("latency p90   %v\n", percentile(latencies, 0.90).Round(time.Microsecond))
+	fmt.Printf("latency p95   %v\n", percentile(latencies, 0.95).Round(time.Microsecond))
+	fmt.Printf("latency p99   %v\n", percentile(latencies, 0.99).Round(time.Microsecond))
+	fmt.Printf("latency max   %v\n", latencies[len(latencies)-1].Round(time.Microsecond))
+	fmt.Printf("cache hits    %d/%d (%.1f%% client-observed)\n", hitCount, okCount, 100*float64(hitCount)/float64(okCount))
+	fmt.Printf("diversified   %d/%d ambiguous SERPs\n", diverseCount, okCount)
+
+	var st server.StatsResponse
+	if code, err := getJSON(client, *addr+"/stats", &st); err == nil && code == http.StatusOK {
+		fmt.Printf("server        %d searches, %d rejected, avg %.2fms in-worker\n",
+			st.Searches, st.Rejected, st.AvgLatencyMsec)
+		fmt.Printf("server cache  %.1f%% hit rate (%d hits / %d misses, %d evictions, %d/%d entries)\n",
+			100*st.Cache.HitRate, st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries, st.Cache.Capacity)
+	}
+}
+
+func fetchQueries(client *http.Client, addr string) ([]string, error) {
+	var qr server.QueriesResponse
+	code, err := getJSON(client, addr+"/queries", &qr)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("GET /queries: status %d", code)
+	}
+	return qr.Queries, nil
+}
+
+func getJSON(client *http.Client, url string, out any) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(out)
+	// Drain to EOF so the keep-alive connection returns to the idle pool;
+	// closing a non-empty body tears the connection down and would make
+	// every benchmarked request pay TCP setup.
+	io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+// percentile returns the q-quantile by nearest-rank on a sorted slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,6 +1,9 @@
 // Command loggen generates a synthetic query log (AOL-like or MSN-like
 // preset) over a synthetic topic testbed and writes it as TSV — the
 // format every other tool and the querylog package consume.
+//
+//	loggen -sessions 5000 -o log.tsv
+//	loggen -preset msn -stats -o msn.tsv
 package main
 
 import (

@@ -3,6 +3,9 @@
 // training, and Algorithm 1 ambiguity detection. It prints, for each
 // detected ambiguous query, its specializations with the Definition 1
 // probabilities — the exact knowledge base the diversifier consumes.
+//
+//	loggen -o log.tsv && mine -i log.tsv
+//	mine -i log.tsv -s 5 -max 20
 package main
 
 import (

@@ -1,0 +1,106 @@
+// Command serve runs the concurrent diversification service. It builds
+// the full pipeline once at startup (synthetic testbed, inverted index,
+// query log, query-flow graph, recommender) and then answers queries over
+// HTTP through a bounded worker pool and a sharded LRU cache of per-query
+// diversification artifacts — the serving architecture the paper's §6
+// outlook sketches. Pair it with loadgen for an end-to-end benchmark.
+//
+//	serve                                   # defaults: :8080, 8 workers
+//	serve -addr :9090 -workers 16 -cache 4096
+//	serve -topics 20 -sessions 8000 -alg xquad -k 20
+//
+// Endpoints: /search?q=…&k=…&alg=…, /healthz, /stats, /queries.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "testbed + log seed (deterministic world)")
+	topics := flag.Int("topics", 12, "ambiguous topics in the synthetic testbed")
+	sessions := flag.Int("sessions", 6000, "training query-log sessions")
+	candidates := flag.Int("candidates", 500, "|R_q|, candidates retrieved per query")
+	perSpec := flag.Int("perspec", 20, "|R_q'|, stored results per specialization")
+	k := flag.Int("k", 10, "default diversified SERP size")
+	threshold := flag.Float64("threshold", 0.30, "utility threshold c")
+	workers := flag.Int("workers", 8, "max concurrent diversifications")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max wait for a worker slot")
+	cacheCap := flag.Int("cache", 1024, "query-artifact cache capacity (entries)")
+	cacheShards := flag.Int("shards", 16, "cache shard count")
+	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
+	maxK := flag.Int("maxk", 100, "cap on per-request k")
+	flag.Parse()
+
+	defaultAlg := core.Algorithm(*alg)
+	if !defaultAlg.Valid() {
+		fmt.Fprintf(os.Stderr, "serve: unknown -alg %q (valid: %v)\n", *alg, core.Algorithms)
+		os.Exit(2)
+	}
+
+	cfg := repro.Config{
+		Corpus:        synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
+		Log:           synth.AOLLike(*seed+1, *sessions),
+		NumCandidates: *candidates,
+		PerSpec:       *perSpec,
+		K:             *k,
+		Threshold:     *threshold,
+	}
+
+	fmt.Fprintf(os.Stderr, "building pipeline (seed %d, %d topics, %d sessions)...\n", *seed, *topics, *sessions)
+	began := time.Now()
+	pipe, err := repro.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed, %d log records, %d sessions\n",
+		time.Since(began).Round(time.Millisecond), pipe.Engine.NumDocs(), pipe.Log.Len(), len(pipe.Sessions))
+
+	srv := server.New(pipe.NewServeHandle(*cacheCap, *cacheShards), server.Config{
+		Workers:      *workers,
+		QueueTimeout: *queueTimeout,
+		DefaultAlg:   defaultAlg,
+		MaxK:         *maxK,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving on %s (%d workers, cache %d entries / %d shards, default alg %s)\n",
+		*addr, *workers, *cacheCap, *cacheShards, *alg)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

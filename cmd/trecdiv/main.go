@@ -3,6 +3,9 @@
 // xQuAD and IASelect across the utility-threshold sweep, on the synthetic
 // TREC-2009-Diversity-style testbed, with the Wilcoxon significance check
 // of §5.
+//
+//	trecdiv -topics 10 -rq 2000 -k 100    # laptop-scale run
+//	trecdiv                               # the paper's full grid (slow)
 package main
 
 import (

@@ -2,6 +2,9 @@
 // ratio per number of specializations, AOL-like and MSN-like curves) and,
 // with -recall, the Appendix C recall measurement (paper: 61% AOL, 65%
 // MSN).
+//
+//	utilityfig                    # Figure 1 curves
+//	utilityfig -recall            # plus Appendix C recall
 package main
 
 import (

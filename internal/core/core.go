@@ -120,6 +120,18 @@ const (
 // Algorithms lists the selectable methods in evaluation order.
 var Algorithms = []Algorithm{AlgBaseline, AlgOptSelect, AlgXQuAD, AlgIASelect, AlgMMR}
 
+// Valid reports whether a names one of the selectable methods — the
+// shared validation behind every user-facing algorithm knob (CLI flags,
+// HTTP parameters).
+func (a Algorithm) Valid() bool {
+	for _, known := range Algorithms {
+		if a == known {
+			return true
+		}
+	}
+	return false
+}
+
 // Diversify runs the named algorithm on the problem, computing utilities
 // as needed. It is the high-level entry point; harnesses that time the
 // algorithms precompute Utilities once and call the algorithm functions

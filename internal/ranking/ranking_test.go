@@ -120,6 +120,37 @@ func TestRetrieveDeterministicTieBreak(t *testing.T) {
 	}
 }
 
+func TestRetrieveBitwiseRepeatable(t *testing.T) {
+	// Repeated identical multi-term queries must return bitwise-identical
+	// scores: term contributions are accumulated in sorted term order, not
+	// map order, because float addition is not associative. (The serving
+	// cache's Diversify-equivalence contract depends on this.)
+	rng := rand.New(rand.NewSource(9))
+	docs := make(map[string]string, 60)
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	for i := 0; i < 60; i++ {
+		var w []string
+		for j := 0; j < 25; j++ {
+			w = append(w, vocab[rng.Intn(len(vocab))])
+		}
+		docs[fmt.Sprintf("doc%02d", i)] = strings.Join(w, " ")
+	}
+	idx := buildIndex(t, docs)
+	query := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	first := Retrieve(idx, DPH{}, query, 0)
+	for trial := 0; trial < 10; trial++ {
+		again := Retrieve(idx, DPH{}, query, 0)
+		if len(again) != len(first) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(again), len(first))
+		}
+		for i := range first {
+			if again[i].DocID != first[i].DocID || again[i].Score != first[i].Score {
+				t.Fatalf("trial %d hit %d: %+v != %+v", trial, i, again[i], first[i])
+			}
+		}
+	}
+}
+
 func TestDPHProperties(t *testing.T) {
 	c := index.CollectionStats{NumDocs: 1000, TotalTokens: 100000, AvgDocLen: 100}
 	ts := index.TermStats{DF: 10, CF: 20}

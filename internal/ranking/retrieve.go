@@ -28,14 +28,11 @@ func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit 
 	}
 	cstats := idx.Stats()
 
-	// Query term multiplicities.
-	qtf := make(map[string]float64, len(queryTokens))
-	for _, t := range queryTokens {
-		qtf[t]++
-	}
+	qtf, terms := termMultiplicities(queryTokens)
 
 	acc := make(map[int32]float64, 1024)
-	for term, mult := range qtf {
+	for _, term := range terms {
+		mult := qtf[term]
 		tstats, ok := idx.Lookup(term)
 		if !ok {
 			continue
@@ -70,6 +67,25 @@ func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit 
 	return hits
 }
 
+// termMultiplicities folds duplicate query tokens into multiplicities and
+// returns the unique terms in sorted order. Scoring must accumulate terms
+// in a fixed order: float addition is not associative, and iterating the
+// multiplicity map directly makes repeated identical queries differ in
+// the last ulp — enough to flip ties downstream and break the serving
+// layer's cache-equivalence guarantee.
+func termMultiplicities(queryTokens []string) (map[string]float64, []string) {
+	qtf := make(map[string]float64, len(queryTokens))
+	for _, t := range queryTokens {
+		qtf[t]++
+	}
+	terms := make([]string, 0, len(qtf))
+	for t := range qtf {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return qtf, terms
+}
+
 func boundFor(k, matched int) int {
 	if k <= 0 || k > matched {
 		return matched
@@ -82,13 +98,11 @@ func boundFor(k, matched int) int {
 // documents outside the retrieved top-k.
 func ScoreDoc(idx *index.Index, model Model, queryTokens []string, doc int32) float64 {
 	cstats := idx.Stats()
-	qtf := make(map[string]float64, len(queryTokens))
-	for _, t := range queryTokens {
-		qtf[t]++
-	}
+	qtf, terms := termMultiplicities(queryTokens)
 	total := 0.0
 	matched := false
-	for term, mult := range qtf {
+	for _, term := range terms {
+		mult := qtf[term]
 		tstats, ok := idx.Lookup(term)
 		if !ok {
 			continue

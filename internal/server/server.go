@@ -1,0 +1,338 @@
+// Package server is the serving subsystem: it exposes a warm
+// diversification Pipeline over an HTTP/JSON API, the concrete
+// realization of the paper's §6 outlook ("a search architecture
+// performing the diversification task in parallel with the document
+// scoring phase") scaled from one query to a query stream.
+//
+// A Server owns a repro.ServeHandle (pipeline + sharded LRU artifact
+// cache) and a bounded worker pool: at most Config.Workers requests
+// diversify concurrently, the rest queue up to Config.QueueTimeout and
+// are then shed with 503 — under overload the server degrades by
+// rejecting, never by collapsing. Endpoints:
+//
+//	GET /search?q=…&k=…&alg=…   diversified SERP as JSON
+//	GET /healthz                liveness + collection summary
+//	GET /stats                  worker pool and cache counters
+//	GET /queries                known query strings, popularity-ordered
+//	                            (the replay corpus for cmd/loadgen)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/suggest"
+	"repro/internal/synth"
+	"repro/internal/text"
+)
+
+// Config tunes the serving layer. The zero value is usable: every field
+// has a sensible default applied by New.
+type Config struct {
+	// Workers bounds the number of concurrent diversifications. Default 8.
+	Workers int
+	// QueueTimeout is how long a request waits for a worker slot before
+	// being shed with 503. Default 5s.
+	QueueTimeout time.Duration
+	// DefaultAlg answers requests that do not pass ?alg=. Default
+	// optselect (the paper's contribution).
+	DefaultAlg core.Algorithm
+	// MaxK caps the per-request result size. Default 100.
+	MaxK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.DefaultAlg == "" {
+		c.DefaultAlg = core.AlgOptSelect
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 100
+	}
+	return c
+}
+
+// Server serves diversified SERPs from a warm pipeline. Create with New;
+// all exported methods are safe for concurrent use.
+type Server struct {
+	handle *repro.ServeHandle
+	cfg    Config
+	start  time.Time
+	mux    *http.ServeMux
+	sem    chan struct{} // worker pool: one token per concurrent search
+
+	requests  atomic.Int64 // /search requests admitted past parsing
+	errors    atomic.Int64 // 4xx/5xx responses on /search
+	rejected  atomic.Int64 // 503s from a saturated worker pool
+	inFlight  atomic.Int64 // searches currently holding a worker slot
+	searches  atomic.Int64 // completed searches
+	ambiguous atomic.Int64 // completed searches that diversified
+	cacheHits atomic.Int64 // completed searches served from cached artifacts
+	serveNano atomic.Int64 // cumulative in-worker latency
+}
+
+// New wraps the handle in a Server with the given configuration.
+func New(h *repro.ServeHandle, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		handle: h,
+		cfg:    cfg,
+		start:  time.Now(),
+		mux:    http.NewServeMux(),
+		sem:    make(chan struct{}, cfg.Workers),
+	}
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /queries", s.handleQueries)
+	return s
+}
+
+// Handler returns the HTTP handler tree, for mounting in an http.Server
+// or an httptest.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SearchResult is one SERP entry of a search response.
+type SearchResult struct {
+	ID    string  `json:"id"`
+	Rank  int     `json:"rank"` // 1-based rank in the original R_q
+	Score float64 `json:"score"`
+	Rel   float64 `json:"rel"` // P(d|q)
+}
+
+// SpecializationInfo is one mined specialization in a search response.
+type SpecializationInfo struct {
+	Query string  `json:"query"`
+	Prob  float64 `json:"prob"` // P(q'|q), Definition 1
+}
+
+// SearchResponse is the JSON body of GET /search.
+type SearchResponse struct {
+	Query           string               `json:"query"`
+	NormalizedQuery string               `json:"normalized_query"`
+	Algorithm       string               `json:"algorithm"`
+	K               int                  `json:"k"`
+	Ambiguous       bool                 `json:"ambiguous"`
+	CacheHit        bool                 `json:"cache_hit"`
+	TookMicros      int64                `json:"took_us"`
+	Specializations []SpecializationInfo `json:"specializations,omitempty"`
+	Results         []SearchResult       `json:"results"`
+}
+
+// HealthResponse is the JSON body of GET /healthz.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_s"`
+	Docs          int    `json:"docs"`
+	LogRecords    int    `json:"log_records"`
+	Topics        int    `json:"topics"`
+}
+
+// CacheStats is the cache section of a stats response.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// StatsResponse is the JSON body of GET /stats.
+type StatsResponse struct {
+	UptimeSeconds  int64      `json:"uptime_s"`
+	Workers        int        `json:"workers"`
+	Requests       int64      `json:"requests"`
+	Errors         int64      `json:"errors"`
+	Rejected       int64      `json:"rejected"`
+	InFlight       int64      `json:"in_flight"`
+	Searches       int64      `json:"searches"`
+	Ambiguous      int64      `json:"ambiguous"`
+	CacheHits      int64      `json:"cache_hits"`
+	AvgLatencyMsec float64    `json:"avg_latency_ms"`
+	Cache          CacheStats `json:"cache"`
+}
+
+// QueriesResponse is the JSON body of GET /queries: query strings the
+// pipeline's log knows about, most popular first (topic queries are
+// Zipf-popular by position, then noise queries), so a rank-skewed sampler
+// over the list reproduces a realistic head-heavy query mix.
+type QueriesResponse struct {
+	Queries []string `json:"queries"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.fail(w, http.StatusBadRequest, "missing required parameter q")
+		return
+	}
+	p := s.handle.Pipeline
+
+	k := p.Config.K
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			s.fail(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		if v > s.cfg.MaxK {
+			v = s.cfg.MaxK
+		}
+		k = v
+	}
+
+	alg := s.cfg.DefaultAlg
+	if raw := r.URL.Query().Get("alg"); raw != "" {
+		alg = core.Algorithm(raw)
+		if !alg.Valid() {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("unknown alg %q (valid: %v)", raw, core.Algorithms))
+			return
+		}
+	}
+
+	s.requests.Add(1)
+
+	// Bounded worker pool: block for a slot, shedding on timeout or
+	// client disconnect.
+	timeout := time.NewTimer(s.cfg.QueueTimeout)
+	defer timeout.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		s.rejected.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, "client gave up while queued")
+		return
+	case <-timeout.C:
+		s.rejected.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, "worker pool saturated, retry later")
+		return
+	}
+	s.inFlight.Add(1)
+	began := time.Now()
+	var (
+		selected []core.Selected
+		specs    []suggest.Specialization
+		hit      bool
+	)
+	func() {
+		// Release the slot via defer: a panic in the pipeline is recovered
+		// per-connection by net/http, and without the defer it would leak
+		// a worker token forever.
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}()
+		selected, specs, hit = s.handle.DiversifyCachedK(q, alg, k)
+	}()
+	took := time.Since(began)
+
+	s.searches.Add(1)
+	s.serveNano.Add(took.Nanoseconds())
+	if hit {
+		s.cacheHits.Add(1)
+	}
+	if len(specs) > 0 {
+		s.ambiguous.Add(1)
+	}
+
+	resp := SearchResponse{
+		Query:           q,
+		NormalizedQuery: text.NormalizeQuery(q),
+		Algorithm:       string(alg),
+		K:               k,
+		Ambiguous:       len(specs) > 0,
+		CacheHit:        hit,
+		TookMicros:      took.Microseconds(),
+		Results:         make([]SearchResult, len(selected)),
+	}
+	for _, sp := range specs {
+		resp.Specializations = append(resp.Specializations, SpecializationInfo{Query: sp.Query, Prob: sp.Prob})
+	}
+	for i, sel := range selected {
+		resp.Results[i] = SearchResult{ID: sel.ID, Rank: sel.Rank, Score: sel.Score, Rel: sel.Rel}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	p := s.handle.Pipeline
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Docs:          p.Engine.NumDocs(),
+		LogRecords:    p.Log.Len(),
+		Topics:        len(p.Testbed.Topics),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.handle.CacheStats()
+	searches := s.searches.Load()
+	avgMs := 0.0
+	if searches > 0 {
+		avgMs = float64(s.serveNano.Load()) / float64(searches) / 1e6
+	}
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds:  int64(time.Since(s.start).Seconds()),
+		Workers:        s.cfg.Workers,
+		Requests:       s.requests.Load(),
+		Errors:         s.errors.Load(),
+		Rejected:       s.rejected.Load(),
+		InFlight:       s.inFlight.Load(),
+		Searches:       searches,
+		Ambiguous:      s.ambiguous.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		AvgLatencyMsec: avgMs,
+		Cache: CacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			Entries:   cs.Entries,
+			Capacity:  cs.Capacity,
+			HitRate:   cs.HitRate(),
+		},
+	})
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	p := s.handle.Pipeline
+	var qs []string
+	for _, topic := range p.Testbed.Topics {
+		qs = append(qs, topic.Query)
+	}
+	// A slice of the noise tail: enough distinct cold queries to exercise
+	// misses and evictions without dwarfing the ambiguous head.
+	noise := p.Config.Log.NoiseVocab
+	if noise > 4*len(qs) {
+		noise = 4 * len(qs)
+	}
+	for i := 0; i < noise; i++ {
+		qs = append(qs, synth.NoiseQuery(i))
+	}
+	s.writeJSON(w, http.StatusOK, QueriesResponse{Queries: qs})
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.errors.Add(1)
+	s.writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

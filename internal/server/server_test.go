@@ -1,0 +1,288 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+var (
+	testPipe     *repro.Pipeline
+	testPipeOnce sync.Once
+)
+
+// testPipeline builds one small shared pipeline; server tests only read it.
+func testPipeline(t testing.TB) *repro.Pipeline {
+	t.Helper()
+	testPipeOnce.Do(func() {
+		p, err := repro.Build(repro.Config{
+			Corpus: synth.CorpusSpec{
+				Seed:                11,
+				NumTopics:           6,
+				MinSubtopics:        2,
+				MaxSubtopics:        4,
+				DocsPerSubtopic:     10,
+				GenericDocsPerTopic: 5,
+				NoiseDocs:           100,
+				DocLength:           40,
+				BackgroundVocab:     400,
+				TopicVocab:          10,
+				SubtopicVocab:       8,
+			},
+			Log:           synth.AOLLike(12, 2500),
+			NumCandidates: 100,
+			PerSpec:       10,
+			K:             10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testPipe = p
+	})
+	return testPipe
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	p := testPipeline(t)
+	srv := New(p.NewServeHandle(256, 4), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// searchURL builds a correctly escaped /search URL.
+func searchURL(base, q string, extra url.Values) string {
+	v := url.Values{"q": {q}}
+	for key, vals := range extra {
+		v[key] = vals
+	}
+	return base + "/search?" + v.Encode()
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(out)
+	io.Copy(io.Discard, resp.Body) // drain so the keep-alive conn is reused
+	if err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	p := testPipeline(t)
+	_, ts := newTestServer(t, Config{})
+	q := p.Testbed.TopicQuery(1)
+
+	var got SearchResponse
+	code := getJSON(t, searchURL(ts.URL, q, url.Values{"k": {"5"}, "alg": {"optselect"}}), &got)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if got.CacheHit {
+		t.Error("first request should be a cache miss")
+	}
+	if !got.Ambiguous || len(got.Specializations) < 2 {
+		t.Fatalf("topic query should be ambiguous: %+v", got)
+	}
+	if len(got.Results) != 5 {
+		t.Fatalf("len(results) = %d, want 5", len(got.Results))
+	}
+
+	// The served SERP must match the facade's cached answer exactly.
+	want, _, _ := p.NewServeHandle(16, 1).DiversifyCachedK(q, core.AlgOptSelect, 5)
+	for i, sel := range want {
+		if got.Results[i].ID != sel.ID || got.Results[i].Score != sel.Score {
+			t.Fatalf("result %d: got %+v, want %+v", i, got.Results[i], sel)
+		}
+	}
+
+	// Repeat: same SERP, served from cache.
+	var again SearchResponse
+	getJSON(t, searchURL(ts.URL, q, url.Values{"k": {"5"}, "alg": {"optselect"}}), &again)
+	if !again.CacheHit {
+		t.Error("repeat request should hit the cache")
+	}
+	for i := range got.Results {
+		if got.Results[i] != again.Results[i] {
+			t.Fatalf("cached SERP differs at %d", i)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/search", http.StatusBadRequest},               // missing q
+		{"/search?q=x&k=0", http.StatusBadRequest},       // bad k
+		{"/search?q=x&k=nope", http.StatusBadRequest},    // bad k
+		{"/search?q=x&alg=bogus", http.StatusBadRequest}, // bad alg
+		{"/search?q=topic01&alg=xquad", http.StatusOK},   // fine
+		{"/missing", http.StatusNotFound},                // unknown route
+	} {
+		resp, err := http.Get(ts.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("GET %s = %d, want %d", tc.url, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+func TestHealthzAndQueries(t *testing.T) {
+	p := testPipeline(t)
+	_, ts := newTestServer(t, Config{})
+
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if health.Status != "ok" || health.Docs == 0 || health.Topics != len(p.Testbed.Topics) {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	var queries QueriesResponse
+	getJSON(t, ts.URL+"/queries", &queries)
+	if len(queries.Queries) <= len(p.Testbed.Topics) {
+		t.Fatalf("queries should include topics plus noise, got %d", len(queries.Queries))
+	}
+	if queries.Queries[0] != p.Testbed.Topics[0].Query {
+		t.Errorf("queries[0] = %q, want most popular topic %q", queries.Queries[0], p.Testbed.Topics[0].Query)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := testPipeline(t)
+	_, ts := newTestServer(t, Config{})
+	q := p.Testbed.TopicQuery(2)
+	for i := 0; i < 3; i++ {
+		var sr SearchResponse
+		getJSON(t, searchURL(ts.URL, q, nil), &sr)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Searches != 3 || st.Requests != 3 {
+		t.Fatalf("searches/requests = %d/%d, want 3/3", st.Searches, st.Requests)
+	}
+	if st.CacheHits != 2 || st.Cache.Hits != 2 || st.Cache.Misses != 1 {
+		t.Fatalf("cache hits/misses = %d (%d/%d), want 2 (2/1)", st.CacheHits, st.Cache.Hits, st.Cache.Misses)
+	}
+	if st.Cache.HitRate <= 0 {
+		t.Error("hit rate should be positive")
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in_flight = %d at rest", st.InFlight)
+	}
+}
+
+// TestConcurrentLoad hammers the server with a skewed mix across all
+// algorithms (run with -race): every response must be well-formed and the
+// counters must reconcile afterwards.
+func TestConcurrentLoad(t *testing.T) {
+	p := testPipeline(t)
+	srv, ts := newTestServer(t, Config{Workers: 4})
+
+	var queries []string
+	for _, topic := range p.Testbed.Topics {
+		queries = append(queries, topic.Query)
+	}
+	queries = append(queries, "noise query 0001", "unseen phrase entirely")
+	algs := []core.Algorithm{core.AlgOptSelect, core.AlgXQuAD, core.AlgIASelect, core.AlgBaseline}
+
+	const workers = 8
+	const perWorker = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				q := queries[rng.Intn(len(queries))]
+				alg := algs[rng.Intn(len(algs))]
+				var sr SearchResponse
+				code := getJSON(t, searchURL(ts.URL, q, url.Values{"alg": {string(alg)}}), &sr)
+				if code != http.StatusOK {
+					t.Errorf("status %d for %q", code, q)
+					return
+				}
+				if sr.Algorithm != string(alg) {
+					t.Errorf("alg echo = %q, want %q", sr.Algorithm, alg)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Searches != workers*perWorker {
+		t.Errorf("searches = %d, want %d", st.Searches, workers*perWorker)
+	}
+	if st.Rejected != 0 || st.Errors != 0 {
+		t.Errorf("rejected/errors = %d/%d under in-budget load", st.Rejected, st.Errors)
+	}
+	if st.Cache.HitRate == 0 {
+		t.Error("skewed replay should produce cache hits")
+	}
+	if got := srv.inFlight.Load(); got != 0 {
+		t.Errorf("in-flight = %d after drain", got)
+	}
+}
+
+// TestWorkerPoolSheds verifies overload shedding deterministically: the
+// test occupies the single worker slot itself, so every request must be
+// shed with 503 until the slot is released.
+func TestWorkerPoolSheds(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueTimeout: 10 * time.Millisecond})
+
+	srv.sem <- struct{}{} // hold the only worker token
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(ts.URL + "/search?q=topic01")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d with saturated pool: status %d, want 503", i, resp.StatusCode)
+		}
+	}
+	<-srv.sem // release
+
+	resp, err := http.Get(ts.URL + "/search?q=topic01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after release: status %d, want 200", resp.StatusCode)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Rejected != 4 {
+		t.Errorf("rejected = %d, want 4", st.Rejected)
+	}
+}

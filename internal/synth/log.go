@@ -150,7 +150,7 @@ func GenerateLog(tb *Testbed, spec LogSpec) *querylog.Log {
 			// Noise session: one or two unrelated queries.
 			n := 1 + rng.Intn(2)
 			for i := 0; i < n; i++ {
-				q := fmt.Sprintf("noise query %04d", rng.Intn(spec.NoiseVocab))
+				q := NoiseQuery(rng.Intn(spec.NoiseVocab))
 				emit(user, at, q, rng.Float64() < spec.ClickProb)
 				at = at.Add(time.Duration(30+rng.Intn(90)) * time.Second)
 			}
@@ -159,6 +159,14 @@ func GenerateLog(tb *Testbed, spec LogSpec) *querylog.Log {
 	l := querylog.New(records)
 	l.SortChronological()
 	return l
+}
+
+// NoiseQuery returns the i-th query of the noise vocabulary (0-based,
+// i < LogSpec.NoiseVocab). Exported so consumers that need log-known cold
+// queries — the serving layer's /queries endpoint, test query mixes —
+// stay in sync with the generator's format.
+func NoiseQuery(i int) string {
+	return fmt.Sprintf("noise query %04d", i)
 }
 
 // sampleSubtopic draws a sub-topic ID from a (possibly sparse) popularity

@@ -3,8 +3,10 @@ package repro
 import (
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/suggest"
+	"repro/internal/text"
 )
 
 // BuildProblemParallel is the §6 future-work architecture the paper
@@ -15,13 +17,7 @@ import (
 // of sequentially after them. The output is identical to BuildProblem;
 // only wall-clock latency changes (see BenchmarkParallelPipeline).
 func (p *Pipeline) BuildProblemParallel(query string, specs []suggest.Specialization) *core.Problem {
-	problem := &core.Problem{
-		Query:     query,
-		K:         p.Config.K,
-		Lambda:    p.Config.Lambda,
-		Threshold: p.Config.Threshold,
-		Specs:     make([]core.Specialization, len(specs)),
-	}
+	problem := p.newProblem(query, nil, make([]core.Specialization, len(specs)))
 
 	var wg sync.WaitGroup
 
@@ -29,27 +25,7 @@ func (p *Pipeline) BuildProblemParallel(query string, specs []suggest.Specializa
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		results := p.Engine.Search(query, p.Config.NumCandidates)
-		maxScore := 0.0
-		for _, r := range results {
-			if r.Score > maxScore {
-				maxScore = r.Score
-			}
-		}
-		candidates := make([]core.Doc, len(results))
-		for i, r := range results {
-			rel := 0.0
-			if maxScore > 0 {
-				rel = r.Score / maxScore
-			}
-			candidates[i] = core.Doc{
-				ID:     r.DocID,
-				Rank:   r.Rank,
-				Rel:    rel,
-				Vector: p.Engine.VectorOfText(r.Snippet),
-			}
-		}
-		problem.Candidates = candidates
+		problem.Candidates = p.candidateDocs(query)
 	}()
 
 	// Diversification preparation: one R_q′ list per specialization,
@@ -59,21 +35,7 @@ func (p *Pipeline) BuildProblemParallel(query string, specs []suggest.Specializa
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			s := specs[si]
-			specResults := p.Engine.Search(s.Query, p.Config.PerSpec)
-			rs := make([]core.SpecResult, len(specResults))
-			for i, r := range specResults {
-				rs[i] = core.SpecResult{
-					ID:     r.DocID,
-					Rank:   r.Rank,
-					Vector: p.Engine.VectorOfText(r.Snippet),
-				}
-			}
-			problem.Specs[si] = core.Specialization{
-				Query:   s.Query,
-				Prob:    s.Prob,
-				Results: rs,
-			}
+			problem.Specs[si] = p.specList(specs[si])
 		}(si)
 	}
 
@@ -89,4 +51,160 @@ func (p *Pipeline) DiversifyParallel(query string, alg core.Algorithm) ([]core.S
 		return core.Baseline(problem), nil
 	}
 	return core.Diversify(alg, problem), specs
+}
+
+// queryArtifacts is what the serving cache stores per normalized query:
+// the outcome of Algorithm 1 and the R_q′ surrogate lists of every
+// detected specialization — everything that is query-dependent but
+// request-independent. A nil Specs means the query was detected as
+// unambiguous; caching that verdict is just as valuable, since it skips
+// the recommender walk on every repeat. Cached artifacts are shared
+// across concurrent requests and must never be mutated.
+type queryArtifacts struct {
+	Specs     []suggest.Specialization
+	SpecLists []core.Specialization
+}
+
+// ServeHandle is the concurrency-safe serving facade over a warm
+// Pipeline: it memoizes per-query diversification artifacts in a
+// sharded LRU (package cache), so repeat ambiguous-head queries skip
+// Algorithm 1 and the |S_q| specialization retrievals entirely and pay
+// only for the R_q retrieval plus the selection algorithm. This is the
+// dynamic realization of §4.1's precomputed specialization store, and
+// the building block of the internal/server subsystem.
+type ServeHandle struct {
+	Pipeline *Pipeline
+	cache    *cache.Cache[*queryArtifacts]
+
+	// Miss coalescing (singleflight): concurrent first requests for the
+	// same normalized query join the leader's build instead of each
+	// running Algorithm 1 and the |S_q| retrievals redundantly — without
+	// it, a cold start under Zipf-skewed load grinds every worker on
+	// duplicate builds of the same head query.
+	mu       sync.Mutex
+	inflight map[string]*artifactCall
+	builds   int64 // completed artifact builds (leaders only), for tests/stats
+}
+
+// artifactCall is one in-flight artifact build; followers block on done.
+type artifactCall struct {
+	done chan struct{}
+	art  *queryArtifacts
+}
+
+// NewServeHandle wraps the pipeline with a query-artifact cache of the
+// given capacity striped over the given number of shards (see cache.New
+// for clamping rules).
+func (p *Pipeline) NewServeHandle(capacity, shards int) *ServeHandle {
+	return &ServeHandle{
+		Pipeline: p,
+		cache:    cache.New[*queryArtifacts](capacity, shards),
+		inflight: make(map[string]*artifactCall),
+	}
+}
+
+// CacheStats snapshots the artifact cache counters.
+func (h *ServeHandle) CacheStats() cache.Stats { return h.cache.Stats() }
+
+// DiversifyCached answers a query end to end like Pipeline.Diversify,
+// reusing cached artifacts when the (normalized) query has been seen
+// before. The returned SERP is identical to
+// Diversify(text.NormalizeQuery(query), alg); the boolean reports
+// whether the cache served the artifacts. Safe for concurrent use.
+func (h *ServeHandle) DiversifyCached(query string, alg core.Algorithm) ([]core.Selected, []suggest.Specialization, bool) {
+	return h.DiversifyCachedK(query, alg, 0)
+}
+
+// DiversifyCachedK is DiversifyCached with a per-request result size k
+// (k <= 0 means the pipeline's configured K). The artifacts cache is
+// k-independent: S_q and the R_q′ lists do not depend on how many
+// results the caller wants back.
+func (h *ServeHandle) DiversifyCachedK(query string, alg core.Algorithm, k int) ([]core.Selected, []suggest.Specialization, bool) {
+	p := h.Pipeline
+	// Serving normalizes at the edge: the log-mined knowledge (QFG nodes,
+	// recommender keys, popularity function) lives in normalized query
+	// space, and normalization is also what makes "Jaguar  Cars" and
+	// "jaguar cars" share a cache entry.
+	norm := text.NormalizeQuery(query)
+
+	// The document scoring phase runs per request: on a miss it overlaps
+	// with the artifact build (the §6 parallel architecture); on a hit it
+	// is the only retrieval left.
+	art, hit := h.cache.Get(norm)
+	var candidates []core.Doc
+	if hit {
+		candidates = p.candidateDocs(norm)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			candidates = p.candidateDocs(norm)
+		}()
+		art = h.buildOrJoin(norm)
+		wg.Wait()
+	}
+
+	problem := p.newProblem(norm, candidates, art.SpecLists)
+	if k > 0 {
+		problem.K = k
+	}
+	if len(art.Specs) == 0 {
+		return core.Baseline(problem), nil, hit
+	}
+	return core.Diversify(alg, problem), art.Specs, hit
+}
+
+// buildOrJoin returns the artifacts for norm, building them if this
+// goroutine is the first to ask (the leader caches the result) and
+// joining the in-flight build otherwise.
+func (h *ServeHandle) buildOrJoin(norm string) *queryArtifacts {
+	h.mu.Lock()
+	if c, ok := h.inflight[norm]; ok {
+		h.mu.Unlock()
+		<-c.done
+		if c.art != nil {
+			return c.art
+		}
+		// The leader panicked before producing artifacts; retry as (or
+		// joining) a new leader rather than returning nil.
+		return h.buildOrJoin(norm)
+	}
+	c := &artifactCall{done: make(chan struct{})}
+	h.inflight[norm] = c
+	h.mu.Unlock()
+
+	// Unregister via defer so a panicking build does not wedge every
+	// future request for this query on a never-closed channel.
+	defer func() {
+		h.mu.Lock()
+		delete(h.inflight, norm)
+		h.builds++
+		h.mu.Unlock()
+		close(c.done)
+	}()
+	c.art = h.buildArtifacts(norm)
+	h.cache.Put(norm, c.art)
+	return c.art
+}
+
+// buildArtifacts runs Algorithm 1 and fetches the R_q′ lists, one
+// goroutine per specialization as in BuildProblemParallel.
+func (h *ServeHandle) buildArtifacts(norm string) *queryArtifacts {
+	p := h.Pipeline
+	specs := p.DetectSpecializations(norm)
+	art := &queryArtifacts{
+		Specs:     specs,
+		SpecLists: make([]core.Specialization, len(specs)),
+	}
+	var wg sync.WaitGroup
+	for si := range specs {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			art.SpecLists[si] = p.specList(specs[si])
+		}(si)
+	}
+	wg.Wait()
+	return art
 }

@@ -8,9 +8,14 @@
 //	          → utilities Ũ(d|R_q′) (Definition 2)
 //	          → OptSelect / xQuAD / IASelect → diversified SERP
 //
-// The examples/ directory shows the intended use; the cmd/ tools and the
-// root benchmarks regenerate every table and figure of the paper through
-// the same API.
+// The examples/ directory shows the intended use. The experiment tools
+// (cmd/efficiency, cmd/trecdiv, cmd/utilityfig, cmd/footprint) and the
+// root benchmarks regenerate the paper's tables and figures through this
+// API; the data tools (cmd/loggen, cmd/mine, cmd/buildindex) expose the
+// individual pipeline stages; and the serving stack (cmd/serve backed by
+// internal/server plus ServeHandle, load-tested by cmd/loadgen) runs the
+// same pipeline as a concurrent HTTP service with cached per-query
+// artifacts. cmd/diversify is the interactive command-line front end.
 package repro
 
 import (
@@ -123,25 +128,24 @@ func (p *Pipeline) DetectSpecializations(query string) []suggest.Specialization 
 	return suggest.TopSpecializations(specs, p.Config.MaxSpecs)
 }
 
-// BuildProblem assembles the core diversification problem for an
-// ambiguous query: R_q from the engine (relevance normalized to P(d|q)),
-// one R_q′ snippet-surrogate list per specialization, and the configured
-// k/λ/c parameters.
-func (p *Pipeline) BuildProblem(query string, specs []suggest.Specialization) *core.Problem {
+// candidateDocs runs the document scoring phase for q: it retrieves R_q
+// and converts it into diversification candidates.
+//
+// P(d|q) is "the likelihood of document d being observed given q"
+// (§3.1.2), derived from the retrieval score max-normalized over R_q.
+// (The other reading — sum-normalizing into a distribution — makes the
+// (1-λ)·P(d|q) term of Equations (5)/(9) microscopic and collapses
+// every method into pure utility ordering; max-normalization keeps the
+// two terms on the comparable footing the paper's λ = 0.15 implies.)
+func (p *Pipeline) candidateDocs(query string) []core.Doc {
 	results := p.Engine.Search(query, p.Config.NumCandidates)
-	candidates := make([]core.Doc, len(results))
-	// P(d|q) is "the likelihood of document d being observed given q"
-	// (§3.1.2), derived from the retrieval score max-normalized over R_q.
-	// (The other reading — sum-normalizing into a distribution — makes the
-	// (1-λ)·P(d|q) term of Equations (5)/(9) microscopic and collapses
-	// every method into pure utility ordering; max-normalization keeps the
-	// two terms on the comparable footing the paper's λ = 0.15 implies.)
 	maxScore := 0.0
 	for _, r := range results {
 		if r.Score > maxScore {
 			maxScore = r.Score
 		}
 	}
+	candidates := make([]core.Doc, len(results))
 	for i, r := range results {
 		rel := 0.0
 		if maxScore > 0 {
@@ -154,30 +158,48 @@ func (p *Pipeline) BuildProblem(query string, specs []suggest.Specialization) *c
 			Vector: p.Engine.VectorOfText(r.Snippet),
 		}
 	}
-	problem := &core.Problem{
+	return candidates
+}
+
+// specList retrieves the R_q′ snippet-surrogate list of one
+// specialization — the expensive per-specialization work the serving
+// cache amortizes.
+func (p *Pipeline) specList(s suggest.Specialization) core.Specialization {
+	specResults := p.Engine.Search(s.Query, p.Config.PerSpec)
+	rs := make([]core.SpecResult, len(specResults))
+	for i, r := range specResults {
+		rs[i] = core.SpecResult{
+			ID:     r.DocID,
+			Rank:   r.Rank,
+			Vector: p.Engine.VectorOfText(r.Snippet),
+		}
+	}
+	return core.Specialization{Query: s.Query, Prob: s.Prob, Results: rs}
+}
+
+// newProblem assembles a Problem from already-built parts, applying the
+// configured k/λ/c parameters.
+func (p *Pipeline) newProblem(query string, candidates []core.Doc, specs []core.Specialization) *core.Problem {
+	return &core.Problem{
 		Query:      query,
 		Candidates: candidates,
+		Specs:      specs,
 		K:          p.Config.K,
 		Lambda:     p.Config.Lambda,
 		Threshold:  p.Config.Threshold,
 	}
+}
+
+// BuildProblem assembles the core diversification problem for an
+// ambiguous query: R_q from the engine (relevance normalized to P(d|q)),
+// one R_q′ snippet-surrogate list per specialization, and the configured
+// k/λ/c parameters.
+func (p *Pipeline) BuildProblem(query string, specs []suggest.Specialization) *core.Problem {
+	var specLists []core.Specialization
 	for _, s := range specs {
-		specResults := p.Engine.Search(s.Query, p.Config.PerSpec)
-		rs := make([]core.SpecResult, len(specResults))
-		for i, r := range specResults {
-			rs[i] = core.SpecResult{
-				ID:     r.DocID,
-				Rank:   r.Rank,
-				Vector: p.Engine.VectorOfText(r.Snippet),
-			}
-		}
-		problem.Specs = append(problem.Specs, core.Specialization{
-			Query:   s.Query,
-			Prob:    s.Prob,
-			Results: rs,
-		})
+		specLists = append(specLists, p.specList(s))
 	}
-	return problem
+	return p.newProblem(query, p.candidateDocs(query), specLists)
 }
 
 // Diversify answers a query end to end: detect ambiguity, build the
