@@ -1,0 +1,90 @@
+// Hot-path benchmarks: the three inner loops every served query pays —
+// the utility matrix of Definition 2 (ComputeUtilities), document-at-a-
+// time retrieval (ranking.Retrieve), and the full per-problem Diversify
+// call (utilities + selection, the serving path's compute). These are the
+// benchmarks cmd/bench snapshots into BENCH_<date>.json, the repo's perf
+// trajectory; run them with
+//
+//	go test -run '^$' -bench 'ComputeUtilities|Retrieve|DiversifyFull' -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ranking"
+	"repro/internal/synth"
+)
+
+// BenchmarkComputeUtilities times the O(n·|S_q|·|R_q′|) utility matrix of
+// Definition 2 in isolation — the dominant per-query cost the paper's
+// timings (§5, Table 1) assume is cheap enough for the critical path.
+func BenchmarkComputeUtilities(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		p := synth.GenerateProblem(synth.ProblemSpec{Seed: 1, N: n, NumSpecs: 8, PerSpec: 20})
+		b.Run(fmt.Sprintf("Rq=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.ComputeUtilities(p)
+			}
+		})
+	}
+}
+
+// BenchmarkDiversifyFull times core.Diversify — utilities plus selection,
+// exactly what the serving layer pays per ambiguous query once the R_q′
+// artifacts are cached.
+func BenchmarkDiversifyFull(b *testing.B) {
+	p := synth.GenerateProblem(synth.ProblemSpec{Seed: 2, N: 1000, NumSpecs: 8, PerSpec: 20, K: 20})
+	for _, alg := range []core.Algorithm{core.AlgOptSelect, core.AlgXQuAD, core.AlgIASelect} {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Diversify(alg, p)
+			}
+		})
+	}
+}
+
+// BenchmarkRetrieve times the DAAT evaluator over the memoized benchmark
+// engine. Queries are built from the highest-document-frequency terms of
+// the index so the accumulator structure — not term lookup — dominates.
+func BenchmarkRetrieve(b *testing.B) {
+	pipe := buildBenchPipeline(b)
+	idx := pipe.Engine.Index()
+	model := pipe.Engine.Model()
+
+	// The densest terms of the dictionary, deterministically.
+	type termDF struct {
+		term string
+		df   int
+	}
+	var tds []termDF
+	for t, df := range idx.DocFreqs() {
+		tds = append(tds, termDF{t, df})
+	}
+	sort.Slice(tds, func(i, j int) bool {
+		if tds[i].df != tds[j].df {
+			return tds[i].df > tds[j].df
+		}
+		return tds[i].term < tds[j].term
+	})
+	for _, nTerms := range []int{2, 4, 8} {
+		if nTerms > len(tds) {
+			b.Skip("dictionary too small")
+		}
+		tokens := make([]string, nTerms)
+		for i := range tokens {
+			tokens[i] = tds[i].term
+		}
+		b.Run(fmt.Sprintf("terms=%d", nTerms), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ranking.Retrieve(idx, model, tokens, 100)
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+// Command bench runs the repo's benchmark suite through `go test -bench`
+// and emits a machine-readable snapshot — the repo's perf trajectory. Each
+// run appends one point to the trajectory: commit BENCH_<date>.json at the
+// repo root and future sessions can diff ns/op and allocs/op against it.
+//
+//	bench                            # hot-path set, writes BENCH_<date>.json
+//	bench -bench 'Table2' -count 3   # any benchmark regex, best-of-3
+//	bench -out /dev/stdout           # print instead of committing a file
+//
+// The default -bench pattern covers the serving hot paths (utility matrix,
+// DAAT retrieval, full Diversify) plus the Table 2 selection algorithms.
+// CI runs this as a non-gating job so regressions are visible without
+// blocking merges on noisy shared runners.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one benchmark result: the parsed `go test -bench` line.
+type Point struct {
+	Name       string `json:"name"` // sub-benchmark path without the Benchmark prefix
+	Gomaxprocs int    `json:"gomaxprocs"`
+	Iters      int64  `json:"iters"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op plus any custom
+	// b.ReportMetric units the benchmark emits.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file format of BENCH_<date>.json.
+type Snapshot struct {
+	Schema    int     `json:"schema"`
+	Date      string  `json:"date"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Bench     string  `json:"bench_pattern"`
+	Count     int     `json:"count"`
+	Benchtime string  `json:"benchtime"`
+	Points    []Point `json:"benchmarks"`
+}
+
+const defaultPattern = "ComputeUtilities|Retrieve|DiversifyFull|Table2$"
+
+func main() {
+	pattern := flag.String("bench", defaultPattern, "benchmark regex passed to go test -bench")
+	count := flag.Int("count", 1, "-count passed to go test (keep every run in the snapshot)")
+	benchtime := flag.String("benchtime", "", "-benchtime passed to go test (empty: go default)")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json in the working directory)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *pattern, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		// Still try to salvage parsed lines: a late benchmark failure should
+		// not discard the points already measured.
+		fmt.Fprintln(os.Stderr, "bench: go test:", err)
+		if stdout.Len() == 0 {
+			os.Exit(1)
+		}
+	}
+
+	points := parseBenchOutput(&stdout)
+	if len(points) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark lines in go test output")
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Schema:    1,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *pattern,
+		Count:     *count,
+		Benchtime: *benchtime,
+		Points:    points,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d points -> %s\n", len(points), path)
+}
+
+// parseBenchOutput extracts benchmark result lines. The format is
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op   2.5 custom_unit
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchOutput(r *bytes.Buffer) []Point {
+	var points []Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		procs := runtime.GOMAXPROCS(0)
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
+				procs = p
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		metrics := make(map[string]float64, (len(fields)-2)/2)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		points = append(points, Point{Name: name, Gomaxprocs: procs, Iters: iters, Metrics: metrics})
+	}
+	return points
+}

@@ -8,8 +8,12 @@
 //	serve                                   # defaults: :8080, 8 workers
 //	serve -addr :9090 -workers 16 -cache 4096
 //	serve -topics 20 -sessions 8000 -alg xquad -k 20
+//	serve -pprof                            # expose /debug/pprof/ too
 //
-// Endpoints: /search?q=…&k=…&alg=…, /healthz, /stats, /queries.
+// Endpoints: /search?q=…&k=…&alg=…, /healthz, /stats (includes
+// per-endpoint latency histograms), /queries; with -pprof also the
+// net/http/pprof suite under /debug/pprof/ for in-situ profiling of the
+// serving path (CPU: /debug/pprof/profile, heap: /debug/pprof/heap).
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +48,7 @@ func main() {
 	cacheShards := flag.Int("shards", 16, "cache shard count")
 	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
 	maxK := flag.Int("maxk", 100, "cap on per-request k")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	flag.Parse()
 
 	defaultAlg := core.Algorithm(*alg)
@@ -77,9 +83,25 @@ func main() {
 		MaxK:         *maxK,
 	})
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// Mount the pprof suite next to the API on an explicit mux — the
+		// server package stays profiling-agnostic and the handlers exist
+		// only when asked for.
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+		fmt.Fprintln(os.Stderr, "pprof enabled on /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -13,6 +13,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/textsim"
 )
@@ -25,9 +26,15 @@ type Doc struct {
 	// Rel is P(d|q): the normalized relevance of d for q in [0,1]
 	// (retrieval score divided by the maximum score of R_q).
 	Rel float64
-	// Vector is the term vector of the document surrogate (snippet) used
-	// by the distance function δ.
+	// Vector is the string-term vector of the document surrogate
+	// (snippet) used by the distance function δ — the compatibility
+	// representation. Problem builders may leave it empty and supply IVec
+	// directly (the engine pipeline does).
 	Vector textsim.Vector
+	// IVec is the interned twin of Vector under Problem.Lex; the scoring
+	// hot paths operate exclusively on it. Populated by the problem
+	// builder or lazily by (*Problem).EnsureInterned.
+	IVec textsim.IVector
 }
 
 // SpecResult is one entry of R_q′, the result list of a specialization.
@@ -35,6 +42,8 @@ type SpecResult struct {
 	ID     string
 	Rank   int // 1-based rank in R_q′
 	Vector textsim.Vector
+	// IVec is the interned twin of Vector; see Doc.IVec.
+	IVec textsim.IVector
 }
 
 // Specialization is one mined specialization q′ ∈ S_q with its probability
@@ -59,6 +68,50 @@ type Problem struct {
 	// Threshold is the utility cutoff c of §5: utilities strictly below c
 	// are forced to 0 before the algorithms run.
 	Threshold float64
+	// Lex is the term lexicon all IVec fields are interned under. When
+	// set, every candidate and specialization result must already carry
+	// its IVec (the engine pipeline builds problems this way, and the
+	// serving layer's cached R_q′ lists store interned vectors only).
+	// When nil, EnsureInterned derives a problem-local sorted lexicon
+	// from the string Vectors on first use.
+	Lex *textsim.Lexicon
+}
+
+// EnsureInterned makes the problem ready for interned-term scoring: a nil
+// Lex means the problem was built from string Vectors (tests, the
+// synthetic generators, external callers), so a problem-local lexicon is
+// derived from the union of all terms — sorted, which keeps interned
+// merges in string order and scoring bit-identical to the legacy path —
+// and every vector is interned under it, in place.
+//
+// The lazy path mutates the problem; it must not run concurrently for a
+// shared problem. Builders that share result lists across goroutines (the
+// serving cache) pre-intern and set Lex, making this a no-op.
+func (p *Problem) EnsureInterned() {
+	if p.Lex != nil {
+		return
+	}
+	var terms []string
+	for i := range p.Candidates {
+		terms = append(terms, p.Candidates[i].Vector.Terms...)
+	}
+	for j := range p.Specs {
+		results := p.Specs[j].Results
+		for r := range results {
+			terms = append(terms, results[r].Vector.Terms...)
+		}
+	}
+	lex := textsim.NewSortedLexicon(terms)
+	for i := range p.Candidates {
+		p.Candidates[i].IVec = textsim.Intern(lex, p.Candidates[i].Vector)
+	}
+	for j := range p.Specs {
+		results := p.Specs[j].Results
+		for r := range results {
+			results[r].IVec = textsim.Intern(lex, results[r].Vector)
+		}
+	}
+	p.Lex = lex
 }
 
 // Selected is one document of the diversified set S, with the score under
@@ -136,6 +189,17 @@ func (a Algorithm) Valid() bool {
 // as needed. It is the high-level entry point; harnesses that time the
 // algorithms precompute Utilities once and call the algorithm functions
 // directly.
+//
+// The utility matrix lives only for the duration of the call, so it is
+// drawn from a pool instead of allocated: the serving path stops paying a
+// fresh n×|S_q| matrix per query. The selection algorithms read the
+// matrix and copy what they keep (Doc + Score), never retaining it.
+//
+// Concurrency: a problem with Lex == nil is interned lazily on first use
+// (see EnsureInterned), which mutates it — concurrent Diversify/
+// ComputeUtilities/MMR calls on a shared Lex-nil problem race. Call
+// EnsureInterned once (or build the problem pre-interned, as the engine
+// pipeline does) before sharing a problem across goroutines.
 func Diversify(alg Algorithm, p *Problem) []Selected {
 	switch alg {
 	case AlgBaseline:
@@ -143,7 +207,9 @@ func Diversify(alg Algorithm, p *Problem) []Selected {
 	case AlgMMR:
 		return MMR(p)
 	}
-	u := ComputeUtilities(p)
+	u := utilitiesPool.Get().(*Utilities)
+	defer utilitiesPool.Put(u)
+	computeUtilitiesInto(p, u)
 	switch alg {
 	case AlgOptSelect:
 		return OptSelect(p, u)
@@ -155,3 +221,5 @@ func Diversify(alg Algorithm, p *Problem) []Selected {
 		return Baseline(p)
 	}
 }
+
+var utilitiesPool = sync.Pool{New: func() any { return new(Utilities) }}

@@ -1,7 +1,5 @@
 package core
 
-import "repro/internal/textsim"
-
 // MMR is Maximal Marginal Relevance (Carbonell & Goldstein, SIGIR'98), the
 // pioneering diversification re-ranker discussed in the paper's related
 // work (§2). It greedily selects
@@ -18,6 +16,7 @@ func MMR(p *Problem) []Selected {
 	if k == 0 {
 		return nil
 	}
+	p.EnsureInterned()
 	n := len(p.Candidates)
 	lambda := p.Lambda
 	if lambda == 0 {
@@ -53,7 +52,7 @@ func MMR(p *Problem) []Selected {
 			if selected[i] {
 				continue
 			}
-			if sim := textsim.Cosine(p.Candidates[i].Vector, p.Candidates[best].Vector); sim > maxSim[i] {
+			if sim := p.Candidates[i].IVec.Cosine(p.Candidates[best].IVec); sim > maxSim[i] {
 				maxSim[i] = sim
 			}
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"slices"
+	"sync"
+
 	"repro/internal/stats"
-	"repro/internal/textsim"
 )
 
 // Utilities holds the precomputed normalized utilities of Definition 2 and
@@ -18,6 +20,10 @@ type Utilities struct {
 	// Overall[i] = Ũ(d_i|q) per Equation (9):
 	// Σ_j [(1−λ)·P(d|q) + λ·P(q′_j|q)·U[i][j]].
 	Overall []float64
+
+	// flat backs the U rows, so the whole matrix is one allocation and the
+	// struct can be pooled (Diversify reuses matrices across queries).
+	flat []float64
 }
 
 // ComputeUtilities evaluates Definition 2 for every (candidate,
@@ -31,28 +37,166 @@ type Utilities struct {
 // regardless of surrogate quality. Utilities strictly below the threshold
 // c are forced to 0, as in §5: "we forced its returning value to be 0
 // when it is below a given threshold c".
+//
+// The cosines are evaluated with accumulator scoring over interned term
+// vectors (EnsureInterned): per specialization, a tiny inverted index over
+// the R_q′ surrogates is built once, and each candidate is scored against
+// all of a specialization's results in a single pass over the candidate's
+// terms — one posting traversal instead of |R_q′| string-compare merge
+// joins. Per-pair dot products accumulate in ascending term-ID order,
+// which under a sorted lexicon is exactly the string-sorted merge order of
+// the legacy path, so the matrix is bit-identical to the one the
+// string-vector code produced (see the differential tests).
+//
+// A problem with Lex == nil is interned in place on first use; see the
+// concurrency note on Diversify before sharing such a problem across
+// goroutines.
 func ComputeUtilities(p *Problem) *Utilities {
+	u := &Utilities{}
+	computeUtilitiesInto(p, u)
+	return u
+}
+
+// specPosting is one (term, result, weight) triple while a specialization
+// index is being built.
+type specPosting struct {
+	id int32
+	r  int32
+	w  float64
+}
+
+// specIndex is the per-specialization inverted index over the R_q′
+// surrogate vectors: for each term ID (sorted ascending), the results it
+// occurs in and its weight there, flattened into parallel arrays.
+type specIndex struct {
+	termIDs []int32
+	starts  []int32 // len(termIDs)+1 offsets into postRes/postW
+	postRes []int32
+	postW   []float64
+}
+
+// build (re)fills the index from a result list, reusing posts as the
+// triple scratch buffer and returning it (possibly regrown).
+func (si *specIndex) build(results []SpecResult, posts []specPosting) []specPosting {
+	posts = posts[:0]
+	for r := range results {
+		iv := &results[r].IVec
+		for t, id := range iv.IDs {
+			posts = append(posts, specPosting{id: id, r: int32(r), w: iv.Weights[t]})
+		}
+	}
+	slices.SortFunc(posts, func(a, b specPosting) int {
+		if a.id != b.id {
+			return int(a.id) - int(b.id)
+		}
+		return int(a.r) - int(b.r)
+	})
+	si.termIDs = si.termIDs[:0]
+	si.starts = si.starts[:0]
+	si.postRes = si.postRes[:0]
+	si.postW = si.postW[:0]
+	for pi := range posts {
+		if len(si.termIDs) == 0 || posts[pi].id != si.termIDs[len(si.termIDs)-1] {
+			si.termIDs = append(si.termIDs, posts[pi].id)
+			si.starts = append(si.starts, int32(len(si.postRes)))
+		}
+		si.postRes = append(si.postRes, posts[pi].r)
+		si.postW = append(si.postW, posts[pi].w)
+	}
+	si.starts = append(si.starts, int32(len(si.postRes)))
+	return posts
+}
+
+// utilScratch is the pooled per-call working set of computeUtilitiesInto:
+// the specialization indexes, the triple buffer they are built through,
+// the per-result dot-product accumulator, and the per-spec normalizers.
+// Pooling it makes utility computation allocation-free in steady state on
+// the serving path.
+type utilScratch struct {
+	specs []specIndex
+	posts []specPosting
+	acc   []float64
+	norm  []float64
+}
+
+var utilScratchPool = sync.Pool{New: func() any { return new(utilScratch) }}
+
+// prepare sizes the scratch for p and builds the per-spec indexes.
+func (sc *utilScratch) prepare(p *Problem) {
+	s := len(p.Specs)
+	if cap(sc.specs) < s {
+		sc.specs = make([]specIndex, s)
+	} else {
+		sc.specs = sc.specs[:s]
+	}
+	if cap(sc.norm) < s {
+		sc.norm = make([]float64, s)
+	} else {
+		sc.norm = sc.norm[:s]
+	}
+	maxResults := 0
+	for j := range p.Specs {
+		results := p.Specs[j].Results
+		sc.posts = sc.specs[j].build(results, sc.posts)
+		sc.norm[j] = stats.Harmonic(len(results))
+		if len(results) > maxResults {
+			maxResults = len(results)
+		}
+	}
+	if cap(sc.acc) < maxResults {
+		sc.acc = make([]float64, maxResults)
+	} else {
+		sc.acc = sc.acc[:maxResults]
+	}
+}
+
+func computeUtilitiesInto(p *Problem, u *Utilities) {
+	p.EnsureInterned()
 	n := len(p.Candidates)
 	s := len(p.Specs)
-	u := &Utilities{
-		U:       make([][]float64, n),
-		Overall: make([]float64, n),
-	}
-	flat := make([]float64, n*s)
 
-	// Precompute per-specialization normalization H_{|R_q'|}.
-	norm := make([]float64, s)
-	for j, spec := range p.Specs {
-		norm[j] = stats.Harmonic(len(spec.Results))
-	}
+	u.flat = resizeFloats(u.flat, n*s)
+	u.U = resizeRows(u.U, n)
+	u.Overall = resizeFloats(u.Overall, n)
+
+	sc := utilScratchPool.Get().(*utilScratch)
+	defer utilScratchPool.Put(sc)
+	sc.prepare(p)
 
 	for i := range p.Candidates {
-		row := flat[i*s : (i+1)*s : (i+1)*s]
+		row := u.flat[i*s : (i+1)*s : (i+1)*s]
 		d := &p.Candidates[i]
+		cids := d.IVec.IDs
+		cw := d.IVec.Weights
+		dn := d.IVec.Norm()
 		for j := range p.Specs {
 			spec := &p.Specs[j]
-			if len(spec.Results) == 0 || norm[j] == 0 {
+			if len(spec.Results) == 0 || sc.norm[j] == 0 {
+				row[j] = 0
 				continue
+			}
+			si := &sc.specs[j]
+			acc := sc.acc[:len(spec.Results)]
+			for r := range acc {
+				acc[r] = 0
+			}
+			// One merge of the candidate's terms against the spec index
+			// scores the candidate against every result of R_q′ at once.
+			ci, ti := 0, 0
+			for ci < len(cids) && ti < len(si.termIDs) {
+				switch {
+				case cids[ci] == si.termIDs[ti]:
+					w := cw[ci]
+					for pi := si.starts[ti]; pi < si.starts[ti+1]; pi++ {
+						acc[si.postRes[pi]] += w * si.postW[pi]
+					}
+					ci++
+					ti++
+				case cids[ci] < si.termIDs[ti]:
+					ci++
+				default:
+					ti++
+				}
 			}
 			sum := 0.0
 			for r := range spec.Results {
@@ -60,8 +204,17 @@ func ComputeUtilities(p *Problem) *Utilities {
 				var sim float64
 				if dr.ID == d.ID {
 					sim = 1 // δ(d,d) = 0
-				} else {
-					sim = textsim.Cosine(d.Vector, dr.Vector)
+				} else if dn != 0 && dr.IVec.Norm() != 0 {
+					// Same operation order as textsim cosine: merged dot,
+					// then one division by the norm product, then clamp.
+					c := acc[r] / (dn * dr.IVec.Norm())
+					if c > 1 {
+						c = 1
+					}
+					if c < -1 {
+						c = -1
+					}
+					sim = c
 				}
 				if sim <= 0 {
 					continue
@@ -72,7 +225,7 @@ func ComputeUtilities(p *Problem) *Utilities {
 				}
 				sum += sim / float64(rank)
 			}
-			util := sum / norm[j]
+			util := sum / sc.norm[j]
 			if util < p.Threshold {
 				util = 0
 			}
@@ -81,7 +234,20 @@ func ComputeUtilities(p *Problem) *Utilities {
 		u.U[i] = row
 		u.Overall[i] = overallScore(p, row, d.Rel)
 	}
-	return u
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeRows(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		return make([][]float64, n)
+	}
+	return s[:n]
 }
 
 // overallScore evaluates Equation (9) for one document given its utility

@@ -61,6 +61,13 @@ type Engine struct {
 	idx     *index.Index
 	rawBody map[string]string // docID → raw body (for snippets)
 	idf     textsim.IDF
+	// lex interns surrogate terms for the similarity hot paths. Its
+	// sorted base is the index dictionary (lexicographic by the Build
+	// invariant), so every term of every indexed document — hence every
+	// snippet term — gets an ID whose order equals string order, keeping
+	// interned cosines bit-identical to the string path. Terms of
+	// out-of-collection text land in the dynamic overflow region.
+	lex *textsim.Lexicon
 }
 
 // Build analyzes and indexes the corpus. Duplicate document IDs are an
@@ -82,6 +89,7 @@ func Build(docs []Document, cfg Config) (*Engine, error) {
 		idx:     idx,
 		rawBody: raw,
 		idf:     textsim.ComputeIDF(idx.DocFreqs(), idx.NumDocs()),
+		lex:     textsim.WrapSortedTerms(idx.Terms()),
 	}, nil
 }
 
@@ -175,4 +183,16 @@ func (e *Engine) SurrogateVector(docID, query string) textsim.Vector {
 // under the engine's collection statistics.
 func (e *Engine) VectorOfText(s string) textsim.Vector {
 	return e.idf.Apply(textsim.FromTokens(e.cfg.Analyzer.Tokens(s)))
+}
+
+// Lexicon returns the engine's term lexicon — the interning dictionary
+// every IVectorOfText result is expressed in. Problems built from this
+// engine's vectors must carry it as their Problem.Lex.
+func (e *Engine) Lexicon() *textsim.Lexicon { return e.lex }
+
+// IVectorOfText is VectorOfText in interned form: the representation the
+// scoring hot paths consume. Equivalent to interning VectorOfText(s)
+// under Lexicon(), weights and norm bit-identical.
+func (e *Engine) IVectorOfText(s string) textsim.IVector {
+	return textsim.Intern(e.lex, e.VectorOfText(s))
 }

@@ -14,8 +14,9 @@ import (
 // Engine persistence: a built engine can be written to a single stream and
 // reloaded without re-analyzing the corpus — the index goes through the
 // index codec, the raw document text (needed for snippet extraction)
-// follows as length-prefixed pairs, and the IDF table is recomputed from
-// the index at load time. Layout:
+// follows as length-prefixed pairs, and the IDF table and term lexicon
+// are reconstructed from the index at load time (the codec's sorted-
+// dictionary invariant makes the lexicon a zero-copy wrap). Layout:
 //
 //	magic "RENG1\n"
 //	index (index codec)
@@ -123,5 +124,6 @@ func Load(r io.Reader, cfg Config) (*Engine, error) {
 		idx:     idx,
 		rawBody: raw,
 		idf:     textsim.ComputeIDF(idx.DocFreqs(), idx.NumDocs()),
+		lex:     textsim.WrapSortedTerms(idx.Terms()),
 	}, nil
 }

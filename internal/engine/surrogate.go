@@ -13,6 +13,9 @@ type Surrogate struct {
 	Rank    int // 1-based rank in R_q′
 	Snippet string
 	Vector  textsim.Vector
+	// IVec is Vector interned under the owning engine's lexicon — the
+	// representation the scoring paths consume.
+	IVec textsim.IVector
 }
 
 // SurrogateStore holds, for every known ambiguous query, the R_q′ result
@@ -72,11 +75,13 @@ func (s *SurrogateStore) PopulateFromEngine(e *Engine, q string, specs []string,
 		results := e.Search(spec, perList)
 		surrogates := make([]Surrogate, len(results))
 		for i, r := range results {
+			vec := e.VectorOfText(r.Snippet)
 			surrogates[i] = Surrogate{
 				DocID:   r.DocID,
 				Rank:    r.Rank,
 				Snippet: r.Snippet,
-				Vector:  e.VectorOfText(r.Snippet),
+				Vector:  vec,
+				IVec:    textsim.Intern(e.Lexicon(), vec),
 			}
 		}
 		s.Put(q, spec, surrogates)

@@ -6,12 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Binary serialization of an Index. Layout (all integers unsigned varints
 // unless noted):
 //
-//	magic  "RIDX1\n"
+//	magic  "RIDX2\n"
 //	numDocs, then per doc: idLen, idBytes, docLen
 //	totalTokens
 //	numTerms, then per term (in term-id order):
@@ -20,8 +21,18 @@ import (
 //	    (first delta = doc + 1 so deltas are always >= 1)
 //
 // The format is self-contained and versioned by the magic string.
+//
+// Version 2 keeps the v1 byte layout but guarantees the dictionary is
+// written in lexicographic term order (the Build invariant): loaders can
+// seed a sorted term lexicon straight from the stream without re-sorting.
+// v1 streams — written before the invariant existed — are still read;
+// their dictionaries are renumbered into sorted order on load, so a
+// loaded index behaves identically regardless of the stream version.
 
-const magic = "RIDX1\n"
+const (
+	magic   = "RIDX2\n"
+	magicV1 = "RIDX1\n"
+)
 
 // ErrBadFormat reports a corrupt or foreign index stream.
 var ErrBadFormat = errors.New("index: bad index format")
@@ -92,14 +103,21 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// Read deserializes an index written by WriteTo.
+// Read deserializes an index written by WriteTo — current (v2) streams
+// and pre-bump v1 streams alike; see the format comment above.
 func Read(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
-	if string(head) != magic {
+	version := 0
+	switch string(head) {
+	case magic:
+		version = 2
+	case magicV1:
+		version = 1
+	default:
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
 	}
 	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -196,6 +214,17 @@ func Read(r io.Reader) (*Index, error) {
 			prev = doc
 		}
 		x.postings[id] = plist
+	}
+	switch version {
+	case 2:
+		// v2 promises a sorted dictionary; a violation means corruption.
+		if !sort.StringsAreSorted(x.termList) {
+			return nil, fmt.Errorf("%w: v2 dictionary not in sorted order", ErrBadFormat)
+		}
+	case 1:
+		// Pre-bump streams carry insertion-ordered dictionaries; restore
+		// the sorted-ID invariant the rest of the system relies on.
+		x.termList, x.postings, x.cf = sortDictionary(x.termList, x.postings, x.cf, x.terms)
 	}
 	return x, nil
 }

@@ -1,0 +1,154 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// writeLegacyV1 emits the pre-bump RIDX1 stream for a hand-described
+// index: the same byte layout as WriteTo but with the v1 magic and the
+// dictionary in whatever (typically insertion) order the caller gives —
+// v1 writers never sorted it. This is the frozen fixture generator for
+// the backward-compatibility contract.
+func writeLegacyV1(w *bytes.Buffer, docIDs []string, docLens []int32, total int64,
+	terms []string, cf []int64, postings [][]Posting) {
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		w.Write(buf[:n])
+	}
+	writeString := func(s string) {
+		writeUvarint(uint64(len(s)))
+		w.WriteString(s)
+	}
+	w.WriteString(magicV1)
+	writeUvarint(uint64(len(docIDs)))
+	for i, id := range docIDs {
+		writeString(id)
+		writeUvarint(uint64(docLens[i]))
+	}
+	writeUvarint(uint64(total))
+	writeUvarint(uint64(len(terms)))
+	for id, term := range terms {
+		writeString(term)
+		writeUvarint(uint64(cf[id]))
+		writeUvarint(uint64(len(postings[id])))
+		prev := int32(-1)
+		for _, p := range postings[id] {
+			writeUvarint(uint64(p.Doc - prev))
+			writeUvarint(uint64(p.TF))
+			prev = p.Doc
+		}
+	}
+}
+
+// TestReadLegacyV1Fixture reads a pre-bump stream whose dictionary is
+// deliberately NOT sorted (v1 writers used insertion order) and checks
+// that the loaded index carries the sorted-dictionary invariant and the
+// same logical content.
+func TestReadLegacyV1Fixture(t *testing.T) {
+	// Two docs, insertion-ordered dictionary: pie < apple is false, so the
+	// stream order {pie, apple, mac} exercises the renumbering path.
+	var buf bytes.Buffer
+	writeLegacyV1(&buf,
+		[]string{"d1", "d2"}, []int32{3, 2}, 5,
+		[]string{"pie", "apple", "mac"},
+		[]int64{1, 3, 1},
+		[][]Posting{
+			{{Doc: 0, TF: 1}},                  // pie
+			{{Doc: 0, TF: 2}, {Doc: 1, TF: 1}}, // apple
+			{{Doc: 1, TF: 1}},                  // mac
+		})
+
+	x, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Terms(); !sort.StringsAreSorted(got) {
+		t.Fatalf("loaded v1 dictionary not renumbered to sorted order: %v", got)
+	}
+	if x.NumDocs() != 2 || x.NumTerms() != 3 {
+		t.Fatalf("shape: %d docs, %d terms", x.NumDocs(), x.NumTerms())
+	}
+	ts, ok := x.Lookup("apple")
+	if !ok || ts.DF != 2 || ts.CF != 3 {
+		t.Errorf("Lookup(apple) = %+v, %v", ts, ok)
+	}
+	if ts.ID != 0 {
+		t.Errorf("apple should be term 0 after renumbering, got %d", ts.ID)
+	}
+	pl := x.Postings("apple")
+	if len(pl) != 2 || pl[0] != (Posting{Doc: 0, TF: 2}) || pl[1] != (Posting{Doc: 1, TF: 1}) {
+		t.Errorf("Postings(apple) = %v", pl)
+	}
+	if x.Term(2) != "pie" {
+		t.Errorf("Term(2) = %q, want pie", x.Term(2))
+	}
+	if x.Stats().TotalTokens != 5 {
+		t.Errorf("TotalTokens = %d", x.Stats().TotalTokens)
+	}
+}
+
+// TestLegacyV1MatchesRebuild round-trips: an index built today, its terms
+// re-serialized in a scrambled v1 layout, must load back logically equal
+// to the original.
+func TestLegacyV1MatchesRebuild(t *testing.T) {
+	x := buildSmall(t)
+	// Scramble the dictionary order (reverse-sorted) for the v1 stream.
+	n := x.NumTerms()
+	terms := make([]string, n)
+	cf := make([]int64, n)
+	postings := make([][]Posting, n)
+	for i := 0; i < n; i++ {
+		src := int32(n - 1 - i)
+		terms[i] = x.Term(src)
+		postings[i] = x.PostingsByID(src)
+		st, _ := x.Lookup(terms[i])
+		cf[i] = st.CF
+	}
+	docIDs := make([]string, x.NumDocs())
+	docLens := make([]int32, x.NumDocs())
+	for d := int32(0); d < int32(x.NumDocs()); d++ {
+		docIDs[d] = x.DocID(d)
+		docLens[d] = x.DocLen(d)
+	}
+	var buf bytes.Buffer
+	writeLegacyV1(&buf, docIDs, docLens, x.Stats().TotalTokens, terms, cf, postings)
+
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexesEqual(x, got) {
+		t.Error("v1 stream did not load back equal to the v2-built index")
+	}
+}
+
+func TestWriteToEmitsV2(t *testing.T) {
+	x := buildSmall(t)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), magic) {
+		t.Errorf("stream starts with %q, want %q", buf.String()[:6], magic)
+	}
+}
+
+func TestBuildSortedDictionaryInvariant(t *testing.T) {
+	x := buildSmall(t)
+	terms := x.Terms()
+	if !sort.StringsAreSorted(terms) {
+		t.Fatalf("Build dictionary not sorted: %v", terms)
+	}
+	// IDs must agree with positions in the sorted list.
+	for i, term := range terms {
+		ts, ok := x.Lookup(term)
+		if !ok || ts.ID != int32(i) {
+			t.Errorf("Lookup(%q).ID = %d, want %d", term, ts.ID, i)
+		}
+	}
+}

@@ -102,6 +102,12 @@ func (b *Builder) Add(docID string, tokens []string) error {
 func (b *Builder) NumDocs() int { return len(b.docIDs) }
 
 // Build finalizes the index. The Builder must not be used afterwards.
+//
+// Term IDs are renumbered so the dictionary is lexicographically sorted:
+// ascending term ID order equals ascending string order. The similarity
+// substrate (textsim.Lexicon seeded from this dictionary) depends on that
+// invariant to keep interned-vector merges in the same order as
+// string-sorted merges, and the v2 codec persists it.
 func (b *Builder) Build() *Index {
 	// Postings were appended in doc order already (Add assigns increasing
 	// doc numbers), so no per-term sort is needed; assert order in debug
@@ -110,6 +116,7 @@ func (b *Builder) Build() *Index {
 	for t, id := range b.terms {
 		termList[id] = t
 	}
+	termList, b.postings, b.cf = sortDictionary(termList, b.postings, b.cf, b.terms)
 	idx := &Index{
 		docIDs:   b.docIDs,
 		docLens:  b.docLens,
@@ -120,6 +127,27 @@ func (b *Builder) Build() *Index {
 		total:    b.total,
 	}
 	return idx
+}
+
+// sortDictionary renumbers term IDs so termList is lexicographically
+// sorted, permuting postings and cf to match and rewriting the ids map
+// values in place. Already-sorted dictionaries pass through untouched.
+func sortDictionary(termList []string, postings [][]Posting, cf []int64, ids map[string]int32) ([]string, [][]Posting, []int64) {
+	if sort.StringsAreSorted(termList) {
+		return termList, postings, cf
+	}
+	sorted := make([]string, len(termList))
+	copy(sorted, termList)
+	sort.Strings(sorted)
+	newPostings := make([][]Posting, len(sorted))
+	newCF := make([]int64, len(sorted))
+	for newID, t := range sorted {
+		old := ids[t]
+		newPostings[newID] = postings[old]
+		newCF[newID] = cf[old]
+		ids[t] = int32(newID)
+	}
+	return sorted, newPostings, newCF
 }
 
 // Index is an immutable inverted index.
@@ -179,6 +207,12 @@ func (x *Index) PostingsByID(id int32) []Posting { return x.postings[id] }
 
 // Term returns the term string for an internal term number.
 func (x *Index) Term(id int32) string { return x.termList[id] }
+
+// Terms returns the dictionary in term-ID order, which Build guarantees
+// is lexicographic. The slice is shared with the index and must not be
+// modified — it exists so the similarity layer can seed a term lexicon
+// without copying the dictionary.
+func (x *Index) Terms() []string { return x.termList }
 
 // DocFreqs returns a term→document-frequency map (for IDF computations
 // over the whole collection).

@@ -251,6 +251,183 @@ func TestNormalizeScores(t *testing.T) {
 	}
 }
 
+func TestNormalizeScoresInPlace(t *testing.T) {
+	hits := []Hit{{Score: 4}, {Score: 2}, {Score: 1}}
+	NormalizeScoresInPlace(hits)
+	if hits[0].Score != 1 || hits[1].Score != 0.5 || hits[2].Score != 0.25 {
+		t.Errorf("normalized = %+v", hits)
+	}
+	NormalizeScoresInPlace(nil) // must not panic
+	zero := []Hit{{Score: 0}}
+	NormalizeScoresInPlace(zero)
+	if zero[0].Score != 0 {
+		t.Error("all-zero list changed")
+	}
+	// The copying variant must agree with the in-place one bit for bit.
+	a := []Hit{{Score: 3.7}, {Score: 1.1}, {Score: 2.9}}
+	b := NormalizeScores(a)
+	NormalizeScoresInPlace(a)
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			t.Errorf("variant disagreement at %d: %v != %v", i, a[i].Score, b[i].Score)
+		}
+	}
+}
+
+func TestTermMultiplicitiesFold(t *testing.T) {
+	terms, mults := termMultiplicities([]string{"b", "a", "b", "c", "a", "b"})
+	wantTerms := []string{"a", "b", "c"}
+	wantMults := []float64{2, 3, 1}
+	if len(terms) != 3 {
+		t.Fatalf("terms = %v", terms)
+	}
+	for i := range wantTerms {
+		if terms[i] != wantTerms[i] || mults[i] != wantMults[i] {
+			t.Errorf("fold[%d] = (%q, %v), want (%q, %v)",
+				i, terms[i], mults[i], wantTerms[i], wantMults[i])
+		}
+	}
+	// The fold must not mutate the caller's token slice.
+	in := []string{"z", "a"}
+	termMultiplicities(in)
+	if in[0] != "z" || in[1] != "a" {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+// retrieveReference is the pre-accumulator implementation of Retrieve —
+// the map[int32]float64 DAAT scorer — kept as a differential oracle: the
+// dense-array rewrite must reproduce its scores bit for bit.
+func retrieveReference(idx *index.Index, model Model, queryTokens []string, k int) []Hit {
+	if len(queryTokens) == 0 {
+		return nil
+	}
+	cstats := idx.Stats()
+	terms, mults := termMultiplicities(queryTokens)
+	acc := make(map[int32]float64, 1024)
+	for ti, term := range terms {
+		mult := mults[ti]
+		tstats, ok := idx.Lookup(term)
+		if !ok {
+			continue
+		}
+		for _, p := range idx.Postings(term) {
+			s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), tstats, cstats)
+			if s != 0 {
+				acc[p.Doc] += mult * s
+			}
+		}
+	}
+	if len(acc) == 0 {
+		return nil
+	}
+	docs := make([]int32, 0, len(acc))
+	for doc := range acc {
+		docs = append(docs, doc)
+	}
+	hits := make([]Hit, 0, len(docs))
+	for _, doc := range docs {
+		score := acc[doc] + model.DocAdjust(float64(idx.DocLen(doc)), len(queryTokens), cstats)
+		hits = append(hits, Hit{Doc: doc, DocID: idx.DocID(doc), Score: score})
+	}
+	// Order: descending score, ascending doc — the heap's contract.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && (hits[j].Score > hits[j-1].Score ||
+			(hits[j].Score == hits[j-1].Score && hits[j].Doc < hits[j-1].Doc)); j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	if k > 0 && k < len(hits) {
+		hits = hits[:k]
+	}
+	for i := range hits {
+		hits[i].Rank = i + 1
+	}
+	return hits
+}
+
+// TestRetrieveMatchesMapReference is the differential test for the dense-
+// accumulator rewrite: across models, query shapes and k values the new
+// scorer must agree with the historical map-based scorer exactly.
+func TestRetrieveMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	docs := make(map[string]string, 120)
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("v%02d", i)
+	}
+	for i := 0; i < 120; i++ {
+		n := rng.Intn(50) + 1
+		w := make([]string, n)
+		for j := range w {
+			w[j] = vocab[rng.Intn(len(vocab))]
+		}
+		docs[fmt.Sprintf("doc%03d", i)] = strings.Join(w, " ")
+	}
+	idx := buildIndex(t, docs)
+	for _, m := range []Model{DPH{}, BM25{}, TFIDF{}, LMDirichlet{}} {
+		for trial := 0; trial < 40; trial++ {
+			qn := rng.Intn(6) + 1
+			q := make([]string, qn)
+			for j := range q {
+				q[j] = vocab[rng.Intn(len(vocab))]
+			}
+			k := rng.Intn(30)
+			got := Retrieve(idx, m, q, k)
+			want := retrieveReference(idx, m, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d q=%v: %d hits, reference %d", m.Name(), k, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s k=%d q=%v hit %d:\n got %+v\nwant %+v", m.Name(), k, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRetrieveConcurrent exercises the pooled accumulators from many
+// goroutines (meaningful under -race) and checks cross-query isolation.
+func TestRetrieveConcurrent(t *testing.T) {
+	idx := newsIndex(t)
+	queries := [][]string{
+		{"apple", "fruit"},
+		{"leopard", "tank", "army"},
+		{"apple"},
+		{"weather", "rain"},
+	}
+	want := make([][]Hit, len(queries))
+	for i, q := range queries {
+		want[i] = Retrieve(idx, DPH{}, q, 0)
+	}
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			for iter := 0; iter < 50; iter++ {
+				i := (g + iter) % len(queries)
+				got := Retrieve(idx, DPH{}, queries[i], 0)
+				if len(got) != len(want[i]) {
+					done <- fmt.Errorf("query %d: %d hits, want %d", i, len(got), len(want[i]))
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						done <- fmt.Errorf("query %d hit %d: %+v != %+v", i, j, got[j], want[i][j])
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestQueryTermMultiplicity(t *testing.T) {
 	idx := newsIndex(t)
 	s1 := Retrieve(idx, TFIDF{}, []string{"apple"}, 1)[0].Score

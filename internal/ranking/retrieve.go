@@ -1,7 +1,9 @@
 package ranking
 
 import (
+	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/index"
 	"repro/internal/topk"
@@ -15,6 +17,52 @@ type Hit struct {
 	Rank  int     // 1-based rank in the result list
 }
 
+// accumulator is the dense score array behind Retrieve: scores indexed by
+// internal document number, with an epoch array instead of per-query
+// zeroing (a doc's score is live only when its epoch matches the current
+// one) and a touched list so only matching documents are visited when the
+// heap is filled. Compared to the map[int32]float64 it replaced, scoring
+// becomes a bounds-checked array add — no hashing, no bucket chasing, no
+// incremental map growth — and the backing arrays are pooled across
+// queries.
+type accumulator struct {
+	scores  []float64
+	epochs  []int32
+	epoch   int32
+	touched []int32
+}
+
+var accPool = sync.Pool{New: func() any { return new(accumulator) }}
+
+// reset prepares the accumulator for a collection of numDocs documents.
+func (a *accumulator) reset(numDocs int) {
+	if len(a.scores) < numDocs {
+		a.scores = make([]float64, numDocs)
+		a.epochs = make([]int32, numDocs)
+		a.epoch = 0
+	}
+	if a.epoch == math.MaxInt32 {
+		// Epoch wrap: restart the numbering (zeroing is ~once per 2^31 uses).
+		for i := range a.epochs {
+			a.epochs[i] = 0
+		}
+		a.epoch = 0
+	}
+	a.epoch++
+	a.touched = a.touched[:0]
+}
+
+// add accumulates v into doc's score, registering first touches.
+func (a *accumulator) add(doc int32, v float64) {
+	if a.epochs[doc] != a.epoch {
+		a.epochs[doc] = a.epoch
+		a.scores[doc] = v
+		a.touched = append(a.touched, doc)
+		return
+	}
+	a.scores[doc] += v
+}
+
 // Retrieve evaluates the analyzed query against the index document-at-a-
 // time and returns the top-k hits ranked by descending score (ties broken
 // by ascending document number, so results are deterministic). k <= 0
@@ -22,17 +70,24 @@ type Hit struct {
 //
 // Duplicate query terms contribute multiplicity: a term appearing twice in
 // the query doubles its contribution, the standard bag-of-words treatment.
+//
+// Scores accumulate in a pooled dense array (see accumulator); per-doc
+// contributions are added in sorted term order, so repeated identical
+// queries produce bit-identical scores — the determinism the serving
+// layer's cache-equivalence guarantee needs.
 func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit {
 	if len(queryTokens) == 0 {
 		return nil
 	}
 	cstats := idx.Stats()
 
-	qtf, terms := termMultiplicities(queryTokens)
+	terms, mults := termMultiplicities(queryTokens)
 
-	acc := make(map[int32]float64, 1024)
-	for _, term := range terms {
-		mult := qtf[term]
+	acc := accPool.Get().(*accumulator)
+	defer accPool.Put(acc)
+	acc.reset(idx.NumDocs())
+	for ti, term := range terms {
+		mult := mults[ti]
 		tstats, ok := idx.Lookup(term)
 		if !ok {
 			continue
@@ -40,18 +95,18 @@ func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit 
 		for _, p := range idx.Postings(term) {
 			s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), tstats, cstats)
 			if s != 0 {
-				acc[p.Doc] += mult * s
+				acc.add(p.Doc, mult*s)
 			}
 		}
 	}
-	if len(acc) == 0 {
+	if len(acc.touched) == 0 {
 		return nil
 	}
 
 	qLen := len(queryTokens)
-	heap := topk.NewBounded[int32](boundFor(k, len(acc)))
-	for doc, score := range acc {
-		score += model.DocAdjust(float64(idx.DocLen(doc)), qLen, cstats)
+	heap := topk.NewBounded[int32](boundFor(k, len(acc.touched)))
+	for _, doc := range acc.touched {
+		score := acc.scores[doc] + model.DocAdjust(float64(idx.DocLen(doc)), qLen, cstats)
 		heap.Push(doc, score, int64(doc))
 	}
 	items := heap.Drain()
@@ -67,23 +122,28 @@ func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit 
 	return hits
 }
 
-// termMultiplicities folds duplicate query tokens into multiplicities and
-// returns the unique terms in sorted order. Scoring must accumulate terms
-// in a fixed order: float addition is not associative, and iterating the
-// multiplicity map directly makes repeated identical queries differ in
-// the last ulp — enough to flip ties downstream and break the serving
-// layer's cache-equivalence guarantee.
-func termMultiplicities(queryTokens []string) (map[string]float64, []string) {
-	qtf := make(map[string]float64, len(queryTokens))
-	for _, t := range queryTokens {
-		qtf[t]++
-	}
-	terms := make([]string, 0, len(qtf))
-	for t := range qtf {
-		terms = append(terms, t)
-	}
+// termMultiplicities folds duplicate query tokens into multiplicities,
+// returning the unique terms in sorted order with their parallel counts.
+// Scoring must accumulate terms in a fixed order: float addition is not
+// associative, and an unordered accumulation makes repeated identical
+// queries differ in the last ulp — enough to flip ties downstream and
+// break the serving layer's cache-equivalence guarantee. The fold works
+// on a sorted copy of the token slice, so no map is built per query.
+func termMultiplicities(queryTokens []string) ([]string, []float64) {
+	terms := make([]string, len(queryTokens))
+	copy(terms, queryTokens)
 	sort.Strings(terms)
-	return qtf, terms
+	mults := make([]float64, 0, len(terms))
+	out := terms[:0]
+	for i, t := range terms {
+		if i > 0 && t == out[len(out)-1] {
+			mults[len(mults)-1]++
+			continue
+		}
+		out = append(out, t)
+		mults = append(mults, 1)
+	}
+	return out, mults
 }
 
 func boundFor(k, matched int) int {
@@ -98,11 +158,11 @@ func boundFor(k, matched int) int {
 // documents outside the retrieved top-k.
 func ScoreDoc(idx *index.Index, model Model, queryTokens []string, doc int32) float64 {
 	cstats := idx.Stats()
-	qtf, terms := termMultiplicities(queryTokens)
+	terms, mults := termMultiplicities(queryTokens)
 	total := 0.0
 	matched := false
-	for _, term := range terms {
-		mult := qtf[term]
+	for ti, term := range terms {
+		mult := mults[ti]
 		tstats, ok := idx.Lookup(term)
 		if !ok {
 			continue
@@ -124,10 +184,27 @@ func ScoreDoc(idx *index.Index, model Model, queryTokens []string, doc int32) fl
 // NormalizeScores maps hit scores to [0,1] by dividing by the maximum
 // score (all-zero lists are returned unchanged). The diversification
 // algorithms consume P(d|q) as a normalized relevance; this is the
-// canonical way the reproduction derives it from retrieval scores.
+// canonical way the reproduction derives it from retrieval scores. The
+// input is not mutated; callers that own their slice should prefer
+// NormalizeScoresInPlace and skip the copy.
 func NormalizeScores(hits []Hit) []Hit {
 	if len(hits) == 0 {
 		return hits
+	}
+	out := make([]Hit, len(hits))
+	copy(out, hits)
+	NormalizeScoresInPlace(out)
+	return out
+}
+
+// NormalizeScoresInPlace is NormalizeScores without the defensive copy,
+// for callers normalizing a freshly built hit slice they own — e.g. the
+// pipeline's per-query candidate construction, which would otherwise
+// allocate a second |R_q|-sized slice per query just to throw the first
+// one away.
+func NormalizeScoresInPlace(hits []Hit) {
+	if len(hits) == 0 {
+		return
 	}
 	max := hits[0].Score
 	for _, h := range hits {
@@ -136,12 +213,9 @@ func NormalizeScores(hits []Hit) []Hit {
 		}
 	}
 	if max <= 0 {
-		return hits
+		return
 	}
-	out := make([]Hit, len(hits))
-	copy(out, hits)
-	for i := range out {
-		out[i].Score /= max
+	for i := range hits {
+		hits[i].Score /= max
 	}
-	return out
 }

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketEdgesMs are the upper edges (milliseconds, inclusive) of
+// the latency histogram buckets — log-spaced from 1ms to 2s, the range a
+// diversification request can realistically land in. A final implicit
+// overflow bucket catches everything slower.
+var latencyBucketEdgesMs = [...]float64{0.25, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+
+const numLatencyBuckets = len(latencyBucketEdgesMs) + 1 // + overflow
+
+// latencyHistogram is a fixed-bucket log-scale histogram with atomic
+// counters: recording is a bucket scan plus one atomic add, cheap enough
+// for every request on every endpoint. Future perf PRs read the
+// per-endpoint percentiles off /stats instead of re-deriving them from
+// load-generator logs.
+type latencyHistogram struct {
+	counts [numLatencyBuckets]atomic.Int64
+	nanos  atomic.Int64
+}
+
+// observe records one request duration.
+func (h *latencyHistogram) observe(d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	i := 0
+	for i < len(latencyBucketEdgesMs) && ms > latencyBucketEdgesMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.nanos.Add(d.Nanoseconds())
+}
+
+// LatencyBucket is one cumulative histogram bucket of a stats response:
+// the number of requests that took at most LeMs milliseconds. The
+// overflow bucket is reported with LeMs = -1 (read: +Inf).
+type LatencyBucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// LatencyStats is the per-endpoint latency section of a stats response.
+// Percentiles are estimated by linear interpolation inside the containing
+// bucket; observations in the overflow bucket report the largest finite
+// edge.
+type LatencyStats struct {
+	Count   int64           `json:"count"`
+	AvgMs   float64         `json:"avg_ms"`
+	P50Ms   float64         `json:"p50_ms"`
+	P95Ms   float64         `json:"p95_ms"`
+	P99Ms   float64         `json:"p99_ms"`
+	Buckets []LatencyBucket `json:"buckets"`
+}
+
+// snapshot freezes the histogram into its wire form.
+func (h *latencyHistogram) snapshot() LatencyStats {
+	var counts [numLatencyBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	out := LatencyStats{Count: total}
+	if total == 0 {
+		return out
+	}
+	out.AvgMs = float64(h.nanos.Load()) / float64(total) / 1e6
+	out.P50Ms = quantileFromBuckets(counts[:], total, 0.50)
+	out.P95Ms = quantileFromBuckets(counts[:], total, 0.95)
+	out.P99Ms = quantileFromBuckets(counts[:], total, 0.99)
+	out.Buckets = make([]LatencyBucket, 0, numLatencyBuckets)
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		le := -1.0
+		if i < len(latencyBucketEdgesMs) {
+			le = latencyBucketEdgesMs[i]
+		}
+		out.Buckets = append(out.Buckets, LatencyBucket{LeMs: le, Count: cum})
+	}
+	return out
+}
+
+// quantileFromBuckets estimates the q-quantile by locating the bucket
+// holding the q·total-th observation and interpolating linearly between
+// its edges.
+func quantileFromBuckets(counts []int64, total int64, q float64) float64 {
+	target := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if float64(cum+c) < target {
+			cum += c
+			continue
+		}
+		if i >= len(latencyBucketEdgesMs) {
+			// Overflow bucket: no finite upper edge to interpolate toward.
+			return latencyBucketEdgesMs[len(latencyBucketEdgesMs)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBucketEdgesMs[i-1]
+		}
+		hi := latencyBucketEdgesMs[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (target - float64(cum)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return latencyBucketEdgesMs[len(latencyBucketEdgesMs)-1]
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &latencyHistogram{}
+	h.observe(300 * time.Microsecond) // ≤0.5ms bucket
+	h.observe(3 * time.Millisecond)   // ≤5ms bucket
+	h.observe(3 * time.Millisecond)
+	h.observe(10 * time.Second) // overflow
+
+	s := h.snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if len(s.Buckets) != numLatencyBuckets {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), numLatencyBuckets)
+	}
+	// Cumulative counts must be monotone and end at the total.
+	prev := int64(0)
+	for i, b := range s.Buckets {
+		if b.Count < prev {
+			t.Errorf("bucket %d count %d below previous %d", i, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Count != 4 || last.LeMs != -1 {
+		t.Errorf("overflow bucket = %+v", last)
+	}
+	// 0.3ms lands in the ≤0.5 bucket: its cumulative count is 1.
+	if s.Buckets[1].Count != 1 {
+		t.Errorf("≤0.5ms cumulative = %d, want 1", s.Buckets[1].Count)
+	}
+	// The p50 must fall inside the (2, 5] bucket holding observations 2–3.
+	if s.P50Ms <= 2 || s.P50Ms > 5 {
+		t.Errorf("p50 = %f, want in (2, 5]", s.P50Ms)
+	}
+	// p99 lands in the overflow bucket, reported as the largest edge.
+	if s.P99Ms != latencyBucketEdgesMs[len(latencyBucketEdgesMs)-1] {
+		t.Errorf("p99 = %f, want %f", s.P99Ms, latencyBucketEdgesMs[len(latencyBucketEdgesMs)-1])
+	}
+	if s.AvgMs <= 0 {
+		t.Errorf("avg = %f", s.AvgMs)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &latencyHistogram{}
+	s := h.snapshot()
+	if s.Count != 0 || s.P50Ms != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &latencyHistogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.observe(time.Duration(i%40) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.snapshot(); s.Count != 8000 {
+		t.Errorf("Count = %d, want 8000", s.Count)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// All mass in one bucket: quantiles stay inside its edges.
+	var counts [numLatencyBuckets]int64
+	counts[4] = 100 // the (2, 5] bucket
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		v := quantileFromBuckets(counts[:], 100, q)
+		if v <= 2 || v > 5 {
+			t.Errorf("q=%.2f: %f outside (2, 5]", q, v)
+		}
+	}
+}

@@ -80,23 +80,42 @@ type Server struct {
 	ambiguous atomic.Int64 // completed searches that diversified
 	cacheHits atomic.Int64 // completed searches served from cached artifacts
 	serveNano atomic.Int64 // cumulative in-worker latency
+
+	// latency histograms per endpoint, measured around the whole handler
+	// (for /search that includes worker-pool queueing, unlike serveNano
+	// which is in-worker only).
+	latency map[string]*latencyHistogram
 }
 
 // New wraps the handle in a Server with the given configuration.
 func New(h *repro.ServeHandle, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		handle: h,
-		cfg:    cfg,
-		start:  time.Now(),
-		mux:    http.NewServeMux(),
-		sem:    make(chan struct{}, cfg.Workers),
+		handle:  h,
+		cfg:     cfg,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.Workers),
+		latency: make(map[string]*latencyHistogram),
 	}
-	s.mux.HandleFunc("GET /search", s.handleSearch)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /queries", s.handleQueries)
+	s.mux.HandleFunc("GET /search", s.instrument("/search", s.handleSearch))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	s.mux.HandleFunc("GET /queries", s.instrument("/queries", s.handleQueries))
 	return s
+}
+
+// instrument wraps a handler with the endpoint's latency histogram. The
+// histogram map is completed at construction time and read-only after,
+// so recording needs no lock.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := &latencyHistogram{}
+	s.latency[endpoint] = hist
+	return func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		h(w, r)
+		hist.observe(time.Since(began))
+	}
 }
 
 // Handler returns the HTTP handler tree, for mounting in an http.Server
@@ -151,17 +170,18 @@ type CacheStats struct {
 
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
-	UptimeSeconds  int64      `json:"uptime_s"`
-	Workers        int        `json:"workers"`
-	Requests       int64      `json:"requests"`
-	Errors         int64      `json:"errors"`
-	Rejected       int64      `json:"rejected"`
-	InFlight       int64      `json:"in_flight"`
-	Searches       int64      `json:"searches"`
-	Ambiguous      int64      `json:"ambiguous"`
-	CacheHits      int64      `json:"cache_hits"`
-	AvgLatencyMsec float64    `json:"avg_latency_ms"`
-	Cache          CacheStats `json:"cache"`
+	UptimeSeconds  int64                   `json:"uptime_s"`
+	Workers        int                     `json:"workers"`
+	Requests       int64                   `json:"requests"`
+	Errors         int64                   `json:"errors"`
+	Rejected       int64                   `json:"rejected"`
+	InFlight       int64                   `json:"in_flight"`
+	Searches       int64                   `json:"searches"`
+	Ambiguous      int64                   `json:"ambiguous"`
+	CacheHits      int64                   `json:"cache_hits"`
+	AvgLatencyMsec float64                 `json:"avg_latency_ms"`
+	Cache          CacheStats              `json:"cache"`
+	Latency        map[string]LatencyStats `json:"latency"`
 }
 
 // QueriesResponse is the JSON body of GET /queries: query strings the
@@ -284,6 +304,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if searches > 0 {
 		avgMs = float64(s.serveNano.Load()) / float64(searches) / 1e6
 	}
+	latency := make(map[string]LatencyStats, len(s.latency))
+	for endpoint, hist := range s.latency {
+		latency[endpoint] = hist.snapshot()
+	}
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:  int64(time.Since(s.start).Seconds()),
 		Workers:        s.cfg.Workers,
@@ -295,6 +319,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Ambiguous:      s.ambiguous.Load(),
 		CacheHits:      s.cacheHits.Load(),
 		AvgLatencyMsec: avgMs,
+		Latency:        latency,
 		Cache: CacheStats{
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,

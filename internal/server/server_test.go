@@ -194,6 +194,25 @@ func TestStatsCounters(t *testing.T) {
 	if st.InFlight != 0 {
 		t.Errorf("in_flight = %d at rest", st.InFlight)
 	}
+	// Per-endpoint latency histograms: /search observed the 3 searches.
+	search, ok := st.Latency["/search"]
+	if !ok {
+		t.Fatalf("no /search latency in stats: %v", st.Latency)
+	}
+	if search.Count != 3 {
+		t.Errorf("/search latency count = %d, want 3", search.Count)
+	}
+	if search.P50Ms <= 0 || search.P99Ms < search.P50Ms {
+		t.Errorf("implausible percentiles: p50=%f p99=%f", search.P50Ms, search.P99Ms)
+	}
+	if len(search.Buckets) == 0 ||
+		search.Buckets[len(search.Buckets)-1].Count != search.Count {
+		t.Errorf("cumulative buckets malformed: %+v", search.Buckets)
+	}
+	// /stats instruments itself too (this very request is its first).
+	if _, ok := st.Latency["/stats"]; !ok {
+		t.Error("no /stats latency histogram")
+	}
 }
 
 // TestConcurrentLoad hammers the server with a skewed mix across all

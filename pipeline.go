@@ -129,7 +129,10 @@ func (p *Pipeline) DetectSpecializations(query string) []suggest.Specialization 
 }
 
 // candidateDocs runs the document scoring phase for q: it retrieves R_q
-// and converts it into diversification candidates.
+// and converts it into diversification candidates. Surrogate vectors are
+// built directly in interned form under the engine's lexicon — the string
+// Vector field stays empty, so a candidate costs int32 term IDs instead
+// of term strings.
 //
 // P(d|q) is "the likelihood of document d being observed given q"
 // (§3.1.2), derived from the retrieval score max-normalized over R_q.
@@ -152,10 +155,10 @@ func (p *Pipeline) candidateDocs(query string) []core.Doc {
 			rel = r.Score / maxScore
 		}
 		candidates[i] = core.Doc{
-			ID:     r.DocID,
-			Rank:   r.Rank,
-			Rel:    rel,
-			Vector: p.Engine.VectorOfText(r.Snippet),
+			ID:   r.DocID,
+			Rank: r.Rank,
+			Rel:  rel,
+			IVec: p.Engine.IVectorOfText(r.Snippet),
 		}
 	}
 	return candidates
@@ -163,22 +166,26 @@ func (p *Pipeline) candidateDocs(query string) []core.Doc {
 
 // specList retrieves the R_q′ snippet-surrogate list of one
 // specialization — the expensive per-specialization work the serving
-// cache amortizes.
+// cache amortizes. Like candidateDocs it stores interned vectors only,
+// which is what makes the cached artifact lists compact: a cached R_q′
+// entry holds int32 IDs, not strings.
 func (p *Pipeline) specList(s suggest.Specialization) core.Specialization {
 	specResults := p.Engine.Search(s.Query, p.Config.PerSpec)
 	rs := make([]core.SpecResult, len(specResults))
 	for i, r := range specResults {
 		rs[i] = core.SpecResult{
-			ID:     r.DocID,
-			Rank:   r.Rank,
-			Vector: p.Engine.VectorOfText(r.Snippet),
+			ID:   r.DocID,
+			Rank: r.Rank,
+			IVec: p.Engine.IVectorOfText(r.Snippet),
 		}
 	}
 	return core.Specialization{Query: s.Query, Prob: s.Prob, Results: rs}
 }
 
 // newProblem assembles a Problem from already-built parts, applying the
-// configured k/λ/c parameters.
+// configured k/λ/c parameters. Candidates and specialization results come
+// from candidateDocs/specList, so they are already interned under the
+// engine's lexicon, which the problem carries as Lex.
 func (p *Pipeline) newProblem(query string, candidates []core.Doc, specs []core.Specialization) *core.Problem {
 	return &core.Problem{
 		Query:      query,
@@ -187,6 +194,7 @@ func (p *Pipeline) newProblem(query string, candidates []core.Doc, specs []core.
 		K:          p.Config.K,
 		Lambda:     p.Config.Lambda,
 		Threshold:  p.Config.Threshold,
+		Lex:        p.Engine.Lexicon(),
 	}
 }
 
