@@ -10,7 +10,6 @@ package repro_test
 
 import (
 	"fmt"
-	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -51,35 +50,15 @@ func BenchmarkDiversifyFull(b *testing.B) {
 
 // BenchmarkRetrieve times the DAAT evaluator over the memoized benchmark
 // engine. Queries are built from the highest-document-frequency terms of
-// the index so the accumulator structure — not term lookup — dominates.
+// the index (densestTerms, shared with the sharded benchmarks) so the
+// accumulator structure — not term lookup — dominates.
 func BenchmarkRetrieve(b *testing.B) {
 	pipe := buildBenchPipeline(b)
 	idx := pipe.Engine.Index()
 	model := pipe.Engine.Model()
-
-	// The densest terms of the dictionary, deterministically.
-	type termDF struct {
-		term string
-		df   int
-	}
-	var tds []termDF
-	for t, df := range idx.DocFreqs() {
-		tds = append(tds, termDF{t, df})
-	}
-	sort.Slice(tds, func(i, j int) bool {
-		if tds[i].df != tds[j].df {
-			return tds[i].df > tds[j].df
-		}
-		return tds[i].term < tds[j].term
-	})
+	terms := densestTerms(b, 8)
 	for _, nTerms := range []int{2, 4, 8} {
-		if nTerms > len(tds) {
-			b.Skip("dictionary too small")
-		}
-		tokens := make([]string, nTerms)
-		for i := range tokens {
-			tokens[i] = tds[i].term
-		}
+		tokens := terms[:nTerms]
 		b.Run(fmt.Sprintf("terms=%d", nTerms), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

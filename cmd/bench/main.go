@@ -5,12 +5,16 @@
 //
 //	bench                            # hot-path set, writes BENCH_<date>.json
 //	bench -bench 'Table2' -count 3   # any benchmark regex, best-of-3
+//	bench -cpu 1,2                   # sweep GOMAXPROCS (shard fan-out scaling)
 //	bench -out /dev/stdout           # print instead of committing a file
 //
 // The default -bench pattern covers the serving hot paths (utility matrix,
-// DAAT retrieval, full Diversify) plus the Table 2 selection algorithms.
-// CI runs this as a non-gating job so regressions are visible without
-// blocking merges on noisy shared runners.
+// DAAT retrieval incl. the sharded fan-out, batched vs sequential R_q′
+// scatter-gather, full Diversify) plus the Table 2 selection algorithms.
+// After writing the snapshot, bench prints a non-gating ns/op delta table
+// against the newest committed BENCH_*.json (override with -baseline, or
+// -baseline none to skip). CI runs this as a non-gating job so regressions
+// are visible without blocking merges on noisy shared runners.
 package main
 
 import (
@@ -21,7 +25,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -50,19 +56,24 @@ type Snapshot struct {
 	Points    []Point `json:"benchmarks"`
 }
 
-const defaultPattern = "ComputeUtilities|Retrieve|DiversifyFull|Table2$"
+const defaultPattern = "ComputeUtilities|Retrieve|DiversifyFull|SpecRetrieval|Table2$"
 
 func main() {
 	pattern := flag.String("bench", defaultPattern, "benchmark regex passed to go test -bench")
 	count := flag.Int("count", 1, "-count passed to go test (keep every run in the snapshot)")
 	benchtime := flag.String("benchtime", "", "-benchtime passed to go test (empty: go default)")
+	cpu := flag.String("cpu", "", "-cpu passed to go test (GOMAXPROCS list, e.g. 1,2; empty: current)")
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json in the working directory)")
+	baseline := flag.String("baseline", "", "snapshot to diff against (default: newest BENCH_*.json in the working directory); \"none\" disables the delta")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *pattern, "-benchmem", "-count", strconv.Itoa(*count)}
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)
+	}
+	if *cpu != "" {
+		args = append(args, "-cpu", *cpu)
 	}
 	args = append(args, *pkg)
 
@@ -112,6 +123,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bench: %d points -> %s\n", len(points), path)
+	printDelta(*baseline, path, snap)
+}
+
+// printDelta diffs the fresh snapshot against the most recent committed
+// BENCH_*.json (or an explicit -baseline) and prints a ns/op delta table
+// to stderr. Strictly non-gating: any problem — no baseline, unreadable
+// file, disjoint benchmark sets — degrades to a note, never a failure;
+// CI stays green on regressions, they just become visible in the log.
+func printDelta(baseline, freshPath string, fresh Snapshot) {
+	if baseline == "none" {
+		return
+	}
+	if baseline == "" {
+		matches, _ := filepath.Glob("BENCH_*.json")
+		// BENCH_<date> names sort chronologically; reversed, the newest
+		// committed snapshot comes first.
+		sort.Sort(sort.Reverse(sort.StringSlice(matches)))
+		for _, m := range matches {
+			if filepath.Clean(m) != filepath.Clean(freshPath) {
+				baseline = m
+				break
+			}
+		}
+		if baseline == "" {
+			fmt.Fprintln(os.Stderr, "bench: no committed BENCH_*.json to diff against")
+			return
+		}
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: delta skipped:", err)
+		return
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: delta skipped: %s: %v\n", baseline, err)
+		return
+	}
+	// Key points by (name, gomaxprocs); with -count > 1 the last run wins,
+	// matching how the table reads top to bottom.
+	type key struct {
+		name  string
+		procs int
+	}
+	baseNs := make(map[key]float64, len(base.Points))
+	for _, p := range base.Points {
+		if v, ok := p.Metrics["ns/op"]; ok {
+			baseNs[key{p.Name, p.Gomaxprocs}] = v
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bench: delta vs %s (negative = faster; non-gating)\n", baseline)
+	matched := 0
+	for _, p := range fresh.Points {
+		v, ok := p.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		old, ok := baseNs[key{p.Name, p.Gomaxprocs}]
+		if !ok || old == 0 {
+			continue
+		}
+		matched++
+		fmt.Fprintf(os.Stderr, "  %-55s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			fmt.Sprintf("%s-%d", p.Name, p.Gomaxprocs), old, v, 100*(v-old)/old)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "  (no benchmarks in common with the baseline)")
+	}
 }
 
 // parseBenchOutput extracts benchmark result lines. The format is
@@ -129,7 +208,11 @@ func parseBenchOutput(r *bytes.Buffer) []Point {
 			continue
 		}
 		name := strings.TrimPrefix(fields[0], "Benchmark")
-		procs := runtime.GOMAXPROCS(0)
+		// go test appends "-GOMAXPROCS" to the name except when it is 1, so
+		// an unsuffixed line always means GOMAXPROCS=1 — crucially under
+		// -cpu sweeps, where falling back to this process's GOMAXPROCS
+		// would mislabel the cpu=1 points on multicore hosts.
+		procs := 1
 		if i := strings.LastIndex(name, "-"); i >= 0 {
 			if p, err := strconv.Atoi(name[i+1:]); err == nil {
 				procs = p

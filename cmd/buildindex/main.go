@@ -6,6 +6,7 @@
 //
 //	buildindex -o engine.bin -topics 20
 //	buildindex -o engine.bin -corpus docs.tsv
+//	buildindex -o engine.bin -shards 4      # record a 4-segment manifest
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 	corpus := flag.String("corpus", "", "TSV corpus file (id<TAB>title<TAB>body); empty = synthetic")
 	topics := flag.Int("topics", 20, "synthetic testbed topics (when -corpus is empty)")
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
+	shards := flag.Int("shards", 1, "index segments recorded in the shard manifest (serving fans retrieval out over them)")
 	flag.Parse()
 
 	var docs []engine.Document
@@ -59,7 +61,7 @@ func main() {
 		}
 	}
 
-	eng, err := engine.Build(docs, engine.Config{})
+	eng, err := engine.Build(docs, engine.Config{Shards: *shards})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "buildindex:", err)
 		os.Exit(1)
@@ -79,6 +81,6 @@ func main() {
 	if st != nil {
 		size = st.Size()
 	}
-	fmt.Fprintf(os.Stderr, "indexed %d documents (%d terms) -> %s (%.2f MiB)\n",
-		eng.NumDocs(), eng.Index().NumTerms(), *out, float64(size)/(1<<20))
+	fmt.Fprintf(os.Stderr, "indexed %d documents (%d terms, %d shards) -> %s (%.2f MiB)\n",
+		eng.NumDocs(), eng.Index().NumTerms(), eng.Segments().NumShards(), *out, float64(size)/(1<<20))
 }

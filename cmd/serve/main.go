@@ -5,8 +5,9 @@
 // diversification artifacts — the serving architecture the paper's §6
 // outlook sketches. Pair it with loadgen for an end-to-end benchmark.
 //
-//	serve                                   # defaults: :8080, 8 workers
+//	serve                                   # defaults: :8080, 8 workers, 1 shard
 //	serve -addr :9090 -workers 16 -cache 4096
+//	serve -shards 4                         # retrieval fans out over 4 index segments
 //	serve -topics 20 -sessions 8000 -alg xquad -k 20
 //	serve -pprof                            # expose /debug/pprof/ too
 //
@@ -29,6 +30,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/synth"
 )
@@ -45,7 +47,8 @@ func main() {
 	workers := flag.Int("workers", 8, "max concurrent diversifications")
 	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max wait for a worker slot")
 	cacheCap := flag.Int("cache", 1024, "query-artifact cache capacity (entries)")
-	cacheShards := flag.Int("shards", 16, "cache shard count")
+	cacheShards := flag.Int("cache-shards", 16, "cache shard count")
+	shards := flag.Int("shards", 1, "index segments; every retrieval fans out over this many shards in parallel (results are identical at any count)")
 	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
 	maxK := flag.Int("maxk", 100, "cap on per-request k")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
@@ -60,6 +63,7 @@ func main() {
 	cfg := repro.Config{
 		Corpus:        synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
 		Log:           synth.AOLLike(*seed+1, *sessions),
+		Engine:        engine.Config{Shards: *shards},
 		NumCandidates: *candidates,
 		PerSpec:       *perSpec,
 		K:             *k,
@@ -73,8 +77,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed, %d log records, %d sessions\n",
-		time.Since(began).Round(time.Millisecond), pipe.Engine.NumDocs(), pipe.Log.Len(), len(pipe.Sessions))
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed over %d shards, %d log records, %d sessions\n",
+		time.Since(began).Round(time.Millisecond), pipe.Engine.NumDocs(),
+		pipe.Engine.Segments().NumShards(), pipe.Log.Len(), len(pipe.Sessions))
 
 	srv := server.New(pipe.NewServeHandle(*cacheCap, *cacheShards), server.Config{
 		Workers:      *workers,

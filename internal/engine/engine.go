@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/index"
@@ -40,6 +41,11 @@ type Config struct {
 	Analyzer *text.Analyzer
 	// SnippetWindow is the surrogate length in raw tokens. 0 means 30.
 	SnippetWindow int
+	// Shards is the number of index segments retrieval fans out over.
+	// 0 means 1 at build time; at Load time 0 keeps the partition the
+	// stream's shard manifest records. Results are bit-identical at any
+	// shard count — only parallelism changes.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,10 +63,14 @@ func (c Config) withDefaults() Config {
 
 // Engine is an immutable built search engine.
 type Engine struct {
-	cfg     Config
-	idx     *index.Index
+	cfg Config
+	// seg owns the index as a set of contiguous document segments; every
+	// retrieval is a fan-out over its shards (one shard degenerates to
+	// the sequential path). The physical index is shared across shards,
+	// so statistics — and therefore scores — stay collection-global.
+	seg     *index.Segmented
 	rawBody map[string]string // docID → raw body (for snippets)
-	idf     textsim.IDF
+	idf     textsim.SliceIDF
 	// lex interns surrogate terms for the similarity hot paths. Its
 	// sorted base is the index dictionary (lexicographic by the Build
 	// invariant), so every term of every indexed document — hence every
@@ -83,30 +93,88 @@ func Build(docs []Document, cfg Config) (*Engine, error) {
 		}
 		raw[d.ID] = strings.TrimSpace(full)
 	}
-	idx := b.Build()
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	seg := b.BuildSegmented(shards)
+	return newEngine(cfg, seg, raw), nil
+}
+
+// newEngine assembles an Engine around a segmented index and its raw
+// document store — shared by Build and Load. The lexicon wraps the index
+// dictionary (sorted by the Build invariant), and the IDF table is the
+// ID-indexed walk of the same dictionary.
+func newEngine(cfg Config, seg *index.Segmented, raw map[string]string) *Engine {
+	idx := seg.Index()
+	lex := textsim.WrapSortedTerms(idx.Terms())
 	return &Engine{
 		cfg:     cfg,
-		idx:     idx,
+		seg:     seg,
 		rawBody: raw,
-		idf:     textsim.ComputeIDF(idx.DocFreqs(), idx.NumDocs()),
-		lex:     textsim.WrapSortedTerms(idx.Terms()),
-	}, nil
+		idf:     textsim.ComputeIDFFromIndex(idx, lex),
+		lex:     lex,
+	}
 }
 
 // Index exposes the underlying inverted index (read-only use).
-func (e *Engine) Index() *index.Index { return e.idx }
+func (e *Engine) Index() *index.Index { return e.seg.Index() }
+
+// Segments exposes the index's shard partition (read-only use): the
+// serving layer reports it in /stats, and benchmarks resegment it to
+// sweep shard counts.
+func (e *Engine) Segments() *index.Segmented { return e.seg }
 
 // Model returns the engine's weighting model.
 func (e *Engine) Model() ranking.Model { return e.cfg.Model }
 
 // NumDocs returns the collection size.
-func (e *Engine) NumDocs() int { return e.idx.NumDocs() }
+func (e *Engine) NumDocs() int { return e.seg.Index().NumDocs() }
 
 // Search retrieves the top-k documents for the raw query and attaches
 // query-biased snippets. k <= 0 retrieves all matches.
 func (e *Engine) Search(query string, k int) []Result {
+	out, _ := e.SearchCtx(context.Background(), query, k) // cannot fail: Background never cancels
+	return out
+}
+
+// SearchCtx is Search with request-scoped cancellation: the retrieval
+// fan-out checks ctx between posting-list traversals, so a shed or
+// disconnected request stops consuming shard workers instead of running
+// to completion. The only possible error is ctx.Err().
+func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, error) {
 	qTokens := e.cfg.Analyzer.Tokens(query)
-	hits := ranking.Retrieve(e.idx, e.cfg.Model, qTokens, k)
+	hits, err := ranking.RetrieveSharded(ctx, e.seg, e.cfg.Model, qTokens, k)
+	if err != nil {
+		return nil, err
+	}
+	return e.resultsFor(hits, qTokens), nil
+}
+
+// SearchBatch answers a batch of queries in ONE scatter-gather round over
+// the index segments: each shard is traversed by a single worker that
+// scores every pending query per pass (see ranking.RetrieveBatch). ks[i]
+// bounds query i's result size. Per-query output is bit-identical to
+// Search(queries[i], ks[i]) — the serving pipeline batches the main query
+// with all its specialization retrievals through here.
+func (e *Engine) SearchBatch(ctx context.Context, queries []string, ks []int) ([][]Result, error) {
+	qTokens := make([][]string, len(queries))
+	for i, q := range queries {
+		qTokens[i] = e.cfg.Analyzer.Tokens(q)
+	}
+	hitLists, err := ranking.RetrieveBatch(ctx, e.seg, e.cfg.Model, qTokens, ks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(queries))
+	for i, hits := range hitLists {
+		out[i] = e.resultsFor(hits, qTokens[i])
+	}
+	return out, nil
+}
+
+// resultsFor attaches query-biased snippets to retrieval hits.
+func (e *Engine) resultsFor(hits []ranking.Hit, qTokens []string) []Result {
 	out := make([]Result, len(hits))
 	for i, h := range hits {
 		out[i] = Result{

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/textsim"
+)
+
+// shardCorpus is a larger synthetic corpus so shard sweeps get
+// non-trivial document ranges.
+func shardCorpus(n int) []Document {
+	rng := rand.New(rand.NewSource(41))
+	vocab := []string{"apple", "leopard", "tank", "mac", "pie", "army", "cat",
+		"africa", "recipe", "armor", "desktop", "savanna", "crust", "cannon"}
+	docs := make([]Document, n)
+	for i := range docs {
+		w := make([]string, rng.Intn(30)+5)
+		for j := range w {
+			w[j] = vocab[rng.Intn(len(vocab))]
+		}
+		docs[i] = Document{ID: fmt.Sprintf("doc%03d", i), Body: strings.Join(w, " ")}
+	}
+	return docs
+}
+
+// TestSearchShardSweepBitIdentical: the same corpus built at shard counts
+// 1/2/4/7 must answer every query with deeply equal results (ranks,
+// float64 score bits, snippets).
+func TestSearchShardSweepBitIdentical(t *testing.T) {
+	docs := shardCorpus(60)
+	base, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"apple pie recipe", "leopard tank", "savanna cat africa", "apple apple mac", "nosuchterm"}
+	for _, shards := range []int{1, 2, 4, 7} {
+		e, err := Build(docs, Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Segments().NumShards() != shards {
+			t.Fatalf("shards=%d: NumShards = %d", shards, e.Segments().NumShards())
+		}
+		for _, q := range queries {
+			want := base.Search(q, 20)
+			got := e.Search(q, 20)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d q=%q:\n got %+v\nwant %+v", shards, q, got, want)
+			}
+		}
+	}
+}
+
+// TestSearchBatchMatchesSearch: one scatter-gather round must equal
+// per-query Search, including per-query k limits and empty queries.
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	e, err := Build(shardCorpus(60), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"apple pie", "leopard tank army", "", "mac desktop", "cat africa savanna"}
+	ks := []int{15, 5, 5, 0, 3}
+	batch, err := e.SearchBatch(context.Background(), queries, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want := e.Search(q, ks[i])
+		if !reflect.DeepEqual(batch[i], want) {
+			t.Fatalf("query %d (%q):\n got %+v\nwant %+v", i, q, batch[i], want)
+		}
+	}
+}
+
+func TestSearchCtxCanceled(t *testing.T) {
+	e, err := Build(shardCorpus(40), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchCtx(ctx, "apple pie", 10); err == nil {
+		t.Fatal("canceled context: want error")
+	}
+}
+
+// TestSaveLoadKeepsShardManifest: the RIDX3 manifest must survive the
+// engine round trip, Config.Shards must override it, and search results
+// must be bit-identical either way.
+func TestSaveLoadKeepsShardManifest(t *testing.T) {
+	e, err := Build(shardCorpus(50), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	loaded, err := Load(bytes.NewReader(stream), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Segments().NumShards() != 4 {
+		t.Fatalf("manifest shards = %d, want 4", loaded.Segments().NumShards())
+	}
+	reshard, err := Load(bytes.NewReader(stream), Config{Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reshard.Segments().NumShards() != 7 {
+		t.Fatalf("override shards = %d, want 7", reshard.Segments().NumShards())
+	}
+	for _, q := range []string{"apple pie", "leopard tank", "savanna"} {
+		want := e.Search(q, 10)
+		if got := loaded.Search(q, 10); !reflect.DeepEqual(got, want) {
+			t.Errorf("loaded engine differs on %q", q)
+		}
+		if got := reshard.Search(q, 10); !reflect.DeepEqual(got, want) {
+			t.Errorf("resharded engine differs on %q", q)
+		}
+	}
+}
+
+// TestSliceIDFMatchesMapIDF is the differential for the DocFreqs
+// replacement: the ID-indexed IDF table must reweight vectors with the
+// same float64 bits as the deprecated map path, including overflow
+// (out-of-collection) terms falling back to weight 1.
+func TestSliceIDFMatchesMapIDF(t *testing.T) {
+	e := buildEngine(t)
+	idx := e.Index()
+	legacy := textsim.ComputeIDF(idx.DocFreqs(), idx.NumDocs())
+	texts := []string{
+		"apple pie with cinnamon sugar crust",
+		"leopard tank armor cannon",
+		"completely unindexed surprising zebra words",
+		"apple apple apple leopard",
+		"",
+	}
+	for _, s := range texts {
+		toks := e.cfg.Analyzer.Tokens(s)
+		want := legacy.Apply(textsim.FromTokens(toks))
+		got := e.idf.Apply(textsim.FromTokens(toks))
+		if !reflect.DeepEqual(got.Terms, want.Terms) {
+			t.Fatalf("%q: terms %v, want %v", s, got.Terms, want.Terms)
+		}
+		for i := range want.Weights {
+			if got.Weights[i] != want.Weights[i] {
+				t.Fatalf("%q term %q: weight %v, want %v", s, want.Terms[i], got.Weights[i], want.Weights[i])
+			}
+		}
+		if got.Norm() != want.Norm() {
+			t.Fatalf("%q: norm %v, want %v", s, got.Norm(), want.Norm())
+		}
+	}
+}

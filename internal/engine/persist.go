@@ -8,7 +8,6 @@ import (
 	"io"
 
 	"repro/internal/index"
-	"repro/internal/textsim"
 )
 
 // Engine persistence: a built engine can be written to a single stream and
@@ -30,13 +29,15 @@ const engineMagic = "RENG1\n"
 // ErrBadEngineFormat reports a corrupt or foreign engine stream.
 var ErrBadEngineFormat = errors.New("engine: bad engine format")
 
-// SaveTo serializes the engine's index and document store.
+// SaveTo serializes the engine's index and document store. The index
+// goes through the segmented codec, so the shard partition survives the
+// round trip (Load keeps it unless Config.Shards overrides).
 func (e *Engine) SaveTo(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(engineMagic); err != nil {
 		return err
 	}
-	if _, err := e.idx.WriteTo(bw); err != nil {
+	if _, err := e.seg.WriteTo(bw); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -52,12 +53,13 @@ func (e *Engine) SaveTo(w io.Writer) error {
 		_, err := bw.WriteString(s)
 		return err
 	}
-	if err := writeUvarint(uint64(e.idx.NumDocs())); err != nil {
+	idx := e.seg.Index()
+	if err := writeUvarint(uint64(idx.NumDocs())); err != nil {
 		return err
 	}
 	// Iterate in internal doc order so the stream is canonical.
-	for d := int32(0); d < int32(e.idx.NumDocs()); d++ {
-		id := e.idx.DocID(d)
+	for d := int32(0); d < int32(idx.NumDocs()); d++ {
+		id := idx.DocID(d)
 		if err := writeString(id); err != nil {
 			return err
 		}
@@ -81,10 +83,16 @@ func Load(r io.Reader, cfg Config) (*Engine, error) {
 	if string(head) != engineMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadEngineFormat, head)
 	}
-	idx, err := index.Read(br)
+	seg, err := index.ReadSegmented(br)
 	if err != nil {
 		return nil, fmt.Errorf("engine: loading index: %w", err)
 	}
+	if cfg.Shards > 0 {
+		// Shard count is a deployment knob, not corpus data: an explicit
+		// Config.Shards overrides whatever partition the stream recorded.
+		seg = seg.Resegment(cfg.Shards)
+	}
+	idx := seg.Index()
 	numDocs, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: doc count: %v", ErrBadEngineFormat, err)
@@ -119,11 +127,5 @@ func Load(r io.Reader, cfg Config) (*Engine, error) {
 		}
 		raw[id] = body
 	}
-	return &Engine{
-		cfg:     cfg,
-		idx:     idx,
-		rawBody: raw,
-		idf:     textsim.ComputeIDF(idx.DocFreqs(), idx.NumDocs()),
-		lex:     textsim.WrapSortedTerms(idx.Terms()),
-	}, nil
+	return newEngine(cfg, seg, raw), nil
 }

@@ -12,13 +12,14 @@ import (
 // Binary serialization of an Index. Layout (all integers unsigned varints
 // unless noted):
 //
-//	magic  "RIDX2\n"
+//	magic  "RIDX3\n"
 //	numDocs, then per doc: idLen, idBytes, docLen
 //	totalTokens
 //	numTerms, then per term (in term-id order):
 //	    termLen, termBytes, cf, df,
 //	    df postings as (docDelta, tf) with docDelta = doc - prevDoc
 //	    (first delta = doc + 1 so deltas are always >= 1)
+//	numShards, then per shard: shard document count (v3 only)
 //
 // The format is self-contained and versioned by the magic string.
 //
@@ -28,17 +29,39 @@ import (
 // v1 streams — written before the invariant existed — are still read;
 // their dictionaries are renumbered into sorted order on load, so a
 // loaded index behaves identically regardless of the stream version.
+//
+// Version 3 appends the shard manifest: the document counts of the
+// contiguous segments a Segmented index was partitioned into, so a
+// sharded deployment reloads with the same partitioning it was built
+// with. v1/v2 streams predate segmentation and load as a single-shard
+// manifest; the loaded index itself is identical across all three
+// versions, and Resegment can re-partition a loaded index at any shard
+// count without touching the stream.
 
 const (
-	magic   = "RIDX2\n"
+	magicV3 = "RIDX3\n"
+	magicV2 = "RIDX2\n"
 	magicV1 = "RIDX1\n"
 )
 
 // ErrBadFormat reports a corrupt or foreign index stream.
 var ErrBadFormat = errors.New("index: bad index format")
 
-// WriteTo serializes the index to w.
+// WriteTo serializes the index to w as a single-shard v3 stream.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	return x.writeStream(w, nil)
+}
+
+// WriteTo serializes the segmented index to w, recording the shard
+// partition in the stream's manifest.
+func (s *Segmented) WriteTo(w io.Writer) (int64, error) {
+	return s.idx.writeStream(w, s.bounds)
+}
+
+// writeStream emits the v3 stream. bounds carries the shard boundaries of
+// a Segmented (len shards+1); nil means a single shard covering every
+// document.
+func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
 	bw := bufio.NewWriter(w)
 	n := int64(0)
 	write := func(p []byte) error {
@@ -58,7 +81,7 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 		return write([]byte(s))
 	}
 
-	if err := write([]byte(magic)); err != nil {
+	if err := write([]byte(magicV3)); err != nil {
 		return n, err
 	}
 	if err := writeUvarint(uint64(len(x.docIDs))); err != nil {
@@ -100,25 +123,69 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 			prev = p.Doc
 		}
 	}
+	// Shard manifest: per-shard document counts in shard order.
+	if bounds == nil {
+		if err := writeUvarint(1); err != nil {
+			return n, err
+		}
+		if err := writeUvarint(uint64(len(x.docIDs))); err != nil {
+			return n, err
+		}
+	} else {
+		if err := writeUvarint(uint64(len(bounds) - 1)); err != nil {
+			return n, err
+		}
+		for i := 1; i < len(bounds); i++ {
+			if err := writeUvarint(uint64(bounds[i] - bounds[i-1])); err != nil {
+				return n, err
+			}
+		}
+	}
 	return n, bw.Flush()
 }
 
-// Read deserializes an index written by WriteTo — current (v2) streams
-// and pre-bump v1 streams alike; see the format comment above.
+// Read deserializes an index written by WriteTo — current (v3) streams
+// and pre-bump v1/v2 streams alike; see the format comment above. The
+// shard manifest, if any, is consumed and dropped: callers that care
+// about the partition use ReadSegmented.
 func Read(r io.Reader) (*Index, error) {
+	x, _, err := readStream(r)
+	return x, err
+}
+
+// ReadSegmented deserializes an index together with its shard manifest.
+// v1/v2 streams predate the manifest and come back as a single shard.
+func ReadSegmented(r io.Reader) (*Segmented, error) {
+	x, sizes, err := readStream(r)
+	if err != nil {
+		return nil, err
+	}
+	seg, ok := segmentedFromSizes(x, sizes)
+	if !ok {
+		return nil, fmt.Errorf("%w: shard manifest %v does not cover %d docs",
+			ErrBadFormat, sizes, x.NumDocs())
+	}
+	return seg, nil
+}
+
+// readStream parses any stream version, returning the index and the
+// manifest's per-shard document counts ({numDocs} for v1/v2 streams).
+func readStream(r io.Reader) (*Index, []int64, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magicV3))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	version := 0
 	switch string(head) {
-	case magic:
+	case magicV3:
+		version = 3
+	case magicV2:
 		version = 2
 	case magicV1:
 		version = 1
 	default:
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
 	}
 	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
 	readString := func() (string, error) {
@@ -138,10 +205,10 @@ func Read(r io.Reader) (*Index, error) {
 
 	numDocs, err := readUvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: numDocs: %v", ErrBadFormat, err)
+		return nil, nil, fmt.Errorf("%w: numDocs: %v", ErrBadFormat, err)
 	}
 	if numDocs > 1<<31 {
-		return nil, fmt.Errorf("%w: numDocs %d too large", ErrBadFormat, numDocs)
+		return nil, nil, fmt.Errorf("%w: numDocs %d too large", ErrBadFormat, numDocs)
 	}
 	x := &Index{
 		docIDs:  make([]string, numDocs),
@@ -150,25 +217,25 @@ func Read(r io.Reader) (*Index, error) {
 	}
 	for i := range x.docIDs {
 		if x.docIDs[i], err = readString(); err != nil {
-			return nil, fmt.Errorf("%w: docID %d: %v", ErrBadFormat, i, err)
+			return nil, nil, fmt.Errorf("%w: docID %d: %v", ErrBadFormat, i, err)
 		}
 		dl, err := readUvarint()
 		if err != nil {
-			return nil, fmt.Errorf("%w: docLen %d: %v", ErrBadFormat, i, err)
+			return nil, nil, fmt.Errorf("%w: docLen %d: %v", ErrBadFormat, i, err)
 		}
 		x.docLens[i] = int32(dl)
 	}
 	total, err := readUvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: totalTokens: %v", ErrBadFormat, err)
+		return nil, nil, fmt.Errorf("%w: totalTokens: %v", ErrBadFormat, err)
 	}
 	x.total = int64(total)
 	numTerms, err := readUvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: numTerms: %v", ErrBadFormat, err)
+		return nil, nil, fmt.Errorf("%w: numTerms: %v", ErrBadFormat, err)
 	}
 	if numTerms > 1<<31 {
-		return nil, fmt.Errorf("%w: numTerms %d too large", ErrBadFormat, numTerms)
+		return nil, nil, fmt.Errorf("%w: numTerms %d too large", ErrBadFormat, numTerms)
 	}
 	x.termList = make([]string, numTerms)
 	x.postings = make([][]Posting, numTerms)
@@ -176,55 +243,77 @@ func Read(r io.Reader) (*Index, error) {
 	for id := range x.termList {
 		term, err := readString()
 		if err != nil {
-			return nil, fmt.Errorf("%w: term %d: %v", ErrBadFormat, id, err)
+			return nil, nil, fmt.Errorf("%w: term %d: %v", ErrBadFormat, id, err)
 		}
 		x.termList[id] = term
 		x.terms[term] = int32(id)
 		cf, err := readUvarint()
 		if err != nil {
-			return nil, fmt.Errorf("%w: cf: %v", ErrBadFormat, err)
+			return nil, nil, fmt.Errorf("%w: cf: %v", ErrBadFormat, err)
 		}
 		x.cf[id] = int64(cf)
 		df, err := readUvarint()
 		if err != nil {
-			return nil, fmt.Errorf("%w: df: %v", ErrBadFormat, err)
+			return nil, nil, fmt.Errorf("%w: df: %v", ErrBadFormat, err)
 		}
 		if df > numDocs {
-			return nil, fmt.Errorf("%w: df %d > numDocs %d", ErrBadFormat, df, numDocs)
+			return nil, nil, fmt.Errorf("%w: df %d > numDocs %d", ErrBadFormat, df, numDocs)
 		}
 		plist := make([]Posting, df)
 		prev := int32(-1)
 		for j := range plist {
 			delta, err := readUvarint()
 			if err != nil {
-				return nil, fmt.Errorf("%w: posting delta: %v", ErrBadFormat, err)
+				return nil, nil, fmt.Errorf("%w: posting delta: %v", ErrBadFormat, err)
 			}
 			if delta == 0 {
-				return nil, fmt.Errorf("%w: zero doc delta", ErrBadFormat)
+				return nil, nil, fmt.Errorf("%w: zero doc delta", ErrBadFormat)
 			}
 			tf, err := readUvarint()
 			if err != nil {
-				return nil, fmt.Errorf("%w: posting tf: %v", ErrBadFormat, err)
+				return nil, nil, fmt.Errorf("%w: posting tf: %v", ErrBadFormat, err)
 			}
 			doc := prev + int32(delta)
 			if doc < 0 || uint64(doc) >= numDocs {
-				return nil, fmt.Errorf("%w: doc %d out of range", ErrBadFormat, doc)
+				return nil, nil, fmt.Errorf("%w: doc %d out of range", ErrBadFormat, doc)
 			}
 			plist[j] = Posting{Doc: doc, TF: int32(tf)}
 			prev = doc
 		}
 		x.postings[id] = plist
 	}
+	sizes := []int64{int64(numDocs)}
 	switch version {
+	case 3:
+		// v3 promises a sorted dictionary (inherited from v2) plus the
+		// shard manifest; violations of either mean corruption.
+		if !sort.StringsAreSorted(x.termList) {
+			return nil, nil, fmt.Errorf("%w: v3 dictionary not in sorted order", ErrBadFormat)
+		}
+		numShards, err := readUvarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: shard manifest: %v", ErrBadFormat, err)
+		}
+		if numShards == 0 || numShards > numDocs+1 {
+			return nil, nil, fmt.Errorf("%w: shard count %d out of range", ErrBadFormat, numShards)
+		}
+		sizes = make([]int64, numShards)
+		for i := range sizes {
+			sz, err := readUvarint()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: shard size %d: %v", ErrBadFormat, i, err)
+			}
+			sizes[i] = int64(sz)
+		}
 	case 2:
 		// v2 promises a sorted dictionary; a violation means corruption.
 		if !sort.StringsAreSorted(x.termList) {
-			return nil, fmt.Errorf("%w: v2 dictionary not in sorted order", ErrBadFormat)
+			return nil, nil, fmt.Errorf("%w: v2 dictionary not in sorted order", ErrBadFormat)
 		}
 	case 1:
 		// Pre-bump streams carry insertion-ordered dictionaries; restore
 		// the sorted-ID invariant the rest of the system relies on.
 		x.termList, x.postings, x.cf = sortDictionary(x.termList, x.postings, x.cf, x.terms)
 	}
-	return x, nil
+	return x, sizes, nil
 }

@@ -8,12 +8,13 @@ import (
 	"testing"
 )
 
-// writeLegacyV1 emits the pre-bump RIDX1 stream for a hand-described
-// index: the same byte layout as WriteTo but with the v1 magic and the
-// dictionary in whatever (typically insertion) order the caller gives —
-// v1 writers never sorted it. This is the frozen fixture generator for
-// the backward-compatibility contract.
-func writeLegacyV1(w *bytes.Buffer, docIDs []string, docLens []int32, total int64,
+// writeLegacy emits a pre-bump RIDX1/RIDX2 stream for a hand-described
+// index: the same byte layout as WriteTo but with the given legacy magic
+// and no shard manifest, and the dictionary in whatever order the caller
+// gives (v1 writers never sorted it; v2 writers did, so v2 callers must
+// pass sorted terms). This is the frozen fixture generator for the
+// backward-compatibility contract.
+func writeLegacy(w *bytes.Buffer, magic string, docIDs []string, docLens []int32, total int64,
 	terms []string, cf []int64, postings [][]Posting) {
 	var buf [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) {
@@ -24,7 +25,7 @@ func writeLegacyV1(w *bytes.Buffer, docIDs []string, docLens []int32, total int6
 		writeUvarint(uint64(len(s)))
 		w.WriteString(s)
 	}
-	w.WriteString(magicV1)
+	w.WriteString(magic)
 	writeUvarint(uint64(len(docIDs)))
 	for i, id := range docIDs {
 		writeString(id)
@@ -53,7 +54,7 @@ func TestReadLegacyV1Fixture(t *testing.T) {
 	// Two docs, insertion-ordered dictionary: pie < apple is false, so the
 	// stream order {pie, apple, mac} exercises the renumbering path.
 	var buf bytes.Buffer
-	writeLegacyV1(&buf,
+	writeLegacy(&buf, magicV1,
 		[]string{"d1", "d2"}, []int32{3, 2}, 5,
 		[]string{"pie", "apple", "mac"},
 		[]int64{1, 3, 1},
@@ -116,25 +117,109 @@ func TestLegacyV1MatchesRebuild(t *testing.T) {
 		docLens[d] = x.DocLen(d)
 	}
 	var buf bytes.Buffer
-	writeLegacyV1(&buf, docIDs, docLens, x.Stats().TotalTokens, terms, cf, postings)
+	writeLegacy(&buf, magicV1, docIDs, docLens, x.Stats().TotalTokens, terms, cf, postings)
 
 	got, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !indexesEqual(x, got) {
-		t.Error("v1 stream did not load back equal to the v2-built index")
+		t.Error("v1 stream did not load back equal to the freshly built index")
 	}
 }
 
-func TestWriteToEmitsV2(t *testing.T) {
+func TestWriteToEmitsV3(t *testing.T) {
 	x := buildSmall(t)
 	var buf bytes.Buffer
 	if _, err := x.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), magic) {
-		t.Errorf("stream starts with %q, want %q", buf.String()[:6], magic)
+	if !strings.HasPrefix(buf.String(), magicV3) {
+		t.Errorf("stream starts with %q, want %q", buf.String()[:6], magicV3)
+	}
+}
+
+// legacyStream serializes x in the given pre-manifest layout: v2 keeps
+// the built (sorted) dictionary order, v1 scrambles it (reverse-sorted)
+// to also exercise the renumbering path.
+func legacyStream(t *testing.T, x *Index, magic string) *bytes.Buffer {
+	t.Helper()
+	n := x.NumTerms()
+	terms := make([]string, n)
+	cf := make([]int64, n)
+	postings := make([][]Posting, n)
+	for i := 0; i < n; i++ {
+		src := int32(i)
+		if magic == magicV1 {
+			src = int32(n - 1 - i)
+		}
+		terms[i] = x.Term(src)
+		postings[i] = x.PostingsByID(src)
+		st, _ := x.Lookup(terms[i])
+		cf[i] = st.CF
+	}
+	docIDs := make([]string, x.NumDocs())
+	docLens := make([]int32, x.NumDocs())
+	for d := int32(0); d < int32(x.NumDocs()); d++ {
+		docIDs[d] = x.DocID(d)
+		docLens[d] = x.DocLen(d)
+	}
+	var buf bytes.Buffer
+	writeLegacy(&buf, magic, docIDs, docLens, x.Stats().TotalTokens, terms, cf, postings)
+	return &buf
+}
+
+// TestLegacyStreamsLoadAsSingleShard is the read-compat half of the v3
+// contract: RIDX1 and RIDX2 streams carry no shard manifest, so
+// ReadSegmented must present them as one shard spanning the whole
+// collection, logically equal to the source index.
+func TestLegacyStreamsLoadAsSingleShard(t *testing.T) {
+	x := buildSmall(t)
+	for _, magic := range []string{magicV1, magicV2} {
+		seg, err := ReadSegmented(legacyStream(t, x, magic))
+		if err != nil {
+			t.Fatalf("%q: %v", magic, err)
+		}
+		if seg.NumShards() != 1 {
+			t.Fatalf("%q: NumShards = %d, want 1", magic, seg.NumShards())
+		}
+		lo, hi := seg.Shard(0).DocRange()
+		if lo != 0 || int(hi) != x.NumDocs() {
+			t.Errorf("%q: shard 0 covers [%d,%d), want [0,%d)", magic, lo, hi, x.NumDocs())
+		}
+		if !indexesEqual(x, seg.Index()) {
+			t.Errorf("%q: loaded index differs from source", magic)
+		}
+	}
+}
+
+// TestSegmentedRoundTripV3 writes a multi-shard index and checks the
+// manifest and the index both survive the v3 round trip.
+func TestSegmentedRoundTripV3(t *testing.T) {
+	x := buildSmall(t)
+	for _, shards := range []int{1, 2, 3} {
+		seg := SegmentIndex(x, shards)
+		var buf bytes.Buffer
+		if _, err := seg.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSegmented(&buf)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.NumShards() != seg.NumShards() {
+			t.Fatalf("shards=%d: NumShards = %d", shards, got.NumShards())
+		}
+		for i := 0; i < seg.NumShards(); i++ {
+			wlo, whi := seg.Shard(i).DocRange()
+			glo, ghi := got.Shard(i).DocRange()
+			if wlo != glo || whi != ghi {
+				t.Errorf("shards=%d: shard %d range [%d,%d) != [%d,%d)", shards, i, glo, ghi, wlo, whi)
+			}
+		}
+		if !indexesEqual(x, got.Index()) {
+			t.Errorf("shards=%d: index did not round-trip", shards)
+		}
 	}
 }
 

@@ -214,8 +214,19 @@ func (x *Index) Term(id int32) string { return x.termList[id] }
 // without copying the dictionary.
 func (x *Index) Terms() []string { return x.termList }
 
+// DF returns the document frequency of an internal term number: the
+// length of its posting list. Together with NumTerms/NumDocs it is the
+// allocation-free way to walk the dictionary's frequency statistics
+// (it satisfies textsim.DocFreqSource).
+func (x *Index) DF(id int32) int { return len(x.postings[id]) }
+
 // DocFreqs returns a term→document-frequency map (for IDF computations
 // over the whole collection).
+//
+// Deprecated: the map costs one allocation per dictionary term. Walk the
+// dictionary with NumTerms/Term/DF instead (textsim.ComputeIDFFromIndex
+// does, with zero map allocation); DocFreqs remains for external callers
+// and tests.
 func (x *Index) DocFreqs() map[string]int {
 	df := make(map[string]int, len(x.termList))
 	for id, t := range x.termList {

@@ -198,10 +198,10 @@ func NormalizeScores(hits []Hit) []Hit {
 }
 
 // NormalizeScoresInPlace is NormalizeScores without the defensive copy,
-// for callers normalizing a freshly built hit slice they own — e.g. the
-// pipeline's per-query candidate construction, which would otherwise
-// allocate a second |R_q|-sized slice per query just to throw the first
-// one away.
+// for callers normalizing a freshly built hit slice they own. (The
+// pipeline's candidate construction normalizes at the engine.Result
+// level instead, after snippets are attached, so it does not come
+// through here.)
 func NormalizeScoresInPlace(hits []Hit) {
 	if len(hits) == 0 {
 		return

@@ -168,6 +168,14 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// IndexStats is the index-segment section of a stats response: the shard
+// fan-out every retrieval pays, with the per-shard document counts of the
+// partition.
+type IndexStats struct {
+	Shards       int   `json:"shards"`
+	DocsPerShard []int `json:"docs_per_shard"`
+}
+
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
 	UptimeSeconds  int64                   `json:"uptime_s"`
@@ -180,6 +188,7 @@ type StatsResponse struct {
 	Ambiguous      int64                   `json:"ambiguous"`
 	CacheHits      int64                   `json:"cache_hits"`
 	AvgLatencyMsec float64                 `json:"avg_latency_ms"`
+	Index          IndexStats              `json:"index"`
 	Cache          CacheStats              `json:"cache"`
 	Latency        map[string]LatencyStats `json:"latency"`
 }
@@ -245,6 +254,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		selected []core.Selected
 		specs    []suggest.Specialization
 		hit      bool
+		err      error
 	)
 	func() {
 		// Release the slot via defer: a panic in the pipeline is recovered
@@ -254,9 +264,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.inFlight.Add(-1)
 			<-s.sem
 		}()
-		selected, specs, hit = s.handle.DiversifyCachedK(q, alg, k)
+		// The request context rides into the retrieval fan-out: when the
+		// client disconnects mid-search, the shard workers stop instead
+		// of finishing a SERP nobody will read.
+		selected, specs, hit, err = s.handle.DiversifyCachedKCtx(r.Context(), q, alg, k)
 	}()
 	took := time.Since(began)
+	if err != nil {
+		// Only a canceled/expired request context reaches here; the
+		// client is gone, but account for the aborted search.
+		s.rejected.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, "request canceled during retrieval")
+		return
+	}
 
 	s.searches.Add(1)
 	s.serveNano.Add(took.Nanoseconds())
@@ -308,6 +328,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for endpoint, hist := range s.latency {
 		latency[endpoint] = hist.snapshot()
 	}
+	seg := s.handle.Pipeline.Engine.Segments()
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:  int64(time.Since(s.start).Seconds()),
 		Workers:        s.cfg.Workers,
@@ -319,7 +340,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Ambiguous:      s.ambiguous.Load(),
 		CacheHits:      s.cacheHits.Load(),
 		AvgLatencyMsec: avgMs,
-		Latency:        latency,
+		Index: IndexStats{
+			Shards:       seg.NumShards(),
+			DocsPerShard: seg.ShardSizes(),
+		},
+		Latency: latency,
 		Cache: CacheStats{
 			Hits:      cs.Hits,
 			Misses:    cs.Misses,

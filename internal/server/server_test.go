@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -303,5 +304,41 @@ func TestWorkerPoolSheds(t *testing.T) {
 	getJSON(t, ts.URL+"/stats", &st)
 	if st.Rejected != 4 {
 		t.Errorf("rejected = %d, want 4", st.Rejected)
+	}
+}
+
+// TestStatsIndexShards: /stats must report the engine's segment
+// partition, and the per-shard doc counts must sum to the collection.
+func TestStatsIndexShards(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Index.Shards < 1 || len(st.Index.DocsPerShard) != st.Index.Shards {
+		t.Fatalf("index stats malformed: %+v", st.Index)
+	}
+	total := 0
+	for _, d := range st.Index.DocsPerShard {
+		total += d
+	}
+	if total != testPipeline(t).Engine.NumDocs() {
+		t.Errorf("shard docs sum %d, want %d", total, testPipeline(t).Engine.NumDocs())
+	}
+}
+
+// TestSearchCanceledRequest: a request whose context is already canceled
+// must be answered 503 (shed), never 200, and must not wedge a worker.
+func TestSearchCanceledRequest(t *testing.T) {
+	p := testPipeline(t)
+	srv, _ := newTestServer(t, Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", searchURL("http://x", p.Testbed.TopicQuery(1), nil), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled request: status %d, want 503", rec.Code)
+	}
+	if got := srv.inFlight.Load(); got != 0 {
+		t.Errorf("in_flight = %d after canceled request", got)
 	}
 }

@@ -35,6 +35,72 @@ func ComputeIDFFromVectors(docs []Vector) IDF {
 	return ComputeIDF(df, len(docs))
 }
 
+// DocFreqSource is the slice of an inverted index the ID-based IDF
+// computation needs: the dictionary size, the collection size, and the
+// per-term document frequency by internal term number. *index.Index
+// satisfies it.
+type DocFreqSource interface {
+	NumTerms() int
+	NumDocs() int
+	DF(id int32) int
+}
+
+// SliceIDF is the ID-indexed twin of IDF: one weight per dictionary term,
+// indexed by term number. Where the map-based path materializes a
+// term→df map (one allocation per dictionary entry) just to throw it away
+// after the IDF table is built, SliceIDF is computed by a single walk of
+// the dictionary into one flat []float64 — zero map allocation — and
+// weight lookups during Apply are an array index for every in-collection
+// term. Results are bit-identical to the map path: same ln(1+N/df)
+// weights, same "unknown term weighs 1" rule, same accumulation order
+// (vectors keep their terms sorted).
+type SliceIDF struct {
+	lex     *Lexicon
+	weights []float64
+}
+
+// ComputeIDFFromIndex walks src's dictionary once and returns the
+// ID-indexed IDF table. lex must be the lexicon whose sorted base IS the
+// dictionary (the engine seeds it with WrapSortedTerms(idx.Terms())), so
+// a base lexicon ID and a dictionary term number agree; overflow IDs —
+// out-of-collection terms — fall outside the weight slice and weigh 1,
+// exactly like the map path's missing entries.
+func ComputeIDFFromIndex(src DocFreqSource, lex *Lexicon) SliceIDF {
+	n := float64(src.NumDocs())
+	weights := make([]float64, src.NumTerms())
+	for id := range weights {
+		if df := src.DF(int32(id)); df > 0 {
+			weights[id] = math.Log(1 + n/float64(df))
+		}
+	}
+	return SliceIDF{lex: lex, weights: weights}
+}
+
+// Apply reweights v by IDF exactly as IDF.Apply does (unknown terms get
+// weight 1), without building the intermediate counts map: v's terms are
+// already sorted and unique, so the reweighted vector and its norm are
+// assembled in one ordered pass — the same order FromCounts uses, keeping
+// the floats bit-identical to the map path.
+func (s SliceIDF) Apply(v Vector) Vector {
+	terms := make([]string, 0, len(v.Terms))
+	weights := make([]float64, 0, len(v.Terms))
+	ss := 0.0
+	for i, t := range v.Terms {
+		w := 1.0
+		if id, ok := s.lex.ID(t); ok && int(id) < len(s.weights) && s.weights[id] != 0 {
+			w = s.weights[id]
+		}
+		nw := v.Weights[i] * w
+		if nw == 0 {
+			continue // FromCounts drops zero components; match it
+		}
+		terms = append(terms, t)
+		weights = append(weights, nw)
+		ss += nw * nw
+	}
+	return Vector{Terms: terms, Weights: weights, norm: math.Sqrt(ss)}
+}
+
 // Apply reweights v by IDF (unknown terms get weight idf=1) and returns a
 // new vector with a recomputed norm.
 func (idf IDF) Apply(v Vector) Vector {

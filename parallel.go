@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/cache"
@@ -11,36 +12,38 @@ import (
 
 // BuildProblemParallel is the §6 future-work architecture the paper
 // sketches — "a search architecture performing the diversification task
-// in parallel with the document scoring phase": the R_q retrieval (the
-// expensive document-scoring call) runs concurrently with the |S_q|
-// specialization retrievals that build the R_q′ surrogate lists, instead
-// of sequentially after them. The output is identical to BuildProblem;
-// only wall-clock latency changes (see BenchmarkParallelPipeline).
+// in parallel with the document scoring phase" — realized as scatter-
+// gather over the index segments: the R_q retrieval and all |S_q|
+// specialization retrievals are batched into ONE fan-out, so each shard
+// worker scores every pending query vector in a single pass over its
+// postings and a request costs one round of shard parallelism instead of
+// 1+|S_q| sequential index traversals. The output is identical to
+// BuildProblem; only wall-clock latency changes (see
+// BenchmarkParallelPipeline and BenchmarkSpecRetrieval).
 func (p *Pipeline) BuildProblemParallel(query string, specs []suggest.Specialization) *core.Problem {
-	problem := p.newProblem(query, nil, make([]core.Specialization, len(specs)))
-
-	var wg sync.WaitGroup
-
-	// Document scoring phase: retrieve and vectorize R_q.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		problem.Candidates = p.candidateDocs(query)
-	}()
-
-	// Diversification preparation: one R_q′ list per specialization,
-	// each on its own goroutine (the engine is immutable after Build,
-	// so concurrent searches are safe).
-	for si := range specs {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			problem.Specs[si] = p.specList(specs[si])
-		}(si)
-	}
-
-	wg.Wait()
+	problem, _ := p.BuildProblemBatched(context.Background(), query, specs) // Background never cancels
 	return problem
+}
+
+// BuildProblemBatched is BuildProblemParallel with request-scoped
+// cancellation: ctx aborts the shard fan-out mid-flight (the only
+// possible error is ctx.Err()).
+func (p *Pipeline) BuildProblemBatched(ctx context.Context, query string, specs []suggest.Specialization) (*core.Problem, error) {
+	queries := make([]string, 1+len(specs))
+	ks := make([]int, 1+len(specs))
+	queries[0], ks[0] = query, p.Config.NumCandidates
+	for i, s := range specs {
+		queries[1+i], ks[1+i] = s.Query, p.Config.PerSpec
+	}
+	lists, err := p.Engine.SearchBatch(ctx, queries, ks)
+	if err != nil {
+		return nil, err
+	}
+	specLists := make([]core.Specialization, len(specs))
+	for i := range specs {
+		specLists[i] = p.specFromResults(specs[i], lists[1+i])
+	}
+	return p.newProblem(query, p.candidatesFromResults(lists[0]), specLists), nil
 }
 
 // DiversifyParallel is Diversify with the overlapped architecture.
@@ -120,6 +123,18 @@ func (h *ServeHandle) DiversifyCached(query string, alg core.Algorithm) ([]core.
 // k-independent: S_q and the R_q′ lists do not depend on how many
 // results the caller wants back.
 func (h *ServeHandle) DiversifyCachedK(query string, alg core.Algorithm, k int) ([]core.Selected, []suggest.Specialization, bool) {
+	sel, specs, hit, _ := h.DiversifyCachedKCtx(context.Background(), query, alg, k) // Background never cancels
+	return sel, specs, hit
+}
+
+// DiversifyCachedKCtx is DiversifyCachedK with request-scoped
+// cancellation: ctx is threaded into the per-request R_q retrieval
+// fan-out, so a shed or client-aborted request stops its shard work
+// mid-flight instead of running to completion (the only possible error
+// is ctx.Err()). The shared artifact build deliberately does NOT inherit
+// ctx — its product is cached and served to every follower of the
+// singleflight, so one impatient client must not poison it.
+func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg core.Algorithm, k int) ([]core.Selected, []suggest.Specialization, bool, error) {
 	p := h.Pipeline
 	// Serving normalizes at the edge: the log-mined knowledge (QFG nodes,
 	// recommender keys, popularity function) lives in normalized query
@@ -132,17 +147,21 @@ func (h *ServeHandle) DiversifyCachedK(query string, alg core.Algorithm, k int) 
 	// is the only retrieval left.
 	art, hit := h.cache.Get(norm)
 	var candidates []core.Doc
+	var candErr error
 	if hit {
-		candidates = p.candidateDocs(norm)
+		candidates, candErr = p.candidateDocsCtx(ctx, norm)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			candidates = p.candidateDocs(norm)
+			candidates, candErr = p.candidateDocsCtx(ctx, norm)
 		}()
 		art = h.buildOrJoin(norm)
 		wg.Wait()
+	}
+	if candErr != nil {
+		return nil, nil, hit, candErr
 	}
 
 	problem := p.newProblem(norm, candidates, art.SpecLists)
@@ -150,9 +169,9 @@ func (h *ServeHandle) DiversifyCachedK(query string, alg core.Algorithm, k int) 
 		problem.K = k
 	}
 	if len(art.Specs) == 0 {
-		return core.Baseline(problem), nil, hit
+		return core.Baseline(problem), nil, hit, nil
 	}
-	return core.Diversify(alg, problem), art.Specs, hit
+	return core.Diversify(alg, problem), art.Specs, hit, nil
 }
 
 // buildOrJoin returns the artifacts for norm, building them if this
@@ -188,8 +207,11 @@ func (h *ServeHandle) buildOrJoin(norm string) *queryArtifacts {
 	return c.art
 }
 
-// buildArtifacts runs Algorithm 1 and fetches the R_q′ lists, one
-// goroutine per specialization as in BuildProblemParallel.
+// buildArtifacts runs Algorithm 1 and fetches the R_q′ lists: all |S_q|
+// specialization retrievals are batched into a single scatter-gather
+// round over the index segments (one pass per shard scores every spec's
+// query vector), as in BuildProblemBatched. The build runs under
+// context.Background() on purpose — see DiversifyCachedKCtx.
 func (h *ServeHandle) buildArtifacts(norm string) *queryArtifacts {
 	p := h.Pipeline
 	specs := p.DetectSpecializations(norm)
@@ -197,14 +219,17 @@ func (h *ServeHandle) buildArtifacts(norm string) *queryArtifacts {
 		Specs:     specs,
 		SpecLists: make([]core.Specialization, len(specs)),
 	}
-	var wg sync.WaitGroup
-	for si := range specs {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			art.SpecLists[si] = p.specList(specs[si])
-		}(si)
+	if len(specs) == 0 {
+		return art
 	}
-	wg.Wait()
+	queries := make([]string, len(specs))
+	ks := make([]int, len(specs))
+	for i, s := range specs {
+		queries[i], ks[i] = s.Query, p.Config.PerSpec
+	}
+	lists, _ := p.Engine.SearchBatch(context.Background(), queries, ks) // Background never cancels
+	for i := range specs {
+		art.SpecLists[i] = p.specFromResults(specs[i], lists[i])
+	}
 	return art
 }

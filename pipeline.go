@@ -19,6 +19,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -133,6 +134,23 @@ func (p *Pipeline) DetectSpecializations(query string) []suggest.Specialization 
 // built directly in interned form under the engine's lexicon — the string
 // Vector field stays empty, so a candidate costs int32 term IDs instead
 // of term strings.
+func (p *Pipeline) candidateDocs(query string) []core.Doc {
+	return p.candidatesFromResults(p.Engine.Search(query, p.Config.NumCandidates))
+}
+
+// candidateDocsCtx is candidateDocs with request-scoped cancellation
+// threaded into the retrieval fan-out; the only possible error is
+// ctx.Err().
+func (p *Pipeline) candidateDocsCtx(ctx context.Context, query string) ([]core.Doc, error) {
+	results, err := p.Engine.SearchCtx(ctx, query, p.Config.NumCandidates)
+	if err != nil {
+		return nil, err
+	}
+	return p.candidatesFromResults(results), nil
+}
+
+// candidatesFromResults converts a retrieved R_q into diversification
+// candidates.
 //
 // P(d|q) is "the likelihood of document d being observed given q"
 // (§3.1.2), derived from the retrieval score max-normalized over R_q.
@@ -140,8 +158,7 @@ func (p *Pipeline) DetectSpecializations(query string) []suggest.Specialization 
 // (1-λ)·P(d|q) term of Equations (5)/(9) microscopic and collapses
 // every method into pure utility ordering; max-normalization keeps the
 // two terms on the comparable footing the paper's λ = 0.15 implies.)
-func (p *Pipeline) candidateDocs(query string) []core.Doc {
-	results := p.Engine.Search(query, p.Config.NumCandidates)
+func (p *Pipeline) candidatesFromResults(results []engine.Result) []core.Doc {
 	maxScore := 0.0
 	for _, r := range results {
 		if r.Score > maxScore {
@@ -170,7 +187,11 @@ func (p *Pipeline) candidateDocs(query string) []core.Doc {
 // which is what makes the cached artifact lists compact: a cached R_q′
 // entry holds int32 IDs, not strings.
 func (p *Pipeline) specList(s suggest.Specialization) core.Specialization {
-	specResults := p.Engine.Search(s.Query, p.Config.PerSpec)
+	return p.specFromResults(s, p.Engine.Search(s.Query, p.Config.PerSpec))
+}
+
+// specFromResults converts a retrieved R_q′ into the core representation.
+func (p *Pipeline) specFromResults(s suggest.Specialization, specResults []engine.Result) core.Specialization {
 	rs := make([]core.SpecResult, len(specResults))
 	for i, r := range specResults {
 		rs[i] = core.SpecResult{
