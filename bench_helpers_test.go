@@ -1,10 +1,14 @@
 package repro_test
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"repro"
+	"repro/internal/index"
+	"repro/internal/ranking"
 	"repro/internal/synth"
 )
 
@@ -36,4 +40,42 @@ func buildBenchPipeline(b *testing.B) *repro.Pipeline {
 		b.Fatal(benchPipeErr)
 	}
 	return benchPipe
+}
+
+var (
+	pruneIdxOnce sync.Once
+	pruneIdx     *index.Index
+)
+
+// buildPruningBenchIndex memoizes the collection-scale index behind
+// BenchmarkRetrievePruned: 20k documents over a Zipf-skewed vocabulary
+// (squared-uniform draw, the same recipe as ranking.BenchmarkRetrieveDPH)
+// with the DPH max-score table installed — big enough that a top-100
+// heap threshold actually forms, which is the regime dynamic pruning is
+// for.
+func buildPruningBenchIndex(b *testing.B) *index.Index {
+	b.Helper()
+	pruneIdxOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		builder := index.NewBuilder()
+		vocab := make([]string, 5000)
+		for i := range vocab {
+			vocab[i] = fmt.Sprintf("t%04d", i)
+		}
+		for d := 0; d < 20000; d++ {
+			toks := make([]string, 60)
+			for j := range toks {
+				u := rng.Float64()
+				toks[j] = vocab[int(u*u*float64(len(vocab)))]
+			}
+			if err := builder.Add(fmt.Sprintf("doc%05d", d), toks); err != nil {
+				panic(err)
+			}
+		}
+		pruneIdx = builder.Build()
+		if err := ranking.InstallMaxScores(pruneIdx, ranking.DPH{}); err != nil {
+			panic(err)
+		}
+	})
+	return pruneIdx
 }

@@ -7,6 +7,7 @@
 //	buildindex -o engine.bin -topics 20
 //	buildindex -o engine.bin -corpus docs.tsv
 //	buildindex -o engine.bin -shards 4      # record a 4-segment manifest
+//	buildindex -o engine.bin -no-maxscore   # skip the per-term max-score tables
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	topics := flag.Int("topics", 20, "synthetic testbed topics (when -corpus is empty)")
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
 	shards := flag.Int("shards", 1, "index segments recorded in the shard manifest (serving fans retrieval out over them)")
+	noMaxScore := flag.Bool("no-maxscore", false, "skip computing/persisting per-term max-score tables (loaders rebuild them unless they too disable pruning)")
 	flag.Parse()
 
 	var docs []engine.Document
@@ -61,7 +63,7 @@ func main() {
 		}
 	}
 
-	eng, err := engine.Build(docs, engine.Config{Shards: *shards})
+	eng, err := engine.Build(docs, engine.Config{Shards: *shards, DisablePruning: *noMaxScore})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "buildindex:", err)
 		os.Exit(1)
@@ -81,6 +83,7 @@ func main() {
 	if st != nil {
 		size = st.Size()
 	}
-	fmt.Fprintf(os.Stderr, "indexed %d documents (%d terms, %d shards) -> %s (%.2f MiB)\n",
-		eng.NumDocs(), eng.Index().NumTerms(), eng.Segments().NumShards(), *out, float64(size)/(1<<20))
+	fmt.Fprintf(os.Stderr, "indexed %d documents (%d terms, %d shards, %d max-score tables) -> %s (%.2f MiB)\n",
+		eng.NumDocs(), eng.Index().NumTerms(), eng.Segments().NumShards(),
+		len(eng.Index().MaxScoreKeys()), *out, float64(size)/(1<<20))
 }

@@ -8,6 +8,7 @@
 //	serve                                   # defaults: :8080, 8 workers, 1 shard
 //	serve -addr :9090 -workers 16 -cache 4096
 //	serve -shards 4                         # retrieval fans out over 4 index segments
+//	serve -no-prune                         # exhaustive retrieval (MaxScore pruning off)
 //	serve -topics 20 -sessions 8000 -alg xquad -k 20
 //	serve -pprof                            # expose /debug/pprof/ too
 //
@@ -49,6 +50,7 @@ func main() {
 	cacheCap := flag.Int("cache", 1024, "query-artifact cache capacity (entries)")
 	cacheShards := flag.Int("cache-shards", 16, "cache shard count")
 	shards := flag.Int("shards", 1, "index segments; every retrieval fans out over this many shards in parallel (results are identical at any count)")
+	noPrune := flag.Bool("no-prune", false, "disable MaxScore dynamic pruning and retrieve exhaustively (results are identical either way; pruning is just faster)")
 	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
 	maxK := flag.Int("maxk", 100, "cap on per-request k")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
@@ -63,7 +65,7 @@ func main() {
 	cfg := repro.Config{
 		Corpus:        synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
 		Log:           synth.AOLLike(*seed+1, *sessions),
-		Engine:        engine.Config{Shards: *shards},
+		Engine:        engine.Config{Shards: *shards, DisablePruning: *noPrune},
 		NumCandidates: *candidates,
 		PerSpec:       *perSpec,
 		K:             *k,
@@ -77,9 +79,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed over %d shards, %d log records, %d sessions\n",
+	pruning := "maxscore pruning"
+	if !pipe.Engine.PruningEnabled() {
+		pruning = "exhaustive retrieval"
+	}
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed over %d shards (%s), %d log records, %d sessions\n",
 		time.Since(began).Round(time.Millisecond), pipe.Engine.NumDocs(),
-		pipe.Engine.Segments().NumShards(), pipe.Log.Len(), len(pipe.Sessions))
+		pipe.Engine.Segments().NumShards(), pruning, pipe.Log.Len(), len(pipe.Sessions))
 
 	srv := server.New(pipe.NewServeHandle(*cacheCap, *cacheShards), server.Config{
 		Workers:      *workers,

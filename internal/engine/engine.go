@@ -46,6 +46,16 @@ type Config struct {
 	// stream's shard manifest records. Results are bit-identical at any
 	// shard count — only parallelism changes.
 	Shards int
+	// DisablePruning forces the exhaustive scoring path. By default the
+	// engine retrieves with MaxScore dynamic pruning whenever the model
+	// is ranking.Boundable: per-term score upper bounds are computed at
+	// build time (or read back from a v4 index stream, or rebuilt when
+	// loading an older one) and top-k evaluation skips postings that
+	// provably cannot enter the result. Results are bit-identical either
+	// way — the toggle exists for benchmarking and as an escape hatch.
+	// Disabling it also skips computing/persisting the max-score tables
+	// for fresh builds.
+	DisablePruning bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,9 +114,22 @@ func Build(docs []Document, cfg Config) (*Engine, error) {
 // newEngine assembles an Engine around a segmented index and its raw
 // document store — shared by Build and Load. The lexicon wraps the index
 // dictionary (sorted by the Build invariant), and the IDF table is the
-// ID-indexed walk of the same dictionary.
+// ID-indexed walk of the same dictionary. Max-score tables for the
+// registered boundable models plus the configured one are installed
+// here, while the index is still privately owned: fresh builds compute
+// them, v4 streams arrive with them, and older streams get them rebuilt
+// — so pruning works identically whichever way the engine came to be.
 func newEngine(cfg Config, seg *index.Segmented, raw map[string]string) *Engine {
 	idx := seg.Index()
+	if !cfg.DisablePruning {
+		models := append(ranking.PrecomputableModels(), cfg.Model)
+		if err := ranking.InstallMaxScores(idx, models...); err != nil {
+			// Only reachable through a table/dictionary size mismatch,
+			// which InstallMaxScores cannot produce from its own
+			// ComputeMaxScores output.
+			panic(err)
+		}
+	}
 	lex := textsim.WrapSortedTerms(idx.Terms())
 	return &Engine{
 		cfg:     cfg,
@@ -128,6 +151,18 @@ func (e *Engine) Segments() *index.Segmented { return e.seg }
 // Model returns the engine's weighting model.
 func (e *Engine) Model() ranking.Model { return e.cfg.Model }
 
+// PruningEnabled reports whether retrieval runs with MaxScore dynamic
+// pruning: the config allows it and the index carries the model's
+// max-score table. The serving layer surfaces this in /stats.
+func (e *Engine) PruningEnabled() bool {
+	return !e.cfg.DisablePruning && ranking.Pruneable(e.seg.Index(), e.cfg.Model)
+}
+
+// batchOpts returns the retrieval options every search path shares.
+func (e *Engine) batchOpts() ranking.BatchOptions {
+	return ranking.BatchOptions{Prune: !e.cfg.DisablePruning}
+}
+
 // NumDocs returns the collection size.
 func (e *Engine) NumDocs() int { return e.seg.Index().NumDocs() }
 
@@ -144,7 +179,7 @@ func (e *Engine) Search(query string, k int) []Result {
 // to completion. The only possible error is ctx.Err().
 func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, error) {
 	qTokens := e.cfg.Analyzer.Tokens(query)
-	hits, err := ranking.RetrieveSharded(ctx, e.seg, e.cfg.Model, qTokens, k)
+	hits, err := ranking.RetrieveShardedOpts(ctx, e.seg, e.cfg.Model, qTokens, k, e.batchOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +197,7 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []string, ks []int) ([
 	for i, q := range queries {
 		qTokens[i] = e.cfg.Analyzer.Tokens(q)
 	}
-	hitLists, err := ranking.RetrieveBatch(ctx, e.seg, e.cfg.Model, qTokens, ks)
+	hitLists, err := ranking.RetrieveBatchOpts(ctx, e.seg, e.cfg.Model, qTokens, ks, e.batchOpts())
 	if err != nil {
 		return nil, err
 	}

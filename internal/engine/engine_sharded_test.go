@@ -161,3 +161,83 @@ func TestSliceIDFMatchesMapIDF(t *testing.T) {
 		}
 	}
 }
+
+// TestPruningBitIdenticalAndPersisted covers the engine-level MaxScore
+// contract: pruned and exhaustive engines answer identically at every
+// shard count, the max-score tables survive a save/load round trip, and
+// a stream written without tables gets them rebuilt at load time.
+func TestPruningBitIdenticalAndPersisted(t *testing.T) {
+	docs := shardCorpus(80)
+	exhaustive, err := Build(docs, Config{DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhaustive.PruningEnabled() {
+		t.Fatal("DisablePruning engine reports pruning enabled")
+	}
+	if keys := exhaustive.Index().MaxScoreKeys(); len(keys) != 0 {
+		t.Fatalf("DisablePruning build computed tables %v", keys)
+	}
+	queries := []string{"apple pie recipe", "leopard tank", "apple apple mac", "nosuchterm"}
+	for _, shards := range []int{1, 2, 4, 7} {
+		pruning, err := Build(docs, Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pruning.PruningEnabled() {
+			t.Fatalf("shards=%d: pruning not enabled for the default DPH engine", shards)
+		}
+		for _, q := range queries {
+			want := exhaustive.Search(q, 20)
+			got := pruning.Search(q, 20)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d q=%q:\n got %+v\nwant %+v", shards, q, got, want)
+			}
+		}
+	}
+
+	// Save/load keeps the tables (no rebuild needed) and the answers.
+	built, err := Build(docs, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.PruningEnabled() {
+		t.Fatal("loaded engine lost pruning")
+	}
+	if !reflect.DeepEqual(loaded.Index().MaxScoreKeys(), built.Index().MaxScoreKeys()) {
+		t.Fatalf("table keys did not round-trip: %v vs %v",
+			loaded.Index().MaxScoreKeys(), built.Index().MaxScoreKeys())
+	}
+	for _, q := range queries {
+		if !reflect.DeepEqual(loaded.Search(q, 20), built.Search(q, 20)) {
+			t.Fatalf("loaded engine diverged on %q", q)
+		}
+	}
+
+	// A tableless stream (written by a DisablePruning build — the same
+	// shape as a pre-v4 stream) rebuilds its tables on load.
+	var bare bytes.Buffer
+	if err := exhaustive.SaveTo(&bare); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := Load(&bare, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.PruningEnabled() {
+		t.Fatal("load did not rebuild the missing max-score tables")
+	}
+	for _, q := range queries {
+		if !reflect.DeepEqual(rebuilt.Search(q, 20), exhaustive.Search(q, 20)) {
+			t.Fatalf("rebuilt-table engine diverged on %q", q)
+		}
+	}
+}

@@ -6,20 +6,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
 // Binary serialization of an Index. Layout (all integers unsigned varints
 // unless noted):
 //
-//	magic  "RIDX3\n"
+//	magic  "RIDX4\n"
 //	numDocs, then per doc: idLen, idBytes, docLen
 //	totalTokens
 //	numTerms, then per term (in term-id order):
 //	    termLen, termBytes, cf, df,
 //	    df postings as (docDelta, tf) with docDelta = doc - prevDoc
 //	    (first delta = doc + 1 so deltas are always >= 1)
-//	numShards, then per shard: shard document count (v3 only)
+//	numShards, then per shard: shard document count (v3+)
+//	numTables, then per table (in sorted key order):
+//	    keyLen, keyBytes, numTerms float64s (8-byte little-endian) (v4 only)
 //
 // The format is self-contained and versioned by the magic string.
 //
@@ -37,8 +40,16 @@ import (
 // manifest; the loaded index itself is identical across all three
 // versions, and Resegment can re-partition a loaded index at any shard
 // count without touching the stream.
+//
+// Version 4 appends the max-score block: the per-term score upper-bound
+// tables MaxScore dynamic pruning consumes (one table per registered
+// scoring function, see SetMaxScores), so a served index prunes from its
+// first query without a rebuild pass. v1–v3 streams simply carry no
+// tables; the engine recomputes the ones its model needs at load time,
+// so a loaded index *serves* identically across all four versions.
 
 const (
+	magicV4 = "RIDX4\n"
 	magicV3 = "RIDX3\n"
 	magicV2 = "RIDX2\n"
 	magicV1 = "RIDX1\n"
@@ -47,7 +58,7 @@ const (
 // ErrBadFormat reports a corrupt or foreign index stream.
 var ErrBadFormat = errors.New("index: bad index format")
 
-// WriteTo serializes the index to w as a single-shard v3 stream.
+// WriteTo serializes the index to w as a single-shard v4 stream.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	return x.writeStream(w, nil)
 }
@@ -58,7 +69,7 @@ func (s *Segmented) WriteTo(w io.Writer) (int64, error) {
 	return s.idx.writeStream(w, s.bounds)
 }
 
-// writeStream emits the v3 stream. bounds carries the shard boundaries of
+// writeStream emits the v4 stream. bounds carries the shard boundaries of
 // a Segmented (len shards+1); nil means a single shard covering every
 // document.
 func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
@@ -81,7 +92,7 @@ func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
 		return write([]byte(s))
 	}
 
-	if err := write([]byte(magicV3)); err != nil {
+	if err := write([]byte(magicV4)); err != nil {
 		return n, err
 	}
 	if err := writeUvarint(uint64(len(x.docIDs))); err != nil {
@@ -141,11 +152,29 @@ func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
 			}
 		}
 	}
+	// Max-score block: the per-term upper-bound tables, in sorted key
+	// order so the stream is canonical.
+	keys := x.MaxScoreKeys()
+	if err := writeUvarint(uint64(len(keys))); err != nil {
+		return n, err
+	}
+	var f64 [8]byte
+	for _, key := range keys {
+		if err := writeString(key); err != nil {
+			return n, err
+		}
+		for _, v := range x.maxScores[key] {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+			if err := write(f64[:]); err != nil {
+				return n, err
+			}
+		}
+	}
 	return n, bw.Flush()
 }
 
-// Read deserializes an index written by WriteTo — current (v3) streams
-// and pre-bump v1/v2 streams alike; see the format comment above. The
+// Read deserializes an index written by WriteTo — current (v4) streams
+// and pre-bump v1–v3 streams alike; see the format comment above. The
 // shard manifest, if any, is consumed and dropped: callers that care
 // about the partition use ReadSegmented.
 func Read(r io.Reader) (*Index, error) {
@@ -155,6 +184,7 @@ func Read(r io.Reader) (*Index, error) {
 
 // ReadSegmented deserializes an index together with its shard manifest.
 // v1/v2 streams predate the manifest and come back as a single shard.
+// The max-score block of a v4 stream loads with either entry point.
 func ReadSegmented(r io.Reader) (*Segmented, error) {
 	x, sizes, err := readStream(r)
 	if err != nil {
@@ -178,6 +208,8 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 	}
 	version := 0
 	switch string(head) {
+	case magicV4:
+		version = 4
 	case magicV3:
 		version = 3
 	case magicV2:
@@ -210,20 +242,27 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 	if numDocs > 1<<31 {
 		return nil, nil, fmt.Errorf("%w: numDocs %d too large", ErrBadFormat, numDocs)
 	}
+	// Counts are untrusted until that many entries have actually been
+	// parsed: grow from a capped capacity instead of pre-allocating, so a
+	// corrupt count fails with a parse error, not an OOM. (Every entry is
+	// at least one byte, so a truncated stream runs out of input long
+	// before the slices grow pathological.)
 	x := &Index{
-		docIDs:  make([]string, numDocs),
-		docLens: make([]int32, numDocs),
+		docIDs:  make([]string, 0, capHint(numDocs)),
+		docLens: make([]int32, 0, capHint(numDocs)),
 		terms:   make(map[string]int32, 1024),
 	}
-	for i := range x.docIDs {
-		if x.docIDs[i], err = readString(); err != nil {
+	for i := uint64(0); i < numDocs; i++ {
+		id, err := readString()
+		if err != nil {
 			return nil, nil, fmt.Errorf("%w: docID %d: %v", ErrBadFormat, i, err)
 		}
 		dl, err := readUvarint()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: docLen %d: %v", ErrBadFormat, i, err)
 		}
-		x.docLens[i] = int32(dl)
+		x.docIDs = append(x.docIDs, id)
+		x.docLens = append(x.docLens, int32(dl))
 	}
 	total, err := readUvarint()
 	if err != nil {
@@ -237,21 +276,21 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 	if numTerms > 1<<31 {
 		return nil, nil, fmt.Errorf("%w: numTerms %d too large", ErrBadFormat, numTerms)
 	}
-	x.termList = make([]string, numTerms)
-	x.postings = make([][]Posting, numTerms)
-	x.cf = make([]int64, numTerms)
-	for id := range x.termList {
+	x.termList = make([]string, 0, capHint(numTerms))
+	x.postings = make([][]Posting, 0, capHint(numTerms))
+	x.cf = make([]int64, 0, capHint(numTerms))
+	for id := uint64(0); id < numTerms; id++ {
 		term, err := readString()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: term %d: %v", ErrBadFormat, id, err)
 		}
-		x.termList[id] = term
+		x.termList = append(x.termList, term)
 		x.terms[term] = int32(id)
 		cf, err := readUvarint()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: cf: %v", ErrBadFormat, err)
 		}
-		x.cf[id] = int64(cf)
+		x.cf = append(x.cf, int64(cf))
 		df, err := readUvarint()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: df: %v", ErrBadFormat, err)
@@ -259,9 +298,9 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 		if df > numDocs {
 			return nil, nil, fmt.Errorf("%w: df %d > numDocs %d", ErrBadFormat, df, numDocs)
 		}
-		plist := make([]Posting, df)
+		plist := make([]Posting, 0, capHint(df))
 		prev := int32(-1)
-		for j := range plist {
+		for j := uint64(0); j < df; j++ {
 			delta, err := readUvarint()
 			if err != nil {
 				return nil, nil, fmt.Errorf("%w: posting delta: %v", ErrBadFormat, err)
@@ -277,19 +316,23 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 			if doc < 0 || uint64(doc) >= numDocs {
 				return nil, nil, fmt.Errorf("%w: doc %d out of range", ErrBadFormat, doc)
 			}
-			plist[j] = Posting{Doc: doc, TF: int32(tf)}
+			plist = append(plist, Posting{Doc: doc, TF: int32(tf)})
 			prev = doc
 		}
-		x.postings[id] = plist
+		x.postings = append(x.postings, plist)
 	}
 	sizes := []int64{int64(numDocs)}
-	switch version {
-	case 3:
-		// v3 promises a sorted dictionary (inherited from v2) plus the
-		// shard manifest; violations of either mean corruption.
+	if version >= 2 {
+		// v2+ promise a sorted dictionary; a violation means corruption.
 		if !sort.StringsAreSorted(x.termList) {
-			return nil, nil, fmt.Errorf("%w: v3 dictionary not in sorted order", ErrBadFormat)
+			return nil, nil, fmt.Errorf("%w: v%d dictionary not in sorted order", ErrBadFormat, version)
 		}
+	} else {
+		// Pre-bump streams carry insertion-ordered dictionaries; restore
+		// the sorted-ID invariant the rest of the system relies on.
+		x.termList, x.postings, x.cf = sortDictionary(x.termList, x.postings, x.cf, x.terms)
+	}
+	if version >= 3 {
 		numShards, err := readUvarint()
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: shard manifest: %v", ErrBadFormat, err)
@@ -297,23 +340,74 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 		if numShards == 0 || numShards > numDocs+1 {
 			return nil, nil, fmt.Errorf("%w: shard count %d out of range", ErrBadFormat, numShards)
 		}
-		sizes = make([]int64, numShards)
-		for i := range sizes {
+		sizes = make([]int64, 0, capHint(numShards))
+		for i := uint64(0); i < numShards; i++ {
 			sz, err := readUvarint()
 			if err != nil {
 				return nil, nil, fmt.Errorf("%w: shard size %d: %v", ErrBadFormat, i, err)
 			}
-			sizes[i] = int64(sz)
+			sizes = append(sizes, int64(sz))
 		}
-	case 2:
-		// v2 promises a sorted dictionary; a violation means corruption.
-		if !sort.StringsAreSorted(x.termList) {
-			return nil, nil, fmt.Errorf("%w: v2 dictionary not in sorted order", ErrBadFormat)
+	}
+	if version >= 4 {
+		if err := readMaxScoreBlock(br, x); err != nil {
+			return nil, nil, err
 		}
-	case 1:
-		// Pre-bump streams carry insertion-ordered dictionaries; restore
-		// the sorted-ID invariant the rest of the system relies on.
-		x.termList, x.postings, x.cf = sortDictionary(x.termList, x.postings, x.cf, x.terms)
 	}
 	return x, sizes, nil
+}
+
+// capHint bounds the initial capacity allocated for an untrusted element
+// count: enough to avoid regrowth on every real-world stream, small
+// enough that a hostile count cannot allocate beyond it before parsing
+// fails.
+func capHint(n uint64) int {
+	const max = 1 << 16
+	if n > max {
+		return max
+	}
+	return int(n)
+}
+
+// readMaxScoreBlock parses the v4 max-score tables into x. Corrupt or
+// truncated blocks error (never panic): counts, key uniqueness and the
+// finite-nonnegative value contract are all validated before the table
+// is attached.
+func readMaxScoreBlock(br *bufio.Reader, x *Index) error {
+	numTables, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: max-score table count: %v", ErrBadFormat, err)
+	}
+	if numTables > 1<<12 {
+		return fmt.Errorf("%w: %d max-score tables", ErrBadFormat, numTables)
+	}
+	var f64 [8]byte
+	for ti := uint64(0); ti < numTables; ti++ {
+		keyLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: max-score key: %v", ErrBadFormat, err)
+		}
+		if keyLen == 0 || keyLen > 1<<10 {
+			return fmt.Errorf("%w: max-score key length %d", ErrBadFormat, keyLen)
+		}
+		kb := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, kb); err != nil {
+			return fmt.Errorf("%w: max-score key: %v", ErrBadFormat, err)
+		}
+		key := string(kb)
+		if _, dup := x.maxScores[key]; dup {
+			return fmt.Errorf("%w: duplicate max-score table %q", ErrBadFormat, key)
+		}
+		scores := make([]float64, 0, capHint(uint64(x.NumTerms())))
+		for i := 0; i < x.NumTerms(); i++ {
+			if _, err := io.ReadFull(br, f64[:]); err != nil {
+				return fmt.Errorf("%w: max-score table %q entry %d: %v", ErrBadFormat, key, i, err)
+			}
+			scores = append(scores, math.Float64frombits(binary.LittleEndian.Uint64(f64[:])))
+		}
+		if err := x.SetMaxScores(key, scores); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	return nil
 }

@@ -128,20 +128,22 @@ func TestLegacyV1MatchesRebuild(t *testing.T) {
 	}
 }
 
-func TestWriteToEmitsV3(t *testing.T) {
+func TestWriteToEmitsV4(t *testing.T) {
 	x := buildSmall(t)
 	var buf bytes.Buffer
 	if _, err := x.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), magicV3) {
-		t.Errorf("stream starts with %q, want %q", buf.String()[:6], magicV3)
+	if !strings.HasPrefix(buf.String(), magicV4) {
+		t.Errorf("stream starts with %q, want %q", buf.String()[:6], magicV4)
 	}
 }
 
-// legacyStream serializes x in the given pre-manifest layout: v2 keeps
-// the built (sorted) dictionary order, v1 scrambles it (reverse-sorted)
-// to also exercise the renumbering path.
+// legacyStream serializes x in the given pre-bump layout: v2/v3 keep the
+// built (sorted) dictionary order, v1 scrambles it (reverse-sorted) to
+// also exercise the renumbering path. v3 additionally carries a
+// single-shard manifest (the shape every v3 WriteTo without explicit
+// segmentation produced); none of the three has a max-score block.
 func legacyStream(t *testing.T, x *Index, magic string) *bytes.Buffer {
 	t.Helper()
 	n := x.NumTerms()
@@ -166,6 +168,12 @@ func legacyStream(t *testing.T, x *Index, magic string) *bytes.Buffer {
 	}
 	var buf bytes.Buffer
 	writeLegacy(&buf, magic, docIDs, docLens, x.Stats().TotalTokens, terms, cf, postings)
+	if magic == magicV3 {
+		buf.WriteByte(1) // numShards = 1
+		var vbuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(vbuf[:], uint64(len(docIDs)))
+		buf.Write(vbuf[:n])
+	}
 	return &buf
 }
 
@@ -190,6 +198,105 @@ func TestLegacyStreamsLoadAsSingleShard(t *testing.T) {
 		if !indexesEqual(x, seg.Index()) {
 			t.Errorf("%q: loaded index differs from source", magic)
 		}
+	}
+}
+
+// TestLegacyStreamsCarryNoMaxScores is the read-compat half of the v4
+// contract: RIDX1–RIDX3 streams predate the max-score block, so they load
+// with an empty table set (the engine rebuilds the tables its model
+// needs), logically equal to the source index otherwise.
+func TestLegacyStreamsCarryNoMaxScores(t *testing.T) {
+	x := buildSmall(t)
+	for _, magic := range []string{magicV1, magicV2, magicV3} {
+		got, err := Read(legacyStream(t, x, magic))
+		if err != nil {
+			t.Fatalf("%q: %v", magic, err)
+		}
+		if keys := got.MaxScoreKeys(); len(keys) != 0 {
+			t.Errorf("%q: loaded with max-score tables %v, want none", magic, keys)
+		}
+		if !indexesEqual(x, got) {
+			t.Errorf("%q: loaded index differs from source", magic)
+		}
+	}
+}
+
+// TestMaxScoreTablesRoundTripV4 writes an index carrying max-score
+// tables and checks keys and values survive the v4 round trip bit for
+// bit, at several shard counts.
+func TestMaxScoreTablesRoundTripV4(t *testing.T) {
+	x := buildSmall(t)
+	tfTable := x.ComputeMaxScores(func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	})
+	if err := x.SetMaxScores("TF", tfTable); err != nil {
+		t.Fatal(err)
+	}
+	constTable := make([]float64, x.NumTerms())
+	for i := range constTable {
+		constTable[i] = 0.5 * float64(i)
+	}
+	if err := x.SetMaxScores("CONST", constTable); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		var buf bytes.Buffer
+		if _, err := SegmentIndex(x, shards).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSegmented(&buf)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if keys := got.Index().MaxScoreKeys(); len(keys) != 2 || keys[0] != "CONST" || keys[1] != "TF" {
+			t.Fatalf("shards=%d: keys = %v", shards, keys)
+		}
+		for key, want := range map[string][]float64{"TF": tfTable, "CONST": constTable} {
+			gotTable := got.Index().MaxScores(key)
+			if len(gotTable) != len(want) {
+				t.Fatalf("shards=%d %q: %d entries, want %d", shards, key, len(gotTable), len(want))
+			}
+			for i := range want {
+				if gotTable[i] != want[i] {
+					t.Errorf("shards=%d %q[%d] = %v, want %v", shards, key, i, gotTable[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCorruptMaxScoreBlocksRejected feeds a valid v4 stream with its
+// max-score block truncated or corrupted at various points: every
+// variant must error, never panic.
+func TestCorruptMaxScoreBlocksRejected(t *testing.T) {
+	x := buildSmall(t)
+	table := make([]float64, x.NumTerms())
+	for i := range table {
+		table[i] = float64(i) + 0.25
+	}
+	if err := x.SetMaxScores("T", table); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// The block sits at the tail: key ("T" + length byte) plus the
+	// float64 entries plus the table count byte.
+	blockLen := 1 + 2 + 8*x.NumTerms()
+	for cut := 1; cut <= blockLen; cut++ {
+		if _, err := Read(bytes.NewReader(full[:len(full)-cut])); err == nil {
+			t.Errorf("stream truncated by %d bytes accepted", cut)
+		}
+	}
+	// A NaN entry violates the finite-nonnegative contract.
+	nan := append([]byte(nil), full...)
+	for i := 0; i < 8; i++ {
+		nan[len(nan)-1-i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(nan)); err == nil {
+		t.Error("NaN max-score entry accepted")
 	}
 }
 

@@ -1,0 +1,80 @@
+package index
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedStream builds a small valid v4 stream (with a max-score table)
+// for the fuzzer to mutate.
+func fuzzSeedStream(tb testing.TB) []byte {
+	b := NewBuilder()
+	docs := [][2]string{
+		{"d1", "apple fruit pie apple"},
+		{"d2", "apple mac os"},
+		{"d3", "tank army leopard"},
+	}
+	for _, d := range docs {
+		if err := b.Add(d[0], strings.Fields(d[1])); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	x := b.Build()
+	table := x.ComputeMaxScores(func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	})
+	if err := x.SetMaxScores("DPH", table); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := SegmentIndex(x, 2).WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadIndex drives both codec entry points with arbitrary bytes: any
+// input may be rejected with an error, but none may panic or hang —
+// truncated or corrupt streams (including mangled max-score blocks, the
+// RIDX4 addition) must degrade to ErrBadFormat-wrapped errors. CI runs
+// this for a short fixed budget next to the deterministic corrupt-stream
+// cases in the codec tests.
+func FuzzReadIndex(f *testing.F) {
+	valid := fuzzSeedStream(f)
+	f.Add(valid)
+	// Truncations at structurally interesting depths: inside the magic,
+	// the dictionary, the manifest, and the max-score block.
+	for _, cut := range []int{1, 4, 7, len(valid) / 2, len(valid) - 9, len(valid) - 1} {
+		if cut > 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// Legacy magics with junk bodies, and a bare v4 header.
+	f.Add([]byte("RIDX1\n\xff\xff\xff\xff"))
+	f.Add([]byte("RIDX4\n"))
+	f.Add([]byte("RIDX4\n\x00\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if x, err := Read(bytes.NewReader(data)); err == nil {
+			// Accepted streams must produce a usable index: exercise the
+			// accessors the rest of the system leans on.
+			for id := int32(0); id < int32(x.NumTerms()); id++ {
+				_ = x.Term(id)
+				_ = x.PostingsByID(id)
+			}
+			for _, key := range x.MaxScoreKeys() {
+				if len(x.MaxScores(key)) != x.NumTerms() {
+					t.Fatalf("table %q has %d entries for %d terms", key, len(x.MaxScores(key)), x.NumTerms())
+				}
+			}
+		}
+		if seg, err := ReadSegmented(bytes.NewReader(data)); err == nil {
+			for i := 0; i < seg.NumShards(); i++ {
+				lo, hi := seg.Shard(i).DocRange()
+				if lo > hi || int(hi) > seg.Index().NumDocs() {
+					t.Fatalf("shard %d range [%d,%d) out of bounds", i, lo, hi)
+				}
+			}
+		}
+	})
+}

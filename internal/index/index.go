@@ -12,6 +12,7 @@ package index
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -150,7 +151,10 @@ func sortDictionary(termList []string, postings [][]Posting, cf []int64, ids map
 	return sorted, newPostings, newCF
 }
 
-// Index is an immutable inverted index.
+// Index is an immutable inverted index. The one exception to the
+// immutability is the max-score table set (SetMaxScores), which must be
+// populated while the index is still privately owned — at build or load
+// time, before it is shared across goroutines.
 type Index struct {
 	docIDs   []string
 	docLens  []int32
@@ -159,6 +163,11 @@ type Index struct {
 	postings [][]Posting
 	cf       []int64
 	total    int64
+	// maxScores holds per-term upper bounds on a single posting's model
+	// score contribution, keyed by the scoring function's identity
+	// (ranking.Boundable.BoundKey()). MaxScore dynamic pruning consumes
+	// these; the v4 codec persists them.
+	maxScores map[string][]float64
 }
 
 // NumDocs returns the number of indexed documents.
@@ -192,6 +201,19 @@ func (x *Index) Lookup(term string) (TermStats, bool) {
 	return TermStats{ID: id, DF: int64(len(x.postings[id])), CF: x.cf[id]}, true
 }
 
+// LookupPostings returns the statistics and postings list of term in ONE
+// dictionary probe. Retrieval used to pay two map lookups per query term
+// (Lookup for the stats, Postings for the list); the evaluators now come
+// through here. The returned slice is shared and must not be modified.
+func (x *Index) LookupPostings(term string) (TermStats, []Posting, bool) {
+	id, ok := x.terms[term]
+	if !ok {
+		return TermStats{}, nil, false
+	}
+	plist := x.postings[id]
+	return TermStats{ID: id, DF: int64(len(plist)), CF: x.cf[id]}, plist, true
+}
+
 // Postings returns the postings list of term (nil if absent). The returned
 // slice is shared and must not be modified.
 func (x *Index) Postings(term string) []Posting {
@@ -219,6 +241,69 @@ func (x *Index) Terms() []string { return x.termList }
 // allocation-free way to walk the dictionary's frequency statistics
 // (it satisfies textsim.DocFreqSource).
 func (x *Index) DF(id int32) int { return len(x.postings[id]) }
+
+// MaxScores returns the per-term maximum score-contribution table
+// registered under key, or nil if none is. The table is indexed by
+// internal term ID: entry t is an upper bound on the score any single
+// posting of term t can contribute under the scoring function key
+// identifies. The returned slice is shared and must not be modified.
+func (x *Index) MaxScores(key string) []float64 { return x.maxScores[key] }
+
+// MaxScoreKeys returns the registered max-score table keys in sorted
+// order (stats endpoints and the codec rely on the determinism).
+func (x *Index) MaxScoreKeys() []string {
+	keys := make([]string, 0, len(x.maxScores))
+	for k := range x.maxScores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SetMaxScores registers a max-score table under key, replacing any
+// previous table with that key. The table must have one entry per
+// dictionary term, and every entry must be a finite nonnegative bound —
+// the pruning machinery treats the values as proof that postings beyond
+// them cannot exist. Like the rest of index construction this is NOT safe
+// for concurrent use: call it while the index is still privately owned
+// (engine build/load time), never after the index is shared.
+func (x *Index) SetMaxScores(key string, scores []float64) error {
+	if len(scores) != len(x.termList) {
+		return fmt.Errorf("index: max-score table %q has %d entries for %d terms",
+			key, len(scores), len(x.termList))
+	}
+	for i, v := range scores {
+		if !(v >= 0) || v > math.MaxFloat64 {
+			return fmt.Errorf("index: max-score table %q entry %d is %v, want finite >= 0", key, i, v)
+		}
+	}
+	if x.maxScores == nil {
+		x.maxScores = make(map[string][]float64, 4)
+	}
+	x.maxScores[key] = scores
+	return nil
+}
+
+// ComputeMaxScores walks every posting list once and returns the per-term
+// maximum of score(tf, docLen, termStats, collectionStats) — the table
+// MaxScore pruning consumes. Negative scores are floored at 0 so the
+// result is always a valid SetMaxScores table; scoring functions meant
+// for pruning are nonnegative anyway (ranking.Boundable's contract).
+func (x *Index) ComputeMaxScores(score func(tf, docLen float64, t TermStats, c CollectionStats) float64) []float64 {
+	c := x.Stats()
+	out := make([]float64, len(x.termList))
+	for id, plist := range x.postings {
+		t := TermStats{ID: int32(id), DF: int64(len(plist)), CF: x.cf[id]}
+		max := 0.0
+		for _, p := range plist {
+			if s := score(float64(p.TF), float64(x.docLens[p.Doc]), t, c); s > max {
+				max = s
+			}
+		}
+		out[id] = max
+	}
+	return out
+}
 
 // DocFreqs returns a term→document-frequency map (for IDF computations
 // over the whole collection).

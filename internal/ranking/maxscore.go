@@ -1,0 +1,320 @@
+package ranking
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/topk"
+)
+
+// MaxScore dynamic pruning (Turtle & Flood's algorithm, the classic of
+// the top-k retrieval literature the paper's efficiency framing leans
+// on): with a per-term upper bound on any single document's contribution
+// — the max-score table the index precomputes — the evaluator keeps the
+// query's posting lists ordered by bound and partitions them against the
+// running top-k threshold into *essential* lists, which can still lift a
+// document into the heap, and *non-essential* ones, which alone cannot.
+// Candidates are drawn from the essential lists only; each candidate's
+// remaining bound is re-checked before every non-essential probe, so
+// whole posting ranges of the frequent (low-bound) terms are skipped by
+// binary search instead of scored.
+//
+// The pruning is EXACT, not approximate: the returned top-k is
+// bit-identical to the exhaustive evaluator's, enforced by differential
+// tests. Three properties make that work:
+//
+//   - Boundable models have nonnegative term scores and zero DocAdjust,
+//     so "sum of per-term bounds" really bounds the total score;
+//   - a surviving document's final score is re-accumulated in ascending
+//     term order — the exhaustive evaluator's exact float addition
+//     sequence — from the per-term contributions recorded while probing;
+//   - documents arrive in ascending document order, so every candidate
+//     loses score ties against everything already in the heap, and a
+//     candidate whose (slack-inflated, see msSlack) bound does not
+//     exceed the threshold can be dropped even on equality.
+
+// msCursor is one query term's traversal state in the MaxScore
+// evaluator.
+type msCursor struct {
+	postings []index.Posting
+	pos      int
+	stats    index.TermStats
+	mult     float64 // query-term multiplicity
+	ub       float64 // upper bound on the term's per-doc contribution: mult · max score
+	order    int     // position in ascending term order — the accumulation order
+}
+
+// msSlack returns the multiplicative safety factor applied to pruning
+// bounds. Floating-point sums are order-sensitive: the exhaustive
+// evaluator accumulates contributions in sorted term order while the
+// bound sums upper bounds in bound order, so the two can disagree by a
+// few ulps. Inflating the (nonnegative) bound by a handful of machine
+// epsilons per list guarantees bound >= exhaustive score, keeping the
+// pruning exact; the slack is ~1e-15 relative, far too small to cost
+// pruning power.
+func msSlack(nLists int) float64 {
+	const eps = 2.220446049250313e-16 // 2^-52
+	return 1 + float64(nLists+2)*8*eps
+}
+
+// maxScoreTable returns the model's per-term upper-bound table from the
+// index, or nil when the model is not Boundable or the index carries no
+// table under its key — the callers' signal to keep the exhaustive path.
+func maxScoreTable(idx *index.Index, model Model) []float64 {
+	b, ok := model.(Boundable)
+	if !ok {
+		return nil
+	}
+	return idx.MaxScores(b.BoundKey())
+}
+
+// Pruneable reports whether MaxScore pruning can serve (idx, model):
+// the model is Boundable and idx carries its max-score table.
+func Pruneable(idx *index.Index, model Model) bool {
+	return maxScoreTable(idx, model) != nil
+}
+
+// InstallMaxScores computes and attaches max-score tables for every
+// Boundable model among models whose table idx does not already carry.
+// Engine build and load call this while the index is still privately
+// owned; it is NOT safe once the index is shared. Models that are not
+// Boundable are skipped, as is any model whose DocAdjust probes nonzero
+// — a Boundable implementation violating its zero-adjust contract must
+// not get a table, or pruning would silently turn inexact.
+func InstallMaxScores(idx *index.Index, models ...Model) error {
+	for _, m := range models {
+		b, ok := m.(Boundable)
+		if !ok || violatesZeroAdjust(b, idx.Stats()) {
+			continue
+		}
+		key := b.BoundKey()
+		if idx.MaxScores(key) != nil {
+			continue
+		}
+		if err := idx.SetMaxScores(key, idx.ComputeMaxScores(b.TermScore)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// violatesZeroAdjust probes the Boundable zero-DocAdjust contract at a
+// few document/query shapes. Not a proof, but a cheap tripwire.
+func violatesZeroAdjust(m Model, c index.CollectionStats) bool {
+	for _, docLen := range []float64{1, math.Max(c.AvgDocLen, 1), 10*c.AvgDocLen + 1} {
+		for _, qLen := range []int{1, 5} {
+			if m.DocAdjust(docLen, qLen, c) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// seekPosting returns the smallest position >= pos whose posting's Doc is
+// >= d. Galloping search: probes at exponentially growing strides from
+// the cursor before binary-searching the bracketed range, so short hops
+// (the common case — candidates arrive in ascending document order) cost
+// O(1) and long skips stay O(log n), without sort.Search's closure calls.
+func seekPosting(postings []index.Posting, pos int, d int32) int {
+	n := len(postings)
+	if pos >= n || postings[pos].Doc >= d {
+		return pos
+	}
+	step := 1
+	lo := pos + 1 // postings[pos].Doc < d
+	hi := pos + step
+	for hi < n && postings[hi].Doc < d {
+		lo = hi + 1
+		step <<= 1
+		hi = pos + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Invariant: postings[lo-1].Doc < d, postings[hi].Doc >= d (or hi==n).
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if postings[mid].Doc < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// maxscoreTopK runs MaxScore over the given cursors (one per indexed
+// query term, orders assigned in ascending term order, posting lists
+// possibly shard sub-slices carrying global document numbers) and
+// returns the k best documents exactly as the exhaustive evaluator
+// would: score descending, document ascending, scores bit-identical.
+// k must be positive; callers handle the k <= 0 "all matches" form via
+// the exhaustive path, where no threshold ever forms.
+//
+// ctx is polled every few hundred candidates — the pruned counterpart
+// of the exhaustive pass's between-posting-lists preemption — so a shed
+// or disconnected request stops mid-evaluation instead of finishing a
+// top-k nobody will read.
+func maxscoreTopK(ctx context.Context, idx *index.Index, model Model, qLen int, cursors []msCursor, k int) ([]topk.Item[int32], error) {
+	cstats := idx.Stats()
+	live := cursors[:0]
+	for _, c := range cursors {
+		if len(c.postings) > 0 {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return nil, nil
+	}
+	// Ascending upper bound (ties by term order, for determinism);
+	// prefix[i] bounds the total contribution of lists 0..i.
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].ub != live[j].ub {
+			return live[i].ub < live[j].ub
+		}
+		return live[i].order < live[j].order
+	})
+	prefix := make([]float64, len(live))
+	sum := 0.0
+	for i := range live {
+		sum += live[i].ub
+		prefix[i] = sum
+	}
+	slack := msSlack(len(live))
+
+	heap := topk.NewBounded[int32](k)
+	threshold := math.Inf(-1)
+	firstEss := 0 // live[firstEss:] are the essential lists
+	contrib := make([]float64, len(cursors))
+	touched := make([]int, 0, len(cursors))
+	for candidates := 0; ; candidates++ {
+		// Poll on entry (a canceled request must not start) and then
+		// every 256 candidates.
+		if candidates&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		// Grow the non-essential prefix against the current threshold.
+		for firstEss < len(live) && prefix[firstEss]*slack <= threshold {
+			firstEss++
+		}
+		if firstEss >= len(live) {
+			break // no remaining document can enter the heap
+		}
+		// Next candidate: the minimum current document among essential
+		// lists (documents appearing only in non-essential lists are
+		// bounded by prefix[firstEss-1] and provably out).
+		d := int32(math.MaxInt32)
+		for i := firstEss; i < len(live); i++ {
+			if c := &live[i]; c.pos < len(c.postings) && c.postings[c.pos].Doc < d {
+				d = c.postings[c.pos].Doc
+			}
+		}
+		if d == math.MaxInt32 {
+			break // essential lists exhausted
+		}
+		docLen := float64(idx.DocLen(d))
+		partial := 0.0
+		matched := false
+		for i := firstEss; i < len(live); i++ {
+			c := &live[i]
+			if c.pos < len(c.postings) && c.postings[c.pos].Doc == d {
+				tf := float64(c.postings[c.pos].TF)
+				c.pos++
+				if s := model.TermScore(tf, docLen, c.stats, cstats); s != 0 {
+					v := c.mult * s
+					contrib[c.order] = v
+					touched = append(touched, c.order)
+					partial += v
+					matched = true
+				}
+			}
+		}
+		// Non-essential lists, highest bound first: probe while the
+		// candidate can still reach the threshold, prune the moment it
+		// provably cannot.
+		pruned := false
+		for i := firstEss - 1; i >= 0; i-- {
+			if (partial+prefix[i])*slack <= threshold {
+				pruned = true
+				break
+			}
+			c := &live[i]
+			c.pos = seekPosting(c.postings, c.pos, d)
+			if c.pos < len(c.postings) && c.postings[c.pos].Doc == d {
+				tf := float64(c.postings[c.pos].TF)
+				if s := model.TermScore(tf, docLen, c.stats, cstats); s != 0 {
+					v := c.mult * s
+					contrib[c.order] = v
+					touched = append(touched, c.order)
+					partial += v
+					matched = true
+				}
+			}
+		}
+		if !pruned && matched {
+			// Final score: the exhaustive accumulation order — ascending
+			// term order, zero contributions skipped — then the document
+			// adjustment (identically zero for Boundable models; applied
+			// anyway so the formula matches Retrieve's to the letter).
+			score := 0.0
+			for o := 0; o < len(contrib); o++ {
+				if v := contrib[o]; v != 0 {
+					score += v
+				}
+			}
+			score += model.DocAdjust(docLen, qLen, cstats)
+			heap.Push(d, score, int64(d))
+			if t, full := heap.Threshold(); full {
+				threshold = t
+			}
+		}
+		for _, o := range touched {
+			contrib[o] = 0
+		}
+		touched = touched[:0]
+	}
+	return heap.Drain(), nil
+}
+
+// RetrievePruned is Retrieve with MaxScore dynamic pruning: identical
+// results (bit-identical scores, same order), fewer postings scored.
+// When pruning cannot apply — k <= 0 requests every match, the model is
+// not Boundable, or the index carries no max-score table for it — it
+// falls back to the exhaustive Retrieve.
+func RetrievePruned(idx *index.Index, model Model, queryTokens []string, k int) []Hit {
+	table := maxScoreTable(idx, model)
+	if table == nil || k <= 0 || len(queryTokens) == 0 {
+		return Retrieve(idx, model, queryTokens, k)
+	}
+	terms, mults := termMultiplicities(queryTokens)
+	cursors := make([]msCursor, 0, len(terms))
+	for ti, term := range terms {
+		tstats, plist, ok := idx.LookupPostings(term)
+		if !ok {
+			continue
+		}
+		cursors = append(cursors, msCursor{
+			postings: plist,
+			stats:    tstats,
+			mult:     mults[ti],
+			ub:       mults[ti] * table[tstats.ID],
+			order:    len(cursors),
+		})
+	}
+	// Background context: the monolithic entry point has no request
+	// scope to honor (the sharded path threads the real one through).
+	items, _ := maxscoreTopK(context.Background(), idx, model, len(queryTokens), cursors, k)
+	if len(items) == 0 {
+		return nil
+	}
+	hits := make([]Hit, len(items))
+	for i, it := range items {
+		hits[i] = Hit{Doc: it.Value, DocID: idx.DocID(it.Value), Score: it.Score, Rank: i + 1}
+	}
+	return hits
+}

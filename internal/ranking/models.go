@@ -7,6 +7,7 @@
 package ranking
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/index"
@@ -25,6 +26,36 @@ type Model interface {
 	// return 0; the language model uses it for its length normalization.
 	DocAdjust(docLen float64, qLen int, c index.CollectionStats) float64
 }
+
+// Boundable marks models whose top-k retrieval admits exact MaxScore
+// dynamic pruning. An implementation promises two things:
+//
+//  1. TermScore is nonnegative for every input, so a per-term maximum
+//     over the collection's postings (Index.ComputeMaxScores) is a valid
+//     upper bound on any document's per-term contribution;
+//  2. DocAdjust is identically zero, so a document's total score is
+//     exactly the sum of its per-term contributions and the pruning
+//     bound needs no per-document correction.
+//
+// DPH (clamped at 0), BM25 and TFIDF qualify; LMDirichlet does not — its
+// DocAdjust is a negative, length-dependent log-likelihood mass, so it
+// keeps the exhaustive path. InstallMaxScores additionally probes the
+// DocAdjust contract at install time as a tripwire against future
+// implementations that claim the capability without honoring it.
+type Boundable interface {
+	Model
+	// BoundKey identifies the scoring function — name plus every
+	// parameter that changes scores — for max-score table lookup and
+	// persistence. Two models with equal BoundKeys must score every
+	// posting identically.
+	BoundKey() string
+}
+
+// PrecomputableModels lists the registered boundable models whose
+// max-score tables engine builds compute and persist up front (the
+// default-parameter family; a non-default model is added on top when it
+// is the engine's configured model).
+func PrecomputableModels() []Model { return []Model{DPH{}, BM25{}, TFIDF{}} }
 
 const log2e = 1.4426950408889634 // 1/ln(2)
 
@@ -71,6 +102,9 @@ func (DPH) TermScore(tf, docLen float64, t index.TermStats, c index.CollectionSt
 // DocAdjust implements Model.
 func (DPH) DocAdjust(docLen float64, qLen int, c index.CollectionStats) float64 { return 0 }
 
+// BoundKey implements Boundable: DPH is parameter-free.
+func (DPH) BoundKey() string { return "DPH" }
+
 // BM25 is the Okapi BM25 model with the conventional k1/b parameters.
 type BM25 struct {
 	K1 float64 // term-frequency saturation; 0 means the default 1.2
@@ -102,6 +136,19 @@ func (m BM25) TermScore(tf, docLen float64, t index.TermStats, c index.Collectio
 // DocAdjust implements Model.
 func (BM25) DocAdjust(docLen float64, qLen int, c index.CollectionStats) float64 { return 0 }
 
+// BoundKey implements Boundable, folding in the effective k1/b so tables
+// computed under one parameterization are never used under another.
+func (m BM25) BoundKey() string {
+	k1, b := m.K1, m.B
+	if k1 == 0 {
+		k1 = 1.2
+	}
+	if b == 0 {
+		b = 0.75
+	}
+	return fmt.Sprintf("BM25(k1=%g,b=%g)", k1, b)
+}
+
 // TFIDF is the classic log-smoothed TF-IDF weighting with cosine-free
 // additive accumulation: (1+ln tf) · ln(1 + N/df).
 type TFIDF struct{}
@@ -119,6 +166,9 @@ func (TFIDF) TermScore(tf, docLen float64, t index.TermStats, c index.Collection
 
 // DocAdjust implements Model.
 func (TFIDF) DocAdjust(docLen float64, qLen int, c index.CollectionStats) float64 { return 0 }
+
+// BoundKey implements Boundable: TFIDF is parameter-free.
+func (TFIDF) BoundKey() string { return "TFIDF" }
 
 // LMDirichlet is the query-likelihood language model with Dirichlet
 // smoothing, in the rank-equivalent "delta" form suited to additive

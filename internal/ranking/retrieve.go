@@ -88,11 +88,13 @@ func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit 
 	acc.reset(idx.NumDocs())
 	for ti, term := range terms {
 		mult := mults[ti]
-		tstats, ok := idx.Lookup(term)
+		// One dictionary probe per term: stats and postings together
+		// (Lookup followed by Postings used to pay the map hash twice).
+		tstats, plist, ok := idx.LookupPostings(term)
 		if !ok {
 			continue
 		}
-		for _, p := range idx.Postings(term) {
+		for _, p := range plist {
 			s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), tstats, cstats)
 			if s != 0 {
 				acc.add(p.Doc, mult*s)
@@ -163,11 +165,10 @@ func ScoreDoc(idx *index.Index, model Model, queryTokens []string, doc int32) fl
 	matched := false
 	for ti, term := range terms {
 		mult := mults[ti]
-		tstats, ok := idx.Lookup(term)
+		tstats, plist, ok := idx.LookupPostings(term)
 		if !ok {
 			continue
 		}
-		plist := idx.Postings(term)
 		i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
 		if i < len(plist) && plist[i].Doc == doc {
 			s := model.TermScore(float64(plist[i].TF), float64(idx.DocLen(doc)), tstats, cstats)

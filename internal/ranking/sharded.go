@@ -92,21 +92,59 @@ type shardHits []Hit
 // query, then a bounded top-k selection per query. Cancellation is
 // checked once per plan term — the natural preemption point between
 // posting-list traversals.
+//
+// Queries flagged in pruned leave the shared scatter pass and run the
+// MaxScore evaluator over the same posting sub-slices instead, each
+// against its own local heap (table carries the per-term bounds; global
+// maxima, hence valid for any sub-slice). A pruned query gives up the
+// batch's term-score sharing but skips postings wholesale; per-shard
+// results are bit-identical either way, so the merge cannot tell.
 func scoreShard(ctx context.Context, seg *index.Segmented, shard index.Shard, model Model,
-	plan []scatterTerm, queries [][]string, ks []int) ([]shardHits, error) {
+	plan []scatterTerm, queries [][]string, ks []int, table []float64, pruned []bool) ([]shardHits, error) {
 	idx := seg.Index()
 	cstats := idx.Stats()
 	lo, _ := shard.DocRange()
 	nq := len(queries)
 
+	// Cursor lists for the pruned queries, assembled off the plan: the
+	// plan is in ascending term order and each query's term list is a
+	// subsequence of it, so append order is the accumulation order.
+	var msCursors [][]msCursor
+	if table != nil {
+		msCursors = make([][]msCursor, nq)
+		for ti := range plan {
+			st := &plan[ti]
+			var plist []index.Posting
+			loaded := false
+			for _, tgt := range st.targets {
+				if !pruned[tgt.q] {
+					continue
+				}
+				if !loaded {
+					plist = shard.Postings(st.stats.ID)
+					loaded = true
+				}
+				msCursors[tgt.q] = append(msCursors[tgt.q], msCursor{
+					postings: plist,
+					stats:    st.stats,
+					mult:     tgt.mult,
+					ub:       tgt.mult * table[st.stats.ID],
+					order:    len(msCursors[tgt.q]),
+				})
+			}
+		}
+	}
+
 	accs := make([]*accumulator, nq)
+	anyExhaustive := false
 	for q := range accs {
-		if len(queries[q]) == 0 {
+		if len(queries[q]) == 0 || (pruned != nil && pruned[q]) {
 			continue
 		}
 		acc := accPool.Get().(*accumulator)
 		acc.reset(shard.NumDocs())
 		accs[q] = acc
+		anyExhaustive = true
 	}
 	defer func() {
 		for _, acc := range accs {
@@ -116,25 +154,57 @@ func scoreShard(ctx context.Context, seg *index.Segmented, shard index.Shard, mo
 		}
 	}()
 
-	for ti := range plan {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		st := &plan[ti]
-		for _, p := range shard.Postings(st.stats.ID) {
-			s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), st.stats, cstats)
-			if s == 0 {
-				continue
+	if anyExhaustive {
+		for ti := range plan {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			local := p.Doc - lo
-			for _, tgt := range st.targets {
-				accs[tgt.q].add(local, tgt.mult*s)
+			st := &plan[ti]
+			targets := st.targets
+			if table != nil {
+				// Strip pruned queries' targets; skip the traversal when
+				// nobody on the exhaustive path wants this term.
+				live := targets[:0:0]
+				for _, tgt := range targets {
+					if !pruned[tgt.q] {
+						live = append(live, tgt)
+					}
+				}
+				if len(live) == 0 {
+					continue
+				}
+				targets = live
+			}
+			for _, p := range shard.Postings(st.stats.ID) {
+				s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), st.stats, cstats)
+				if s == 0 {
+					continue
+				}
+				local := p.Doc - lo
+				for _, tgt := range targets {
+					accs[tgt.q].add(local, tgt.mult*s)
+				}
 			}
 		}
 	}
 
 	out := make([]shardHits, nq)
 	for q, acc := range accs {
+		if pruned != nil && pruned[q] {
+			items, err := maxscoreTopK(ctx, idx, model, len(queries[q]), msCursors[q], ks[q])
+			if err != nil {
+				return nil, err
+			}
+			if len(items) == 0 {
+				continue
+			}
+			hits := make(shardHits, len(items))
+			for i, it := range items {
+				hits[i] = Hit{Doc: it.Value, Score: it.Score}
+			}
+			out[q] = hits
+			continue
+		}
 		if acc == nil || len(acc.touched) == 0 {
 			continue
 		}
@@ -230,6 +300,17 @@ func mergeHits(lists []shardHits, k int) []Hit {
 	return out
 }
 
+// BatchOptions tunes a RetrieveBatch round.
+type BatchOptions struct {
+	// Prune enables MaxScore dynamic pruning for the queries it can
+	// serve exactly: the model must be Boundable with its max-score
+	// table installed on the index, and the query must bound its result
+	// size (k > 0 — "all matches" admits no threshold). Everything else
+	// keeps the exhaustive shared-scatter path. Results are bit-identical
+	// either way; only the work differs.
+	Prune bool
+}
+
 // RetrieveBatch evaluates a batch of analyzed queries against the
 // segmented index in one scatter-gather round: every shard is visited by
 // exactly one worker no matter how many queries are pending, and each
@@ -242,6 +323,12 @@ func mergeHits(lists []shardHits, k int) []Hit {
 // context's error — the serving layer threads request contexts here so
 // shed or disconnected requests stop consuming shard workers.
 func RetrieveBatch(ctx context.Context, seg *index.Segmented, model Model, queries [][]string, ks []int) ([][]Hit, error) {
+	return RetrieveBatchOpts(ctx, seg, model, queries, ks, BatchOptions{})
+}
+
+// RetrieveBatchOpts is RetrieveBatch with explicit options — the engine
+// comes through here to switch MaxScore pruning on.
+func RetrieveBatchOpts(ctx context.Context, seg *index.Segmented, model Model, queries [][]string, ks []int, opts BatchOptions) ([][]Hit, error) {
 	if len(queries) != len(ks) {
 		panic("ranking: RetrieveBatch queries/ks length mismatch")
 	}
@@ -266,10 +353,26 @@ func RetrieveBatch(ctx context.Context, seg *index.Segmented, model Model, queri
 	}
 	plan := buildScatterPlan(idx, qterms, qmults)
 
+	var table []float64
+	var pruned []bool
+	if opts.Prune {
+		if table = maxScoreTable(idx, model); table != nil {
+			pruned = make([]bool, len(queries))
+			anyPruned := false
+			for q := range queries {
+				pruned[q] = ks[q] > 0 && qterms[q] != nil
+				anyPruned = anyPruned || pruned[q]
+			}
+			if !anyPruned {
+				table, pruned = nil, nil
+			}
+		}
+	}
+
 	shards := seg.NumShards()
 	perShard := make([][]shardHits, shards)
 	if shards == 1 {
-		hits, err := scoreShard(ctx, seg, seg.Shard(0), model, plan, queries, ks)
+		hits, err := scoreShard(ctx, seg, seg.Shard(0), model, plan, queries, ks, table, pruned)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +384,7 @@ func RetrieveBatch(ctx context.Context, seg *index.Segmented, model Model, queri
 			wg.Add(1)
 			go func(si int) {
 				defer wg.Done()
-				perShard[si], errs[si] = scoreShard(ctx, seg, seg.Shard(si), model, plan, queries, ks)
+				perShard[si], errs[si] = scoreShard(ctx, seg, seg.Shard(si), model, plan, queries, ks, table, pruned)
 			}(si)
 		}
 		wg.Wait()
@@ -315,7 +418,12 @@ func RetrieveBatch(ctx context.Context, seg *index.Segmented, model Model, queri
 // with per-shard parallel scoring and a deterministic merge, bit-identical
 // to the monolithic path.
 func RetrieveSharded(ctx context.Context, seg *index.Segmented, model Model, queryTokens []string, k int) ([]Hit, error) {
-	res, err := RetrieveBatch(ctx, seg, model, [][]string{queryTokens}, []int{k})
+	return RetrieveShardedOpts(ctx, seg, model, queryTokens, k, BatchOptions{})
+}
+
+// RetrieveShardedOpts is RetrieveSharded with explicit options.
+func RetrieveShardedOpts(ctx context.Context, seg *index.Segmented, model Model, queryTokens []string, k int, opts BatchOptions) ([]Hit, error) {
+	res, err := RetrieveBatchOpts(ctx, seg, model, [][]string{queryTokens}, []int{k}, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -6,8 +6,9 @@ import (
 )
 
 // latencyBucketEdgesMs are the upper edges (milliseconds, inclusive) of
-// the latency histogram buckets — log-spaced from 1ms to 2s, the range a
-// diversification request can realistically land in. A final implicit
+// the latency histogram buckets — log-spaced from 0.25ms to 2s, the
+// range a diversification request can realistically land in (the sub-ms
+// edges resolve cache hits and the cheap endpoints). A final implicit
 // overflow bucket catches everything slower.
 var latencyBucketEdgesMs = [...]float64{0.25, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
 
@@ -44,8 +45,10 @@ type LatencyBucket struct {
 
 // LatencyStats is the per-endpoint latency section of a stats response.
 // Percentiles are estimated by linear interpolation inside the containing
-// bucket; observations in the overflow bucket report the largest finite
-// edge.
+// bucket; a percentile landing in the overflow bucket has no finite edge
+// to interpolate toward and reports the largest finite edge instead —
+// biased low, read it as "at least that". See the /stats section of
+// docs/ARCHITECTURE.md.
 type LatencyStats struct {
 	Count   int64           `json:"count"`
 	AvgMs   float64         `json:"avg_ms"`

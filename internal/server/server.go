@@ -170,10 +170,13 @@ type CacheStats struct {
 
 // IndexStats is the index-segment section of a stats response: the shard
 // fan-out every retrieval pays, with the per-shard document counts of the
-// partition.
+// partition, plus whether MaxScore dynamic pruning is live and which
+// scoring functions have precomputed max-score tables.
 type IndexStats struct {
-	Shards       int   `json:"shards"`
-	DocsPerShard []int `json:"docs_per_shard"`
+	Shards         int      `json:"shards"`
+	DocsPerShard   []int    `json:"docs_per_shard"`
+	Pruning        bool     `json:"pruning"`
+	MaxScoreModels []string `json:"max_score_models,omitempty"`
 }
 
 // StatsResponse is the JSON body of GET /stats.
@@ -341,8 +344,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:      s.cacheHits.Load(),
 		AvgLatencyMsec: avgMs,
 		Index: IndexStats{
-			Shards:       seg.NumShards(),
-			DocsPerShard: seg.ShardSizes(),
+			Shards:         seg.NumShards(),
+			DocsPerShard:   seg.ShardSizes(),
+			Pruning:        s.handle.Pipeline.Engine.PruningEnabled(),
+			MaxScoreModels: seg.Index().MaxScoreKeys(),
 		},
 		Latency: latency,
 		Cache: CacheStats{

@@ -1,6 +1,9 @@
 package topk
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Bounded keeps the best B items seen so far, by score (with the package's
 // deterministic tie-break). Internally it is a min-heap of size at most B:
@@ -55,6 +58,23 @@ func (h *Bounded[T]) PushItem(it Item[T]) bool {
 	h.items[0] = it
 	h.down(0)
 	return true
+}
+
+// Threshold returns the score a new item must beat to be retained: the
+// worst retained score once the collector is full. Until then no score is
+// excluded and Threshold reports (-Inf, false); a collector with bound 0
+// retains nothing and reports (+Inf, true). This is the heap peek the
+// MaxScore evaluator prunes against — an item scoring at most the
+// threshold loses to every retained item (ties break toward earlier
+// insertions, which in document-ordered evaluation have smaller tie keys).
+func (h *Bounded[T]) Threshold() (float64, bool) {
+	if h.bound == 0 {
+		return math.Inf(1), true
+	}
+	if len(h.items) < h.bound {
+		return math.Inf(-1), false
+	}
+	return h.items[0].Score, true
 }
 
 // Worst returns the lowest-scoring retained item without removing it.

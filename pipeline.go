@@ -158,18 +158,41 @@ func (p *Pipeline) candidateDocsCtx(ctx context.Context, query string) ([]core.D
 // (1-λ)·P(d|q) term of Equations (5)/(9) microscopic and collapses
 // every method into pure utility ordering; max-normalization keeps the
 // two terms on the comparable footing the paper's λ = 0.15 implies.)
+//
+// Models whose totals can go negative — LMDirichlet log-likelihoods,
+// whose per-document adjustment is qLen·log(μ/(μ+l)) < 0 — are shifted
+// by the minimum score before normalizing, so Rel lands in [0,1] with
+// rank order preserved. (An earlier version max-normalized against a
+// floor of 0, which zeroed — or sign-flipped — every candidate under
+// the language model and silently collapsed Equations (5)/(9) into pure
+// utility ordering for that ablation.) For the nonnegative models
+// (DPH/BM25/TFIDF) the shift is zero and the output is unchanged.
 func (p *Pipeline) candidatesFromResults(results []engine.Result) []core.Doc {
-	maxScore := 0.0
-	for _, r := range results {
+	candidates := make([]core.Doc, len(results))
+	if len(results) == 0 {
+		return candidates
+	}
+	minScore, maxScore := results[0].Score, results[0].Score
+	for _, r := range results[1:] {
 		if r.Score > maxScore {
 			maxScore = r.Score
 		}
+		if r.Score < minScore {
+			minScore = r.Score
+		}
 	}
-	candidates := make([]core.Doc, len(results))
 	for i, r := range results {
 		rel := 0.0
-		if maxScore > 0 {
-			rel = r.Score / maxScore
+		switch {
+		case minScore >= 0:
+			if maxScore > 0 {
+				rel = r.Score / maxScore
+			}
+		case maxScore > minScore:
+			rel = (r.Score - minScore) / (maxScore - minScore)
+		default:
+			// Every score equal and negative: equally relevant.
+			rel = 1
 		}
 		candidates[i] = core.Doc{
 			ID:   r.DocID,

@@ -1,9 +1,13 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/ranking"
 	"repro/internal/synth"
 )
 
@@ -110,6 +114,97 @@ func TestBuildProblemShape(t *testing.T) {
 	for _, s := range prob.Specs {
 		if len(s.Results) == 0 {
 			t.Errorf("specialization %q has empty R_q'", s.Query)
+		}
+	}
+}
+
+// TestCandidateRelNegativeScores is the regression test for the P(d|q)
+// normalization bug: LMDirichlet retrieval scores are routinely negative
+// (the per-document adjustment is qLen·log(μ/(μ+l)) < 0), and the old
+// max-against-0 normalization handed every candidate Rel = 0 — or a
+// negative Rel when scores straddled zero — silently reducing the
+// language-model ablation to pure utility ordering. Candidates must get
+// Rel ∈ [0,1] with retrieval rank order preserved under every model.
+func TestCandidateRelNegativeScores(t *testing.T) {
+	// First, pin that the scenario is real: a Dirichlet-smoothed total is
+	// negative whenever the (always-negative) document adjustment
+	// outweighs the term contributions — common terms, long documents.
+	lm := ranking.LMDirichlet{}
+	c := index.CollectionStats{NumDocs: 100, TotalTokens: 10000, AvgDocLen: 100}
+	total := lm.TermScore(1, 100, index.TermStats{DF: 90, CF: 5000}, c) +
+		lm.DocAdjust(100, 1, c)
+	if total >= 0 {
+		t.Fatalf("expected a negative LMDirichlet total, got %v", total)
+	}
+
+	p := buildTiny(t)
+	mkResults := func(scores ...float64) []engine.Result {
+		out := make([]engine.Result, len(scores))
+		for i, s := range scores {
+			out[i] = engine.Result{DocID: fmt.Sprintf("d%d", i), Rank: i + 1, Score: s, Snippet: "topic words"}
+		}
+		return out
+	}
+	check := func(name string, cands []core.Doc) {
+		t.Helper()
+		nonzero := 0
+		for i, d := range cands {
+			if d.Rel < 0 || d.Rel > 1 {
+				t.Fatalf("%s: candidate %d Rel = %v, want [0,1]", name, i, d.Rel)
+			}
+			if d.Rel > 0 {
+				nonzero++
+			}
+			if i > 0 && cands[i-1].Rel < d.Rel {
+				t.Fatalf("%s: rank order broken at %d: Rel %v < %v", name, i, cands[i-1].Rel, d.Rel)
+			}
+		}
+		if nonzero == 0 {
+			t.Fatalf("%s: every candidate still has Rel = 0", name)
+		}
+		if cands[0].Rel != 1 {
+			t.Errorf("%s: top candidate Rel = %v, want 1", name, cands[0].Rel)
+		}
+	}
+	// All-negative scores (the LMDirichlet shape) and scores straddling
+	// zero (where the old code produced negative Rel).
+	check("all-negative", p.candidatesFromResults(mkResults(-1.25, -2.5, -3.75, -9)))
+	check("straddling", p.candidatesFromResults(mkResults(0.5, 0.1, -0.2, -1.4)))
+	// Degenerate: every score equal and negative — equally relevant.
+	for i, d := range p.candidatesFromResults(mkResults(-2, -2, -2)) {
+		if d.Rel != 1 {
+			t.Errorf("all-equal-negative: candidate %d Rel = %v, want 1", i, d.Rel)
+		}
+	}
+}
+
+// TestCandidateRelNonnegativeModelsUnchanged pins the other half of the
+// fix: for models with nonnegative scores (DPH here, BM25/TFIDF by the
+// same code path) the shift is zero and Rel must remain byte-identical
+// to the original score/maxScore normalization.
+func TestCandidateRelNonnegativeModelsUnchanged(t *testing.T) {
+	p := buildTiny(t)
+	results := p.Engine.Search("topic01", p.Config.NumCandidates)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	maxScore := 0.0
+	for _, r := range results {
+		if r.Score > maxScore {
+			maxScore = r.Score
+		}
+		if r.Score < 0 {
+			t.Fatalf("DPH produced a negative score %v", r.Score)
+		}
+	}
+	cands := p.candidatesFromResults(results)
+	for i, r := range results {
+		want := 0.0
+		if maxScore > 0 {
+			want = r.Score / maxScore
+		}
+		if cands[i].Rel != want {
+			t.Fatalf("candidate %d Rel = %v, want the legacy %v bit for bit", i, cands[i].Rel, want)
 		}
 	}
 }
