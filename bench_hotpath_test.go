@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/ranking"
 	"repro/internal/synth"
 )
@@ -110,5 +111,57 @@ func BenchmarkRetrievePruned(b *testing.B) {
 				ranking.RetrievePruned(idx, model, q.tokens, 100)
 			}
 		})
+	}
+}
+
+// BenchmarkRetrieveLayout pits the block-compressed posting layout
+// against the flat []Posting layout on the same 20k-doc Zipf index, over
+// the exhaustive evaluator (decode cost shows) and the pruned one (block
+// skipping shows), at k=100. Each layout also reports its storage
+// footprint as a bytes/posting metric — the number the compression
+// exists to shrink (flat = 8.0 by construction) — so the committed
+// BENCH snapshots track index size next to latency, and cmd/bench's
+// delta table surfaces size regressions.
+func BenchmarkRetrieveLayout(b *testing.B) {
+	model := ranking.DPH{}
+	layouts := []struct {
+		name string
+		idx  *index.Index
+	}{
+		{"block128", buildPruningBenchIndex(b)},
+		{"flat", buildFlatBenchIndex(b)},
+	}
+	queries := []struct {
+		name   string
+		tokens []string
+	}{
+		{"head3", []string{"t0000", "t0003", "t0050"}},
+		{"mixed4", []string{"t2000", "t3000", "t0000", "t0001"}},
+	}
+	for _, lay := range layouts {
+		if !ranking.Pruneable(lay.idx, model) {
+			b.Fatalf("%s index has no max-score table", lay.name)
+		}
+		st := lay.idx.Storage()
+		b.Run("storage/"+lay.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = lay.idx.Storage()
+			}
+			b.ReportMetric(st.BytesPerPosting, "bytes/posting")
+		})
+		for _, q := range queries {
+			b.Run("exhaustive/"+lay.name+"/"+q.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ranking.Retrieve(lay.idx, model, q.tokens, 100)
+				}
+			})
+			b.Run("maxscore/"+lay.name+"/"+q.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ranking.RetrievePruned(lay.idx, model, q.tokens, 100)
+				}
+			})
+		}
 	}
 }

@@ -9,11 +9,13 @@
 //	bench -out /dev/stdout           # print instead of committing a file
 //
 // The default -bench pattern covers the serving hot paths (utility matrix,
-// DAAT retrieval incl. the sharded fan-out, batched vs sequential R_q′
-// scatter-gather, full Diversify) plus the Table 2 selection algorithms.
-// After writing the snapshot, bench prints a non-gating ns/op delta table
-// against the newest committed BENCH_*.json (override with -baseline, or
-// -baseline none to skip). CI runs this as a non-gating job so regressions
+// DAAT retrieval incl. the sharded fan-out and the block-vs-flat posting
+// layouts, batched vs sequential R_q′ scatter-gather, full Diversify) plus
+// the Table 2 selection algorithms. After writing the snapshot, bench
+// prints a non-gating delta table against the newest committed
+// BENCH_*.json (override with -baseline, or -baseline none to skip):
+// ns/op per benchmark, plus an index-size line for every point reporting
+// a bytes/posting metric. CI runs this as a non-gating job so regressions
 // are visible without blocking merges on noisy shared runners.
 package main
 
@@ -57,6 +59,11 @@ type Snapshot struct {
 }
 
 const defaultPattern = "ComputeUtilities|Retrieve|DiversifyFull|SpecRetrieval|Table2$"
+
+// sizeUnit is the custom metric the storage sub-benchmarks report
+// (BenchmarkRetrieveLayout's b.ReportMetric) — the posting-storage
+// footprint the delta table tracks next to ns/op.
+const sizeUnit = "bytes/posting"
 
 func main() {
 	pattern := flag.String("bench", defaultPattern, "benchmark regex passed to go test -bench")
@@ -168,9 +175,13 @@ func printDelta(baseline, freshPath string, fresh Snapshot) {
 		procs int
 	}
 	baseNs := make(map[key]float64, len(base.Points))
+	baseSize := make(map[key]float64)
 	for _, p := range base.Points {
 		if v, ok := p.Metrics["ns/op"]; ok {
 			baseNs[key{p.Name, p.Gomaxprocs}] = v
+		}
+		if v, ok := p.Metrics[sizeUnit]; ok {
+			baseSize[key{p.Name, p.Gomaxprocs}] = v
 		}
 	}
 	fmt.Fprintf(os.Stderr, "bench: delta vs %s (negative = faster; non-gating)\n", baseline)
@@ -190,6 +201,23 @@ func printDelta(baseline, freshPath string, fresh Snapshot) {
 	}
 	if matched == 0 {
 		fmt.Fprintln(os.Stderr, "  (no benchmarks in common with the baseline)")
+	}
+	// Index-size trajectory: any benchmark reporting a bytes/posting
+	// metric (the storage sub-benchmarks of BenchmarkRetrieveLayout) gets
+	// a delta line too, so a layout change that regresses posting storage
+	// is as visible as one that regresses latency. Equally non-gating.
+	for _, p := range fresh.Points {
+		v, ok := p.Metrics[sizeUnit]
+		if !ok {
+			continue
+		}
+		if old, ok := baseSize[key{p.Name, p.Gomaxprocs}]; ok && old != 0 {
+			fmt.Fprintf(os.Stderr, "  index size: %-43s %12.2f -> %12.2f %s  %+6.1f%%\n",
+				fmt.Sprintf("%s-%d", p.Name, p.Gomaxprocs), old, v, sizeUnit, 100*(v-old)/old)
+		} else {
+			fmt.Fprintf(os.Stderr, "  index size: %-43s %27.2f %s  (no baseline)\n",
+				fmt.Sprintf("%s-%d", p.Name, p.Gomaxprocs), v, sizeUnit)
+		}
 	}
 }
 

@@ -7,7 +7,9 @@
 //	buildindex -o engine.bin -topics 20
 //	buildindex -o engine.bin -corpus docs.tsv
 //	buildindex -o engine.bin -shards 4      # record a 4-segment manifest
-//	buildindex -o engine.bin -no-maxscore   # skip the per-term max-score tables
+//	buildindex -o engine.bin -no-maxscore   # skip the max-score/block-max tables
+//	buildindex -o engine.bin -block-size 256  # tune the posting-block capacity
+//	buildindex -o engine.bin -no-compress   # flat []Posting layout (no block compression)
 package main
 
 import (
@@ -27,7 +29,9 @@ func main() {
 	topics := flag.Int("topics", 20, "synthetic testbed topics (when -corpus is empty)")
 	seed := flag.Int64("seed", 1, "synthetic generator seed")
 	shards := flag.Int("shards", 1, "index segments recorded in the shard manifest (serving fans retrieval out over them)")
-	noMaxScore := flag.Bool("no-maxscore", false, "skip computing/persisting per-term max-score tables (loaders rebuild them unless they too disable pruning)")
+	noMaxScore := flag.Bool("no-maxscore", false, "skip computing/persisting max-score and block-max tables (loaders rebuild them unless they too disable pruning)")
+	blockSize := flag.Int("block-size", 0, "postings per compressed block (0 = default 128)")
+	noCompress := flag.Bool("no-compress", false, "store postings flat instead of block-compressed")
 	flag.Parse()
 
 	var docs []engine.Document
@@ -63,7 +67,12 @@ func main() {
 		}
 	}
 
-	eng, err := engine.Build(docs, engine.Config{Shards: *shards, DisablePruning: *noMaxScore})
+	eng, err := engine.Build(docs, engine.Config{
+		Shards:             *shards,
+		DisablePruning:     *noMaxScore,
+		BlockSize:          *blockSize,
+		DisableCompression: *noCompress,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "buildindex:", err)
 		os.Exit(1)
@@ -83,7 +92,12 @@ func main() {
 	if st != nil {
 		size = st.Size()
 	}
-	fmt.Fprintf(os.Stderr, "indexed %d documents (%d terms, %d shards, %d max-score tables) -> %s (%.2f MiB)\n",
+	storage := eng.Index().Storage()
+	layout := fmt.Sprintf("%d-posting blocks, %.2f B/posting", storage.BlockSize, storage.BytesPerPosting)
+	if storage.BlockSize == 0 {
+		layout = fmt.Sprintf("flat postings, %.2f B/posting", storage.BytesPerPosting)
+	}
+	fmt.Fprintf(os.Stderr, "indexed %d documents (%d terms, %d shards, %d max-score tables, %s) -> %s (%.2f MiB)\n",
 		eng.NumDocs(), eng.Index().NumTerms(), eng.Segments().NumShards(),
-		len(eng.Index().MaxScoreKeys()), *out, float64(size)/(1<<20))
+		len(eng.Index().MaxScoreKeys()), layout, *out, float64(size)/(1<<20))
 }

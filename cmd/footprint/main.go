@@ -49,6 +49,18 @@ func main() {
 		store.PopulateFromEngine(pipe.Engine, topic.Query, queries, *perList)
 	}
 
+	st := pipe.Engine.Index().Storage()
+	fmt.Println("== retrieval-tier footprint: posting storage ==")
+	layout := fmt.Sprintf("block-compressed (%d postings/block, %d blocks)", st.BlockSize, st.Blocks)
+	if st.BlockSize == 0 {
+		layout = "flat []Posting"
+	}
+	fmt.Printf("posting layout:                     %s\n", layout)
+	fmt.Printf("postings:                           %d\n", st.Postings)
+	fmt.Printf("posting bytes:                      %d (%.2f MiB, %.2f B/posting; flat layout costs 8 B/posting)\n",
+		st.Bytes, float64(st.Bytes)/(1<<20), st.BytesPerPosting)
+	fmt.Println()
+
 	f := store.ComputeFootprint()
 	fmt.Println("== §4.1 feasibility: surrogate-store footprint ==")
 	fmt.Printf("ambiguous queries mined (N):        %d (of %d topics)\n", f.AmbiguousQueries, len(pipe.Testbed.Topics))

@@ -9,6 +9,8 @@
 //	serve -addr :9090 -workers 16 -cache 4096
 //	serve -shards 4                         # retrieval fans out over 4 index segments
 //	serve -no-prune                         # exhaustive retrieval (MaxScore pruning off)
+//	serve -block-size 256                   # tune the compressed posting-block capacity
+//	serve -no-compress                      # flat []Posting layout (no block compression)
 //	serve -topics 20 -sessions 8000 -alg xquad -k 20
 //	serve -pprof                            # expose /debug/pprof/ too
 //
@@ -51,6 +53,8 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 16, "cache shard count")
 	shards := flag.Int("shards", 1, "index segments; every retrieval fans out over this many shards in parallel (results are identical at any count)")
 	noPrune := flag.Bool("no-prune", false, "disable MaxScore dynamic pruning and retrieve exhaustively (results are identical either way; pruning is just faster)")
+	blockSize := flag.Int("block-size", 0, "postings per compressed block (0 = default 128; results are identical at any size)")
+	noCompress := flag.Bool("no-compress", false, "store postings as flat structs instead of compressed blocks (~3-4x the memory, no block skipping; results are identical)")
 	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
 	maxK := flag.Int("maxk", 100, "cap on per-request k")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
@@ -63,9 +67,14 @@ func main() {
 	}
 
 	cfg := repro.Config{
-		Corpus:        synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
-		Log:           synth.AOLLike(*seed+1, *sessions),
-		Engine:        engine.Config{Shards: *shards, DisablePruning: *noPrune},
+		Corpus: synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
+		Log:    synth.AOLLike(*seed+1, *sessions),
+		Engine: engine.Config{
+			Shards:             *shards,
+			DisablePruning:     *noPrune,
+			BlockSize:          *blockSize,
+			DisableCompression: *noCompress,
+		},
 		NumCandidates: *candidates,
 		PerSpec:       *perSpec,
 		K:             *k,
@@ -83,9 +92,14 @@ func main() {
 	if !pipe.Engine.PruningEnabled() {
 		pruning = "exhaustive retrieval"
 	}
-	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed over %d shards (%s), %d log records, %d sessions\n",
+	storage := pipe.Engine.Index().Storage()
+	layout := fmt.Sprintf("block-compressed postings, %d/block, %.2f B/posting", storage.BlockSize, storage.BytesPerPosting)
+	if storage.BlockSize == 0 {
+		layout = fmt.Sprintf("flat postings, %.2f B/posting", storage.BytesPerPosting)
+	}
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed over %d shards (%s; %s), %d log records, %d sessions\n",
 		time.Since(began).Round(time.Millisecond), pipe.Engine.NumDocs(),
-		pipe.Engine.Segments().NumShards(), pruning, pipe.Log.Len(), len(pipe.Sessions))
+		pipe.Engine.Segments().NumShards(), pruning, layout, pipe.Log.Len(), len(pipe.Sessions))
 
 	srv := server.New(pipe.NewServeHandle(*cacheCap, *cacheShards), server.Config{
 		Workers:      *workers,

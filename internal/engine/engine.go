@@ -49,13 +49,36 @@ type Config struct {
 	// DisablePruning forces the exhaustive scoring path. By default the
 	// engine retrieves with MaxScore dynamic pruning whenever the model
 	// is ranking.Boundable: per-term score upper bounds are computed at
-	// build time (or read back from a v4 index stream, or rebuilt when
+	// build time (or read back from a v4+ index stream, or rebuilt when
 	// loading an older one) and top-k evaluation skips postings that
-	// provably cannot enter the result. Results are bit-identical either
-	// way — the toggle exists for benchmarking and as an escape hatch.
+	// provably cannot enter the result. Over the block-compressed layout
+	// the bounds extend to block granularity (Block-Max MaxScore) and
+	// whole blocks go undecoded. Results are bit-identical either way —
+	// the toggle exists for benchmarking and as an escape hatch.
 	// Disabling it also skips computing/persisting the max-score tables
 	// for fresh builds.
 	DisablePruning bool
+	// BlockSize tunes the block-compressed posting layout: the number of
+	// postings per block. 0 keeps the default (index.DefaultBlockSize at
+	// build time; at Load time, whatever layout the stream records).
+	// Ignored when DisableCompression is set. Results are bit-identical
+	// at any block size — only memory footprint and skip granularity
+	// change.
+	BlockSize int
+	// DisableCompression stores postings as flat 8-byte structs instead
+	// of delta-varint blocks: ~3-4x the posting memory, no block-max
+	// skipping, identical results. The escape hatch for profiling the
+	// layouts against each other.
+	DisableCompression bool
+}
+
+// blockLayout maps the config onto the index package's block-size
+// convention (> 0 capacity, 0 default, < 0 flat).
+func (c Config) blockLayout() int {
+	if c.DisableCompression {
+		return -1
+	}
+	return c.BlockSize
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +118,7 @@ type Engine struct {
 func Build(docs []Document, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	b := index.NewBuilder()
+	b.SetBlockSize(cfg.blockLayout())
 	raw := make(map[string]string, len(docs))
 	for _, d := range docs {
 		full := d.Title + " " + d.Body

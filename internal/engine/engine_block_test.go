@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// TestBlockLayoutConfig pins the Config knobs: the default build is
+// block-compressed at index.DefaultBlockSize, BlockSize tunes the
+// capacity, DisableCompression builds flat — and search output is
+// identical across all three.
+func TestBlockLayoutConfig(t *testing.T) {
+	def := buildEngine(t)
+	if !def.Index().Blocked() || def.Index().BlockSize() != index.DefaultBlockSize {
+		t.Fatalf("default layout: Blocked=%v BlockSize=%d", def.Index().Blocked(), def.Index().BlockSize())
+	}
+	tuned, err := Build(smallCorpus(), Config{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Index().BlockSize() != 4 {
+		t.Fatalf("BlockSize=4 built %d", tuned.Index().BlockSize())
+	}
+	flat, err := Build(smallCorpus(), Config{DisableCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Index().Blocked() {
+		t.Fatal("DisableCompression still built a blocked index")
+	}
+	want := def.Search("leopard apple", 10)
+	for name, e := range map[string]*Engine{"tuned": tuned, "flat": flat} {
+		got := e.Search("leopard apple", 10)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].DocID != want[i].DocID || got[i].Score != want[i].Score {
+				t.Fatalf("%s result %d: %+v != %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+	// Blocked engines with pruning get block-max tables installed.
+	if keys := def.Index().BlockMaxKeys(); len(keys) == 0 {
+		t.Error("default build installed no block-max tables")
+	}
+	if keys := flat.Index().BlockMaxKeys(); len(keys) != 0 {
+		t.Errorf("flat build grew block-max tables %v", keys)
+	}
+}
+
+// TestSaveLoadPreservesLayout round-trips the layout through engine
+// persistence and exercises the load-time overrides.
+func TestSaveLoadPreservesLayout(t *testing.T) {
+	src, err := Build(smallCorpus(), Config{BlockSize: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	// Zero-value config keeps the stream's layout and partition.
+	kept, err := Load(bytes.NewReader(stream), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Index().BlockSize() != 4 || kept.Segments().NumShards() != 2 {
+		t.Fatalf("kept layout: block size %d, %d shards", kept.Index().BlockSize(), kept.Segments().NumShards())
+	}
+
+	// Explicit overrides re-lay the postings at load time.
+	flat, err := Load(bytes.NewReader(stream), Config{DisableCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Index().Blocked() {
+		t.Fatal("DisableCompression load kept the blocked layout")
+	}
+	retuned, err := Load(bytes.NewReader(stream), Config{BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retuned.Index().BlockSize() != 16 {
+		t.Fatalf("BlockSize=16 load produced %d", retuned.Index().BlockSize())
+	}
+	if keys := retuned.Index().BlockMaxKeys(); len(keys) == 0 {
+		t.Error("re-laid load installed no block-max tables")
+	}
+
+	want := src.Search("leopard apple", 10)
+	for name, e := range map[string]*Engine{"kept": kept, "flat": flat, "retuned": retuned} {
+		got := e.Search("leopard apple", 10)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].DocID != want[i].DocID || got[i].Score != want[i].Score {
+				t.Fatalf("%s result %d: %+v != %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	// A negative BlockSize means flat at Build time; Load must honor the
+	// same convention instead of silently keeping the stream's layout.
+	negFlat, err := Load(bytes.NewReader(stream), Config{BlockSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if negFlat.Index().Blocked() {
+		t.Fatal("Load with BlockSize=-1 kept the blocked layout")
+	}
+}
+
+// TestEmptyEngineRoundTrip pins the degenerate save/load cycle: a
+// blocked index with zero blocks writes zero-entry block-max tables and
+// the reader must accept them (regression: the v5 reader once rejected
+// any block-max table on a zero-block index, breaking empty round trips
+// that the v4 codec handled fine).
+func TestEmptyEngineRoundTrip(t *testing.T) {
+	src, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatalf("empty engine round trip: %v", err)
+	}
+	if n := loaded.NumDocs(); n != 0 {
+		t.Fatalf("loaded %d docs from an empty engine", n)
+	}
+	if got := loaded.Search("anything", 10); len(got) != 0 {
+		t.Fatalf("empty engine returned %d results", len(got))
+	}
+}
+
+// TestOversizedBlockSizeRoundTrip pins the clamp: a block size beyond
+// the codec's readable range is clamped at build time (regression: it
+// used to build and save an index whose own stream could not be read
+// back).
+func TestOversizedBlockSizeRoundTrip(t *testing.T) {
+	src, err := Build(smallCorpus(), Config{BlockSize: index.MaxBlockSize + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Index().BlockSize(); got != index.MaxBlockSize {
+		t.Fatalf("oversized block size built %d, want clamp to %d", got, index.MaxBlockSize)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), Config{}); err != nil {
+		t.Fatalf("clamped stream failed to load: %v", err)
+	}
+}

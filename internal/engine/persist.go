@@ -92,6 +92,16 @@ func Load(r io.Reader, cfg Config) (*Engine, error) {
 		// Config.Shards overrides whatever partition the stream recorded.
 		seg = seg.Resegment(cfg.Shards)
 	}
+	// Posting layout is a deployment knob too: an explicit block size
+	// (negative = flat, Build's convention) or DisableCompression
+	// re-lays the loaded postings (preserving the shard partition);
+	// Config zero values keep the stream's layout.
+	switch {
+	case (cfg.DisableCompression || cfg.BlockSize < 0) && seg.Index().Blocked():
+		seg = index.ReblockSegmented(seg, -1)
+	case !cfg.DisableCompression && cfg.BlockSize > 0 && seg.Index().BlockSize() != cfg.BlockSize:
+		seg = index.ReblockSegmented(seg, cfg.BlockSize)
+	}
 	idx := seg.Index()
 	numDocs, err := binary.ReadUvarint(br)
 	if err != nil {

@@ -1,0 +1,475 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildRandom builds a randomized index at the given block size, with
+// enough documents and a small enough vocabulary that posting lists span
+// many blocks.
+func buildRandom(t testing.TB, seed int64, numDocs, blockSize int) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	b.SetBlockSize(blockSize)
+	vocab := make([]string, 25)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%02d", i)
+	}
+	for d := 0; d < numDocs; d++ {
+		n := rng.Intn(20) + 1
+		toks := make([]string, n)
+		for j := range toks {
+			toks[j] = vocab[rng.Intn(len(vocab))]
+		}
+		if err := b.Add(fmt.Sprintf("doc%04d", d), toks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestBlockedMatchesFlat is the layout differential at the index level:
+// materialized postings, stats and storage invariants must agree between
+// the flat layout and every block size.
+func TestBlockedMatchesFlat(t *testing.T) {
+	flat := buildRandom(t, 7, 300, -1)
+	if flat.Blocked() {
+		t.Fatal("SetBlockSize(-1) still built a blocked index")
+	}
+	for _, bs := range []int{1, 3, 8, 128, 1024} {
+		blocked := buildRandom(t, 7, 300, bs)
+		if !blocked.Blocked() || blocked.BlockSize() != bs {
+			t.Fatalf("bs=%d: Blocked=%v BlockSize=%d", bs, blocked.Blocked(), blocked.BlockSize())
+		}
+		if !indexesEqual(flat, blocked) {
+			t.Fatalf("bs=%d: blocked index differs from flat", bs)
+		}
+		st := blocked.Storage()
+		if st.Postings == 0 || st.Blocks == 0 {
+			t.Fatalf("bs=%d: storage stats empty: %+v", bs, st)
+		}
+		wantBlocks := int64(0)
+		for id := int32(0); int(id) < blocked.NumTerms(); id++ {
+			wantBlocks += int64((blocked.DF(id) + bs - 1) / bs)
+		}
+		if st.Blocks != wantBlocks || blocked.NumBlocks() != int(wantBlocks) {
+			t.Fatalf("bs=%d: %d blocks, want %d", bs, st.Blocks, wantBlocks)
+		}
+	}
+	// The default layout must compress: well under the flat 8 B/posting
+	// on this corpus (the acceptance bar is >= 2x).
+	def := buildRandom(t, 7, 300, 0)
+	if bpp := def.Storage().BytesPerPosting; bpp > 4 {
+		t.Errorf("default layout bytes/posting = %.2f, want <= 4 (2x vs flat's 8)", bpp)
+	}
+	if flatBpp := flat.Storage().BytesPerPosting; flatBpp != 8 {
+		t.Errorf("flat layout bytes/posting = %.2f, want 8", flatBpp)
+	}
+}
+
+// TestPostingIteratorTraversal checks Next/NextBlock against the
+// materialized list across layouts.
+func TestPostingIteratorTraversal(t *testing.T) {
+	for _, bs := range []int{-1, 1, 4, 128} {
+		x := buildRandom(t, 11, 200, bs)
+		for id := int32(0); int(id) < x.NumTerms(); id++ {
+			want := x.PostingsByID(id)
+			it := x.PostingIter(id)
+			var got []Posting
+			for p, ok := it.Next(); ok; p, ok = it.Next() {
+				got = append(got, p)
+			}
+			it.Release()
+			if len(got) != len(want) {
+				t.Fatalf("bs=%d term %d: Next yielded %d postings, want %d", bs, id, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bs=%d term %d posting %d: %+v != %+v", bs, id, i, got[i], want[i])
+				}
+			}
+			it = x.PostingIter(id)
+			got = got[:0]
+			for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
+				got = append(got, blk...)
+			}
+			it.Release()
+			if len(got) != len(want) {
+				t.Fatalf("bs=%d term %d: NextBlock yielded %d postings, want %d", bs, id, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bs=%d term %d block posting %d: %+v != %+v", bs, id, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPostingIteratorSeekGE drives monotone seek sequences against a
+// linear-scan reference, across layouts and block sizes.
+func TestPostingIteratorSeekGE(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, bs := range []int{-1, 1, 4, 128} {
+		x := buildRandom(t, 17, 250, bs)
+		for trial := 0; trial < 20; trial++ {
+			id := int32(rng.Intn(x.NumTerms()))
+			want := x.PostingsByID(id)
+			it := x.PostingIter(id)
+			d := int32(0)
+			for d < int32(x.NumDocs()) {
+				d += int32(rng.Intn(40))
+				j := seekPostings(want, 0, d)
+				p, ok := it.SeekGE(d)
+				if j >= len(want) {
+					if ok {
+						t.Fatalf("bs=%d term %d SeekGE(%d) = %+v, want exhausted", bs, id, d, p)
+					}
+					break
+				}
+				if !ok || p != want[j] {
+					t.Fatalf("bs=%d term %d SeekGE(%d) = %+v ok=%v, want %+v", bs, id, d, p, ok, want[j])
+				}
+				d = p.Doc + 1
+			}
+			it.Release()
+		}
+	}
+}
+
+// TestShardIterBlockBoundaries is the shard/block-boundary regression
+// test: shard bounds that land mid-block must still produce exactly the
+// flat sub-range — the doc-range search lands on block starts and clips
+// decoded blocks, never slices into the byte stream.
+func TestShardIterBlockBoundaries(t *testing.T) {
+	for _, bs := range []int{1, 3, 7, 128} {
+		x := buildRandom(t, 23, 150, bs)
+		for _, n := range []int{1, 2, 3, 4, 9, 150} {
+			seg := SegmentIndex(x, n)
+			for id := int32(0); int(id) < x.NumTerms(); id++ {
+				global := x.PostingsByID(id)
+				var merged []Posting
+				for si := 0; si < seg.NumShards(); si++ {
+					sh := seg.Shard(si)
+					lo, hi := sh.DocRange()
+					// Iterator view.
+					it := sh.Iter(id)
+					var viaIter []Posting
+					for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
+						viaIter = append(viaIter, blk...)
+					}
+					it.Release()
+					// Materialized view must agree.
+					viaSlice := sh.Postings(id)
+					if len(viaIter) != len(viaSlice) {
+						t.Fatalf("bs=%d n=%d shard %d term %d: iter %d postings, slice %d",
+							bs, n, si, id, len(viaIter), len(viaSlice))
+					}
+					for j := range viaIter {
+						if viaIter[j] != viaSlice[j] {
+							t.Fatalf("bs=%d n=%d shard %d term %d posting %d: %+v != %+v",
+								bs, n, si, id, j, viaIter[j], viaSlice[j])
+						}
+						if viaIter[j].Doc < lo || viaIter[j].Doc >= hi {
+							t.Fatalf("bs=%d n=%d shard %d term %d: doc %d outside [%d,%d)",
+								bs, n, si, id, viaIter[j].Doc, lo, hi)
+						}
+					}
+					merged = append(merged, viaIter...)
+				}
+				if len(merged) != len(global) {
+					t.Fatalf("bs=%d n=%d term %d: shards carry %d postings, global %d",
+						bs, n, id, len(merged), len(global))
+				}
+				for j := range merged {
+					if merged[j] != global[j] {
+						t.Fatalf("bs=%d n=%d term %d posting %d: %+v != %+v",
+							bs, n, id, j, merged[j], global[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReblock checks layout conversion both ways preserves content and
+// shares the layout-independent tables.
+func TestReblock(t *testing.T) {
+	x := buildRandom(t, 29, 200, 0)
+	table := x.ComputeMaxScores(func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	})
+	if err := x.SetMaxScores("T", table); err != nil {
+		t.Fatal(err)
+	}
+	bm := x.ComputeBlockMaxScores(func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	})
+	if err := x.SetBlockMaxScores("T", bm); err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{-1, 1, 64, 0} {
+		y := Reblock(x, bs)
+		if !indexesEqual(x, y) {
+			t.Fatalf("bs=%d: Reblock changed content", bs)
+		}
+		if got := y.MaxScores("T"); len(got) != len(table) {
+			t.Fatalf("bs=%d: per-term max-score table not carried over", bs)
+		}
+		if got := y.BlockMaxKeys(); len(got) != 0 {
+			t.Fatalf("bs=%d: layout-bound block-max tables must be dropped, got %v", bs, got)
+		}
+	}
+	if Reblock(x, -1).Blocked() {
+		t.Error("Reblock(-1) still blocked")
+	}
+	if got := Reblock(x, 64).BlockSize(); got != 64 {
+		t.Errorf("Reblock(64).BlockSize = %d", got)
+	}
+}
+
+// TestBlockMaxDominatesBlocks pins the block-max bound property: every
+// posting's score is at most its block's table entry, and the per-term
+// maximum equals the max over the term's block entries.
+func TestBlockMaxDominatesBlocks(t *testing.T) {
+	x := buildRandom(t, 31, 220, 8)
+	score := func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	}
+	bm := x.ComputeBlockMaxScores(score)
+	if err := x.SetBlockMaxScores("S", bm); err != nil {
+		t.Fatal(err)
+	}
+	terms := x.ComputeMaxScores(score)
+	c := x.Stats()
+	for id := int32(0); int(id) < x.NumTerms(); id++ {
+		tb := x.TermBlockMax("S", id)
+		if tb == nil {
+			t.Fatalf("term %d: no block-max slice", id)
+		}
+		ts := TermStats{ID: id, DF: int64(x.DF(id)), CF: 0}
+		it := x.PostingIter(id)
+		bi, seen := 0, 0
+		blkMax := 0.0
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			if seen == 8 {
+				if blkMax != tb[bi] {
+					t.Fatalf("term %d block %d: recomputed max %v != table %v", id, bi, blkMax, tb[bi])
+				}
+				bi++
+				seen, blkMax = 0, 0
+			}
+			if s := score(float64(p.TF), float64(x.DocLen(p.Doc)), ts, c); s > blkMax {
+				blkMax = s
+			}
+			seen++
+		}
+		it.Release()
+		if seen > 0 && blkMax != tb[bi] {
+			t.Fatalf("term %d final block: recomputed max %v != table %v", id, bi, blkMax)
+		}
+		termMax := 0.0
+		for _, v := range tb {
+			if v > termMax {
+				termMax = v
+			}
+		}
+		if termMax != terms[id] {
+			t.Fatalf("term %d: max over blocks %v != per-term table %v", id, termMax, terms[id])
+		}
+	}
+}
+
+// TestBlockUpperBoundSkipsWithoutDecode checks the header-guided bound:
+// it must be a true upper bound for the landing region and report
+// exhaustion exactly when no posting >= d remains.
+func TestBlockUpperBoundSkipsWithoutDecode(t *testing.T) {
+	x := buildRandom(t, 37, 200, 4)
+	score := func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	}
+	bm := x.ComputeBlockMaxScores(score)
+	if err := x.SetBlockMaxScores("S", bm); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	c := x.Stats()
+	for trial := 0; trial < 40; trial++ {
+		id := int32(rng.Intn(x.NumTerms()))
+		it := x.PostingIter(id)
+		it.SetBlockMax(x.TermBlockMax("S", id))
+		want := x.PostingsByID(id)
+		d := int32(rng.Intn(x.NumDocs() + 5))
+		ub, any := it.BlockUpperBound(d)
+		j := seekPostings(want, 0, d)
+		if (j < len(want)) != any {
+			t.Fatalf("term %d BlockUpperBound(%d): any=%v, reference %v", id, d, any, j < len(want))
+		}
+		if any {
+			p, ok := it.SeekGE(d)
+			if !ok || p != want[j] {
+				t.Fatalf("term %d SeekGE(%d) after bound = %+v ok=%v, want %+v", id, d, p, ok, want[j])
+			}
+			if p.Doc == d {
+				ts := TermStats{ID: id, DF: int64(len(want)), CF: 0}
+				if s := score(float64(p.TF), float64(x.DocLen(p.Doc)), ts, c); s > ub {
+					t.Fatalf("term %d doc %d: score %v exceeds block bound %v", id, d, s, ub)
+				}
+			}
+		}
+		it.Release()
+	}
+	// Without a table the bound degrades to +Inf, never blocking probes.
+	it := x.PostingIter(0)
+	if ub, any := it.BlockUpperBound(0); !any || !math.IsInf(ub, 1) {
+		t.Errorf("tableless BlockUpperBound = %v, %v; want +Inf, true", ub, any)
+	}
+	it.Release()
+}
+
+// TestCodecRoundTripBlocked round-trips blocked layouts (several block
+// sizes, with block-max tables) and the flat layout through the v5
+// codec, checking the layout and the tables survive byte for byte.
+func TestCodecRoundTripBlocked(t *testing.T) {
+	score := func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	}
+	for _, bs := range []int{-1, 1, 8, 128} {
+		x := buildRandom(t, 41, 180, bs)
+		if err := x.SetMaxScores("S", x.ComputeMaxScores(score)); err != nil {
+			t.Fatal(err)
+		}
+		if bs > 0 {
+			if err := x.SetBlockMaxScores("S", x.ComputeBlockMaxScores(score)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := SegmentIndex(x, 3).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSegmented(&buf)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		y := got.Index()
+		if y.BlockSize() != x.BlockSize() || y.NumBlocks() != x.NumBlocks() {
+			t.Fatalf("bs=%d: layout did not round-trip: size %d/%d blocks %d/%d",
+				bs, y.BlockSize(), x.BlockSize(), y.NumBlocks(), x.NumBlocks())
+		}
+		if !indexesEqual(x, y) {
+			t.Fatalf("bs=%d: content did not round-trip", bs)
+		}
+		wantMS := x.MaxScores("S")
+		gotMS := y.MaxScores("S")
+		for i := range wantMS {
+			if wantMS[i] != gotMS[i] {
+				t.Fatalf("bs=%d: max-score entry %d %v != %v", bs, i, gotMS[i], wantMS[i])
+			}
+		}
+		if bs > 0 {
+			wantBM := x.BlockMaxScores("S")
+			gotBM := y.BlockMaxScores("S")
+			if len(gotBM) != len(wantBM) {
+				t.Fatalf("bs=%d: block-max table %d entries, want %d", bs, len(gotBM), len(wantBM))
+			}
+			for i := range wantBM {
+				if wantBM[i] != gotBM[i] {
+					t.Fatalf("bs=%d: block-max entry %d %v != %v", bs, i, gotBM[i], wantBM[i])
+				}
+			}
+		} else if keys := y.BlockMaxKeys(); len(keys) != 0 {
+			t.Fatalf("flat round-trip grew block-max tables %v", keys)
+		}
+	}
+}
+
+// TestCorruptBlockStreamsRejected hand-corrupts the v5 posting blocks:
+// hostile block counts, byte lengths and truncations must all error,
+// never panic or over-allocate.
+func TestCorruptBlockStreamsRejected(t *testing.T) {
+	b := NewBuilder()
+	b.SetBlockSize(2)
+	for _, d := range []struct{ id, toks string }{
+		{"d1", "aa bb aa"}, {"d2", "aa cc"}, {"d3", "aa bb"}, {"d4", "aa"},
+	} {
+		if err := b.Add(d.id, strings.Fields(d.toks)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := b.Build()
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Read(bytes.NewReader(full)); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+	// Every truncation must error.
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("stream truncated to %d bytes accepted", cut)
+		}
+	}
+	// Every single-byte corruption must either error or produce a
+	// logically consistent index — never panic. (Some flips only touch
+	// doc IDs or TFs and stay self-consistent.)
+	for i := len(magicV5); i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("byte %d flipped: reader panicked: %v", i, r)
+				}
+			}()
+			if y, err := Read(bytes.NewReader(mut)); err == nil {
+				for id := int32(0); int(id) < y.NumTerms(); id++ {
+					_ = y.PostingsByID(id)
+				}
+			}
+		}()
+	}
+	// Hostile block count: claims 2^60 blocks for a 4-doc term.
+	hostile := append([]byte(nil), full[:len(magicV5)]...)
+	hostile = appendUvarintBytes(hostile, 2)     // blockCap
+	hostile = appendUvarintBytes(hostile, 1)     // numDocs
+	hostile = appendUvarintBytes(hostile, 1)     // idLen
+	hostile = append(hostile, 'x')               // id
+	hostile = appendUvarintBytes(hostile, 1)     // docLen
+	hostile = appendUvarintBytes(hostile, 1)     // totalTokens
+	hostile = appendUvarintBytes(hostile, 1)     // numTerms
+	hostile = appendUvarintBytes(hostile, 1)     // termLen
+	hostile = append(hostile, 'a')               // term
+	hostile = appendUvarintBytes(hostile, 1)     // cf
+	hostile = appendUvarintBytes(hostile, 1)     // df
+	hostile = appendUvarintBytes(hostile, 1<<60) // numBlocks: hostile
+	if _, err := Read(bytes.NewReader(hostile)); err == nil {
+		t.Error("hostile block count accepted")
+	}
+}
+
+func appendUvarintBytes(dst []byte, v uint64) []byte {
+	var tmp [16]byte
+	n := 0
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		tmp[n] = b
+		n++
+		if v == 0 {
+			break
+		}
+	}
+	return append(dst, tmp[:n]...)
+}

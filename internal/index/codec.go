@@ -13,16 +13,21 @@ import (
 // Binary serialization of an Index. Layout (all integers unsigned varints
 // unless noted):
 //
-//	magic  "RIDX4\n"
+//	magic  "RIDX5\n"
+//	blockCap (0 = the index was laid out flat; loaders materialize)
 //	numDocs, then per doc: idLen, idBytes, docLen
 //	totalTokens
 //	numTerms, then per term (in term-id order):
 //	    termLen, termBytes, cf, df,
-//	    df postings as (docDelta, tf) with docDelta = doc - prevDoc
-//	    (first delta = doc + 1 so deltas are always >= 1)
+//	    numBlocks, then per block: count, byteLen, byteLen raw bytes —
+//	    the block's postings as (docDelta, tf) varints with
+//	    docDelta = doc - prevDoc (first delta of the whole term = doc + 1,
+//	    the chain running continuously across blocks)
 //	numShards, then per shard: shard document count (v3+)
 //	numTables, then per table (in sorted key order):
-//	    keyLen, keyBytes, numTerms float64s (8-byte little-endian) (v4 only)
+//	    keyLen, keyBytes, numTerms float64s (8-byte little-endian) (v4+)
+//	numBlockTables, then per table (in sorted key order):
+//	    keyLen, keyBytes, totalBlocks float64s (v5 only)
 //
 // The format is self-contained and versioned by the magic string.
 //
@@ -47,8 +52,17 @@ import (
 // first query without a rebuild pass. v1–v3 streams simply carry no
 // tables; the engine recomputes the ones its model needs at load time,
 // so a loaded index *serves* identically across all four versions.
+//
+// Version 5 turns the posting section into explicit blocks — the on-disk
+// twin of the in-memory block-compressed layout, written verbatim so
+// loading re-encodes nothing — and appends the block-max tables (per-
+// block score maxima, SetBlockMaxScores) after the max-score block.
+// v1–v4 streams carry one implicit run per term in the very same delta
+// encoding; they load fine and are re-blocked at DefaultBlockSize, so a
+// loaded index serves identically across all five versions.
 
 const (
+	magicV5 = "RIDX5\n"
 	magicV4 = "RIDX4\n"
 	magicV3 = "RIDX3\n"
 	magicV2 = "RIDX2\n"
@@ -58,7 +72,7 @@ const (
 // ErrBadFormat reports a corrupt or foreign index stream.
 var ErrBadFormat = errors.New("index: bad index format")
 
-// WriteTo serializes the index to w as a single-shard v4 stream.
+// WriteTo serializes the index to w as a single-shard v5 stream.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	return x.writeStream(w, nil)
 }
@@ -69,9 +83,10 @@ func (s *Segmented) WriteTo(w io.Writer) (int64, error) {
 	return s.idx.writeStream(w, s.bounds)
 }
 
-// writeStream emits the v4 stream. bounds carries the shard boundaries of
+// writeStream emits the v5 stream. bounds carries the shard boundaries of
 // a Segmented (len shards+1); nil means a single shard covering every
-// document.
+// document. A flat-layout index is transported in DefaultBlockSize blocks
+// with blockCap recorded as 0, so the loader restores the flat layout.
 func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
 	bw := bufio.NewWriter(w)
 	n := int64(0)
@@ -92,7 +107,10 @@ func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
 		return write([]byte(s))
 	}
 
-	if err := write([]byte(magicV4)); err != nil {
+	if err := write([]byte(magicV5)); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(x.blockCap)); err != nil {
 		return n, err
 	}
 	if err := writeUvarint(uint64(len(x.docIDs))); err != nil {
@@ -116,22 +134,35 @@ func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
 		if err := writeString(term); err != nil {
 			return n, err
 		}
+		pl := &x.plists[id]
 		if err := writeUvarint(uint64(x.cf[id])); err != nil {
 			return n, err
 		}
-		plist := x.postings[id]
-		if err := writeUvarint(uint64(len(plist))); err != nil {
+		if err := writeUvarint(uint64(pl.n)); err != nil {
 			return n, err
 		}
-		prev := int32(-1)
-		for _, p := range plist {
-			if err := writeUvarint(uint64(p.Doc - prev)); err != nil {
+		data, blocks := pl.data, pl.blocks
+		if pl.flat != nil {
+			// Transport encoding for the flat layout.
+			data, blocks = appendBlocks(nil, pl.flat, DefaultBlockSize)
+		}
+		if err := writeUvarint(uint64(len(blocks))); err != nil {
+			return n, err
+		}
+		for bi, h := range blocks {
+			end := uint32(len(data))
+			if bi+1 < len(blocks) {
+				end = blocks[bi+1].off
+			}
+			if err := writeUvarint(uint64(h.n)); err != nil {
 				return n, err
 			}
-			if err := writeUvarint(uint64(p.TF)); err != nil {
+			if err := writeUvarint(uint64(end - h.off)); err != nil {
 				return n, err
 			}
-			prev = p.Doc
+			if err := write(data[h.off:end]); err != nil {
+				return n, err
+			}
 		}
 	}
 	// Shard manifest: per-shard document counts in shard order.
@@ -152,29 +183,37 @@ func (x *Index) writeStream(w io.Writer, bounds []int32) (int64, error) {
 			}
 		}
 	}
-	// Max-score block: the per-term upper-bound tables, in sorted key
-	// order so the stream is canonical.
-	keys := x.MaxScoreKeys()
-	if err := writeUvarint(uint64(len(keys))); err != nil {
-		return n, err
-	}
+	// Max-score and block-max blocks: the score upper-bound tables, in
+	// sorted key order so the stream is canonical.
 	var f64 [8]byte
-	for _, key := range keys {
-		if err := writeString(key); err != nil {
-			return n, err
+	writeTables := func(keys []string, tables map[string][]float64) error {
+		if err := writeUvarint(uint64(len(keys))); err != nil {
+			return err
 		}
-		for _, v := range x.maxScores[key] {
-			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
-			if err := write(f64[:]); err != nil {
-				return n, err
+		for _, key := range keys {
+			if err := writeString(key); err != nil {
+				return err
+			}
+			for _, v := range tables[key] {
+				binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+				if err := write(f64[:]); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
+	}
+	if err := writeTables(x.MaxScoreKeys(), x.maxScores); err != nil {
+		return n, err
+	}
+	if err := writeTables(x.BlockMaxKeys(), x.blockMax); err != nil {
+		return n, err
 	}
 	return n, bw.Flush()
 }
 
-// Read deserializes an index written by WriteTo — current (v4) streams
-// and pre-bump v1–v3 streams alike; see the format comment above. The
+// Read deserializes an index written by WriteTo — current (v5) streams
+// and pre-bump v1–v4 streams alike; see the format comment above. The
 // shard manifest, if any, is consumed and dropped: callers that care
 // about the partition use ReadSegmented.
 func Read(r io.Reader) (*Index, error) {
@@ -184,7 +223,8 @@ func Read(r io.Reader) (*Index, error) {
 
 // ReadSegmented deserializes an index together with its shard manifest.
 // v1/v2 streams predate the manifest and come back as a single shard.
-// The max-score block of a v4 stream loads with either entry point.
+// The max-score (v4+) and block-max (v5) tables load with either entry
+// point.
 func ReadSegmented(r io.Reader) (*Segmented, error) {
 	x, sizes, err := readStream(r)
 	if err != nil {
@@ -202,12 +242,14 @@ func ReadSegmented(r io.Reader) (*Segmented, error) {
 // manifest's per-shard document counts ({numDocs} for v1/v2 streams).
 func readStream(r io.Reader) (*Index, []int64, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magicV3))
+	head := make([]byte, len(magicV5))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	version := 0
 	switch string(head) {
+	case magicV5:
+		version = 5
 	case magicV4:
 		version = 4
 	case magicV3:
@@ -235,6 +277,17 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 		return string(b), nil
 	}
 
+	blockCap := uint64(0)
+	if version >= 5 {
+		var err error
+		blockCap, err = readUvarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: blockCap: %v", ErrBadFormat, err)
+		}
+		if blockCap > MaxBlockSize {
+			return nil, nil, fmt.Errorf("%w: blockCap %d out of range", ErrBadFormat, blockCap)
+		}
+	}
 	numDocs, err := readUvarint()
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: numDocs: %v", ErrBadFormat, err)
@@ -277,8 +330,15 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 		return nil, nil, fmt.Errorf("%w: numTerms %d too large", ErrBadFormat, numTerms)
 	}
 	x.termList = make([]string, 0, capHint(numTerms))
-	x.postings = make([][]Posting, 0, capHint(numTerms))
 	x.cf = make([]int64, 0, capHint(numTerms))
+	// v1–v4 postings accumulate flat and are re-blocked after the (v1)
+	// dictionary renumbering; v5 reads blocks directly.
+	var flatPostings [][]Posting
+	if version < 5 {
+		flatPostings = make([][]Posting, 0, capHint(numTerms))
+	} else {
+		x.plists = make([]postingList, 0, capHint(numTerms))
+	}
 	for id := uint64(0); id < numTerms; id++ {
 		term, err := readString()
 		if err != nil {
@@ -297,6 +357,14 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 		}
 		if df > numDocs {
 			return nil, nil, fmt.Errorf("%w: df %d > numDocs %d", ErrBadFormat, df, numDocs)
+		}
+		if version >= 5 {
+			pl, err := readBlockedPostings(br, df, numDocs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: term %q: %v", ErrBadFormat, term, err)
+			}
+			x.plists = append(x.plists, pl)
+			continue
 		}
 		plist := make([]Posting, 0, capHint(df))
 		prev := int32(-1)
@@ -319,7 +387,7 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 			plist = append(plist, Posting{Doc: doc, TF: int32(tf)})
 			prev = doc
 		}
-		x.postings = append(x.postings, plist)
+		flatPostings = append(flatPostings, plist)
 	}
 	sizes := []int64{int64(numDocs)}
 	if version >= 2 {
@@ -330,7 +398,37 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 	} else {
 		// Pre-bump streams carry insertion-ordered dictionaries; restore
 		// the sorted-ID invariant the rest of the system relies on.
-		x.termList, x.postings, x.cf = sortDictionary(x.termList, x.postings, x.cf, x.terms)
+		x.termList, flatPostings, x.cf = sortDictionary(x.termList, flatPostings, x.cf, x.terms)
+	}
+	if version < 5 {
+		// Re-block legacy streams at the default layout.
+		x.blockCap = DefaultBlockSize
+		x.plists, x.nBlocks = assemblePostings(flatPostings, x.blockCap)
+	} else if blockCap == 0 {
+		// The stream says the index was flat: restore that layout from the
+		// transport blocks.
+		x.blockCap = 0
+		for id := range x.plists {
+			pl := &x.plists[id]
+			*pl = postingList{n: pl.n, flat: pl.materialize()}
+		}
+	} else {
+		x.blockCap = int(blockCap)
+		nBlocks := 0
+		for id := range x.plists {
+			pl := &x.plists[id]
+			if int(pl.n) > 0 {
+				for _, h := range pl.blocks {
+					if int(h.n) > x.blockCap {
+						return nil, nil, fmt.Errorf("%w: block of %d postings exceeds blockCap %d",
+							ErrBadFormat, h.n, x.blockCap)
+					}
+				}
+			}
+			pl.blk0 = int32(nBlocks)
+			nBlocks += len(pl.blocks)
+		}
+		x.nBlocks = nBlocks
 	}
 	if version >= 3 {
 		numShards, err := readUvarint()
@@ -350,11 +448,100 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 		}
 	}
 	if version >= 4 {
-		if err := readMaxScoreBlock(br, x); err != nil {
+		if err := readScoreTables(br, x, "max-score", x.NumTerms(), x.SetMaxScores); err != nil {
+			return nil, nil, err
+		}
+	}
+	if version >= 5 {
+		// SetBlockMaxScores enforces the layout contract: tables on a
+		// flat index are rejected, zero-entry tables on a blocked-but-
+		// empty index (nBlocks 0) round-trip — the writer emits them.
+		if err := readScoreTables(br, x, "block-max", x.nBlocks, x.SetBlockMaxScores); err != nil {
 			return nil, nil, err
 		}
 	}
 	return x, sizes, nil
+}
+
+// readBlockedPostings parses one term's v5 posting blocks, validating
+// every count, length and decoded document before the list is accepted:
+// hostile block counts or byte lengths error, never panic or OOM, and an
+// accepted list upholds the invariants the branch-lean hot-path decoder
+// trusts (terminating varints, strictly ascending in-range documents).
+func readBlockedPostings(br *bufio.Reader, df, numDocs uint64) (postingList, error) {
+	numBlocks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return postingList{}, fmt.Errorf("block count: %v", err)
+	}
+	pl := postingList{n: int32(df)}
+	if df == 0 {
+		if numBlocks != 0 {
+			return postingList{}, fmt.Errorf("%d blocks for empty posting list", numBlocks)
+		}
+		return pl, nil
+	}
+	if numBlocks == 0 || numBlocks > df {
+		return postingList{}, fmt.Errorf("block count %d out of range for df %d", numBlocks, df)
+	}
+	blocks := make([]blockHeader, 0, capHint(numBlocks))
+	data := make([]byte, 0, capHint(2*df))
+	var seen uint64
+	prev := int32(-1)
+	for bi := uint64(0); bi < numBlocks; bi++ {
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return postingList{}, fmt.Errorf("block %d count: %v", bi, err)
+		}
+		if cnt == 0 || seen+cnt > df {
+			return postingList{}, fmt.Errorf("block %d count %d overflows df %d", bi, cnt, df)
+		}
+		byteLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return postingList{}, fmt.Errorf("block %d length: %v", bi, err)
+		}
+		// Each posting is at least 2 bytes and at most two 5-byte varints.
+		if byteLen < 2*cnt || byteLen > 10*cnt {
+			return postingList{}, fmt.Errorf("block %d byte length %d implausible for %d postings", bi, byteLen, cnt)
+		}
+		off := uint32(len(data))
+		data = append(data, make([]byte, byteLen)...)
+		if _, err := io.ReadFull(br, data[off:]); err != nil {
+			return postingList{}, fmt.Errorf("block %d bytes: %v", bi, err)
+		}
+		// Validation decode: the bytes must contain exactly cnt postings
+		// with strictly ascending in-range documents and in-range TFs.
+		rest := data[off:]
+		blkPrev := prev
+		for j := uint64(0); j < cnt; j++ {
+			delta, m := binary.Uvarint(rest)
+			if m <= 0 || delta == 0 || delta > uint64(math.MaxInt32) {
+				return postingList{}, fmt.Errorf("block %d posting %d: bad doc delta", bi, j)
+			}
+			rest = rest[m:]
+			doc := int64(blkPrev) + int64(delta)
+			if doc >= int64(numDocs) {
+				return postingList{}, fmt.Errorf("block %d: doc %d out of range", bi, doc)
+			}
+			tf, m := binary.Uvarint(rest)
+			if m <= 0 || tf > uint64(math.MaxInt32) {
+				return postingList{}, fmt.Errorf("block %d posting %d: bad tf", bi, j)
+			}
+			rest = rest[m:]
+			blkPrev = int32(doc)
+		}
+		if len(rest) != 0 {
+			return postingList{}, fmt.Errorf("block %d: %d trailing bytes", bi, len(rest))
+		}
+		blocks = append(blocks, blockHeader{maxDoc: blkPrev, off: off, n: int32(cnt)})
+		prev = blkPrev
+		seen += cnt
+	}
+	if seen != df {
+		return postingList{}, fmt.Errorf("blocks carry %d postings, df says %d", seen, df)
+	}
+	pl.data = data
+	pl.blocks = blocks
+	return pl, nil
 }
 
 // capHint bounds the initial capacity allocated for an untrusted element
@@ -369,43 +556,48 @@ func capHint(n uint64) int {
 	return int(n)
 }
 
-// readMaxScoreBlock parses the v4 max-score tables into x. Corrupt or
-// truncated blocks error (never panic): counts, key uniqueness and the
-// finite-nonnegative value contract are all validated before the table
-// is attached.
-func readMaxScoreBlock(br *bufio.Reader, x *Index) error {
+// readScoreTables parses a score-table section (the v4 max-score block
+// and the v5 block-max block share the format): numTables, then per table
+// a key and entries float64 values, attached through set. Corrupt or
+// truncated sections error (never panic): counts, key uniqueness and the
+// finite-nonnegative value contract are all validated before the table is
+// attached — set is the validator of last resort.
+func readScoreTables(br *bufio.Reader, x *Index, what string, entries int, set func(string, []float64) error) error {
 	numTables, err := binary.ReadUvarint(br)
 	if err != nil {
-		return fmt.Errorf("%w: max-score table count: %v", ErrBadFormat, err)
+		return fmt.Errorf("%w: %s table count: %v", ErrBadFormat, what, err)
 	}
 	if numTables > 1<<12 {
-		return fmt.Errorf("%w: %d max-score tables", ErrBadFormat, numTables)
+		return fmt.Errorf("%w: %d %s tables", ErrBadFormat, numTables, what)
 	}
 	var f64 [8]byte
 	for ti := uint64(0); ti < numTables; ti++ {
 		keyLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return fmt.Errorf("%w: max-score key: %v", ErrBadFormat, err)
+			return fmt.Errorf("%w: %s key: %v", ErrBadFormat, what, err)
 		}
 		if keyLen == 0 || keyLen > 1<<10 {
-			return fmt.Errorf("%w: max-score key length %d", ErrBadFormat, keyLen)
+			return fmt.Errorf("%w: %s key length %d", ErrBadFormat, what, keyLen)
 		}
 		kb := make([]byte, keyLen)
 		if _, err := io.ReadFull(br, kb); err != nil {
-			return fmt.Errorf("%w: max-score key: %v", ErrBadFormat, err)
+			return fmt.Errorf("%w: %s key: %v", ErrBadFormat, what, err)
 		}
 		key := string(kb)
-		if _, dup := x.maxScores[key]; dup {
+		if _, dup := x.maxScores[key]; dup && what == "max-score" {
 			return fmt.Errorf("%w: duplicate max-score table %q", ErrBadFormat, key)
 		}
-		scores := make([]float64, 0, capHint(uint64(x.NumTerms())))
-		for i := 0; i < x.NumTerms(); i++ {
+		if _, dup := x.blockMax[key]; dup && what == "block-max" {
+			return fmt.Errorf("%w: duplicate block-max table %q", ErrBadFormat, key)
+		}
+		scores := make([]float64, 0, capHint(uint64(entries)))
+		for i := 0; i < entries; i++ {
 			if _, err := io.ReadFull(br, f64[:]); err != nil {
-				return fmt.Errorf("%w: max-score table %q entry %d: %v", ErrBadFormat, key, i, err)
+				return fmt.Errorf("%w: %s table %q entry %d: %v", ErrBadFormat, what, key, i, err)
 			}
 			scores = append(scores, math.Float64frombits(binary.LittleEndian.Uint64(f64[:])))
 		}
-		if err := x.SetMaxScores(key, scores); err != nil {
+		if err := set(key, scores); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadFormat, err)
 		}
 	}

@@ -128,14 +128,14 @@ func TestLegacyV1MatchesRebuild(t *testing.T) {
 	}
 }
 
-func TestWriteToEmitsV4(t *testing.T) {
+func TestWriteToEmitsV5(t *testing.T) {
 	x := buildSmall(t)
 	var buf bytes.Buffer
 	if _, err := x.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), magicV4) {
-		t.Errorf("stream starts with %q, want %q", buf.String()[:6], magicV4)
+	if !strings.HasPrefix(buf.String(), magicV5) {
+		t.Errorf("stream starts with %q, want %q", buf.String()[:6], magicV5)
 	}
 }
 
@@ -168,11 +168,14 @@ func legacyStream(t *testing.T, x *Index, magic string) *bytes.Buffer {
 	}
 	var buf bytes.Buffer
 	writeLegacy(&buf, magic, docIDs, docLens, x.Stats().TotalTokens, terms, cf, postings)
-	if magic == magicV3 {
+	if magic == magicV3 || magic == magicV4 {
 		buf.WriteByte(1) // numShards = 1
 		var vbuf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(vbuf[:], uint64(len(docIDs)))
 		buf.Write(vbuf[:n])
+	}
+	if magic == magicV4 {
+		buf.WriteByte(0) // no max-score tables
 	}
 	return &buf
 }
@@ -221,10 +224,35 @@ func TestLegacyStreamsCarryNoMaxScores(t *testing.T) {
 	}
 }
 
-// TestMaxScoreTablesRoundTripV4 writes an index carrying max-score
-// tables and checks keys and values survive the v4 round trip bit for
-// bit, at several shard counts.
-func TestMaxScoreTablesRoundTripV4(t *testing.T) {
+// TestV4StreamLoadsReblocked is the read-compat half of the v5 contract:
+// RIDX1–RIDX4 streams carry one implicit delta run per term, so loading
+// must re-block them at DefaultBlockSize — logically equal to the source
+// index, ready for block-level traversal, with no block-max tables (the
+// engine rebuilds the ones its model needs).
+func TestV4StreamLoadsReblocked(t *testing.T) {
+	x := buildSmall(t)
+	for _, magic := range []string{magicV1, magicV2, magicV3, magicV4} {
+		got, err := Read(legacyStream(t, x, magic))
+		if err != nil {
+			t.Fatalf("%q: %v", magic, err)
+		}
+		if !got.Blocked() || got.BlockSize() != DefaultBlockSize {
+			t.Errorf("%q: loaded layout blocked=%v size=%d, want re-blocked at %d",
+				magic, got.Blocked(), got.BlockSize(), DefaultBlockSize)
+		}
+		if keys := got.BlockMaxKeys(); len(keys) != 0 {
+			t.Errorf("%q: loaded with block-max tables %v, want none", magic, keys)
+		}
+		if !indexesEqual(x, got) {
+			t.Errorf("%q: loaded index differs from source", magic)
+		}
+	}
+}
+
+// TestMaxScoreTablesRoundTrip writes an index carrying max-score tables
+// and checks keys and values survive the round trip bit for bit, at
+// several shard counts.
+func TestMaxScoreTablesRoundTrip(t *testing.T) {
 	x := buildSmall(t)
 	tfTable := x.ComputeMaxScores(func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
 		return tf / (1 + docLen)
@@ -265,9 +293,9 @@ func TestMaxScoreTablesRoundTripV4(t *testing.T) {
 	}
 }
 
-// TestCorruptMaxScoreBlocksRejected feeds a valid v4 stream with its
-// max-score block truncated or corrupted at various points: every
-// variant must error, never panic.
+// TestCorruptMaxScoreBlocksRejected feeds a valid stream with its score-
+// table tail (max-score block, block-max block) truncated or corrupted at
+// various points: every variant must error, never panic.
 func TestCorruptMaxScoreBlocksRejected(t *testing.T) {
 	x := buildSmall(t)
 	table := make([]float64, x.NumTerms())
@@ -282,18 +310,19 @@ func TestCorruptMaxScoreBlocksRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	// The block sits at the tail: key ("T" + length byte) plus the
-	// float64 entries plus the table count byte.
-	blockLen := 1 + 2 + 8*x.NumTerms()
+	// The tail: max-score table count byte, key ("T" + length byte), the
+	// float64 entries, then the block-max table count byte.
+	blockLen := 1 + 2 + 8*x.NumTerms() + 1
 	for cut := 1; cut <= blockLen; cut++ {
 		if _, err := Read(bytes.NewReader(full[:len(full)-cut])); err == nil {
 			t.Errorf("stream truncated by %d bytes accepted", cut)
 		}
 	}
-	// A NaN entry violates the finite-nonnegative contract.
+	// A NaN entry violates the finite-nonnegative contract. The last
+	// max-score float sits just before the trailing block-max count byte.
 	nan := append([]byte(nil), full...)
 	for i := 0; i < 8; i++ {
-		nan[len(nan)-1-i] = 0xff
+		nan[len(nan)-2-i] = 0xff
 	}
 	if _, err := Read(bytes.NewReader(nan)); err == nil {
 		t.Error("NaN max-score entry accepted")

@@ -6,10 +6,11 @@ import (
 	"testing"
 )
 
-// fuzzSeedStream builds a small valid v4 stream (with a max-score table)
-// for the fuzzer to mutate.
-func fuzzSeedStream(tb testing.TB) []byte {
+// fuzzSeedStream builds a small valid v5 stream (block-compressed
+// postings plus max-score and block-max tables) for the fuzzer to mutate.
+func fuzzSeedStream(tb testing.TB, blockSize int) []byte {
 	b := NewBuilder()
+	b.SetBlockSize(blockSize)
 	docs := [][2]string{
 		{"d1", "apple fruit pie apple"},
 		{"d2", "apple mac os"},
@@ -21,11 +22,16 @@ func fuzzSeedStream(tb testing.TB) []byte {
 		}
 	}
 	x := b.Build()
-	table := x.ComputeMaxScores(func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+	score := func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
 		return tf / (1 + docLen)
-	})
-	if err := x.SetMaxScores("DPH", table); err != nil {
+	}
+	if err := x.SetMaxScores("DPH", x.ComputeMaxScores(score)); err != nil {
 		tb.Fatal(err)
+	}
+	if x.Blocked() {
+		if err := x.SetBlockMaxScores("DPH", x.ComputeBlockMaxScores(score)); err != nil {
+			tb.Fatal(err)
+		}
 	}
 	var buf bytes.Buffer
 	if _, err := SegmentIndex(x, 2).WriteTo(&buf); err != nil {
@@ -36,35 +42,58 @@ func fuzzSeedStream(tb testing.TB) []byte {
 
 // FuzzReadIndex drives both codec entry points with arbitrary bytes: any
 // input may be rejected with an error, but none may panic or hang —
-// truncated or corrupt streams (including mangled max-score blocks, the
-// RIDX4 addition) must degrade to ErrBadFormat-wrapped errors. CI runs
-// this for a short fixed budget next to the deterministic corrupt-stream
-// cases in the codec tests.
+// truncated or corrupt streams (including mangled RIDX5 block headers —
+// hostile block counts and byte lengths — and mangled score tables) must
+// degrade to ErrBadFormat-wrapped errors. CI runs this for a short fixed
+// budget next to the deterministic corrupt-stream cases in the codec
+// tests.
 func FuzzReadIndex(f *testing.F) {
-	valid := fuzzSeedStream(f)
+	valid := fuzzSeedStream(f, 2) // tiny blocks: boundaries everywhere
 	f.Add(valid)
+	f.Add(fuzzSeedStream(f, -1))  // flat transport (blockCap 0)
+	f.Add(fuzzSeedStream(f, 128)) // default layout
 	// Truncations at structurally interesting depths: inside the magic,
-	// the dictionary, the manifest, and the max-score block.
-	for _, cut := range []int{1, 4, 7, len(valid) / 2, len(valid) - 9, len(valid) - 1} {
+	// the block headers, the manifest, and the score tables.
+	for _, cut := range []int{1, 4, 7, 9, len(valid) / 3, len(valid) / 2, len(valid) - 9, len(valid) - 1} {
 		if cut > 0 && cut < len(valid) {
 			f.Add(valid[:cut])
 		}
 	}
-	// Legacy magics with junk bodies, and a bare v4 header.
+	// Legacy magics with junk bodies, and bare v4/v5 headers.
 	f.Add([]byte("RIDX1\n\xff\xff\xff\xff"))
 	f.Add([]byte("RIDX4\n"))
 	f.Add([]byte("RIDX4\n\x00\x00\x00\x00\x00"))
+	f.Add([]byte("RIDX5\n"))
+	f.Add([]byte("RIDX5\n\x00\x00\x00\x00\x00\x00"))
+	// Hostile v5 block shapes: huge block count, huge byte length.
+	f.Add([]byte("RIDX5\n\x02\x01\x01x\x01\x01\x01\x01a\x01\x01\xff\xff\xff\xff\x0f"))
+	f.Add([]byte("RIDX5\n\x02\x01\x01x\x01\x01\x01\x01a\x01\x01\x01\x01\xff\xff\xff\xff\x0f"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if x, err := Read(bytes.NewReader(data)); err == nil {
 			// Accepted streams must produce a usable index: exercise the
-			// accessors the rest of the system leans on.
+			// accessors the rest of the system leans on, including a full
+			// iterator traversal of every (possibly block-compressed) list.
 			for id := int32(0); id < int32(x.NumTerms()); id++ {
 				_ = x.Term(id)
 				_ = x.PostingsByID(id)
+				it := x.PostingIter(id)
+				n := 0
+				for _, ok := it.Next(); ok; _, ok = it.Next() {
+					n++
+				}
+				it.Release()
+				if n != x.DF(id) {
+					t.Fatalf("term %d: iterator yielded %d postings, DF %d", id, n, x.DF(id))
+				}
 			}
 			for _, key := range x.MaxScoreKeys() {
 				if len(x.MaxScores(key)) != x.NumTerms() {
 					t.Fatalf("table %q has %d entries for %d terms", key, len(x.MaxScores(key)), x.NumTerms())
+				}
+			}
+			for _, key := range x.BlockMaxKeys() {
+				if len(x.BlockMaxScores(key)) != x.NumBlocks() {
+					t.Fatalf("block table %q has %d entries for %d blocks", key, len(x.BlockMaxScores(key)), x.NumBlocks())
 				}
 			}
 		}

@@ -4,6 +4,13 @@
 // DFR ranking models of package ranking need. It replaces the Terrier
 // index of the paper's experimental setup (§5).
 //
+// Postings are stored block-compressed by default (see block.go): fixed-
+// capacity blocks of delta-varint (docID, tf) pairs behind per-block
+// max-doc headers, traversed through PostingIterator. A flat []Posting
+// layout remains available (Builder.SetBlockSize(-1), engine
+// DisableCompression) and is bit-identical in retrieval output — only
+// memory and traversal cost differ.
+//
 // The index is token-agnostic: callers analyze text (package text) before
 // adding documents, so index and query processing are guaranteed to agree
 // on the analysis chain.
@@ -40,22 +47,30 @@ type CollectionStats struct {
 
 // Builder accumulates documents and produces an immutable Index.
 type Builder struct {
-	docIDs   []string
-	docLens  []int32
-	seen     map[string]bool
-	terms    map[string]int32
-	postings [][]Posting
-	cf       []int64
-	total    int64
+	docIDs    []string
+	docLens   []int32
+	seen      map[string]bool
+	terms     map[string]int32
+	postings  [][]Posting
+	cf        []int64
+	total     int64
+	blockSize int
 }
 
-// NewBuilder returns an empty Builder.
+// NewBuilder returns an empty Builder producing the default
+// block-compressed posting layout.
 func NewBuilder() *Builder {
 	return &Builder{
 		seen:  make(map[string]bool),
 		terms: make(map[string]int32),
 	}
 }
+
+// SetBlockSize tunes the posting layout of the built index: n > 0 sets
+// the block capacity, 0 keeps DefaultBlockSize, n < 0 builds flat
+// (uncompressed) []Posting lists. Retrieval output is bit-identical at
+// any setting; only memory footprint and traversal cost differ.
+func (b *Builder) SetBlockSize(n int) { b.blockSize = n }
 
 // ErrDuplicateDoc is returned when the same external document ID is added
 // twice.
@@ -108,7 +123,8 @@ func (b *Builder) NumDocs() int { return len(b.docIDs) }
 // ascending term ID order equals ascending string order. The similarity
 // substrate (textsim.Lexicon seeded from this dictionary) depends on that
 // invariant to keep interned-vector merges in the same order as
-// string-sorted merges, and the v2 codec persists it.
+// string-sorted merges, and the v2 codec persists it. Postings are then
+// laid out per SetBlockSize (block-compressed by default).
 func (b *Builder) Build() *Index {
 	// Postings were appended in doc order already (Add assigns increasing
 	// doc numbers), so no per-term sort is needed; assert order in debug
@@ -118,12 +134,16 @@ func (b *Builder) Build() *Index {
 		termList[id] = t
 	}
 	termList, b.postings, b.cf = sortDictionary(termList, b.postings, b.cf, b.terms)
+	blockCap := normBlockSize(b.blockSize)
+	plists, nBlocks := assemblePostings(b.postings, blockCap)
 	idx := &Index{
 		docIDs:   b.docIDs,
 		docLens:  b.docLens,
 		terms:    b.terms,
 		termList: termList,
-		postings: b.postings,
+		plists:   plists,
+		blockCap: blockCap,
+		nBlocks:  nBlocks,
 		cf:       b.cf,
 		total:    b.total,
 	}
@@ -152,22 +172,30 @@ func sortDictionary(termList []string, postings [][]Posting, cf []int64, ids map
 }
 
 // Index is an immutable inverted index. The one exception to the
-// immutability is the max-score table set (SetMaxScores), which must be
-// populated while the index is still privately owned — at build or load
-// time, before it is shared across goroutines.
+// immutability is the max-score table sets (SetMaxScores and
+// SetBlockMaxScores), which must be populated while the index is still
+// privately owned — at build or load time, before it is shared across
+// goroutines.
 type Index struct {
 	docIDs   []string
 	docLens  []int32
 	terms    map[string]int32
 	termList []string
-	postings [][]Posting
+	plists   []postingList
+	blockCap int // posting block capacity; 0 = flat layout
+	nBlocks  int // total blocks across the dictionary
 	cf       []int64
 	total    int64
 	// maxScores holds per-term upper bounds on a single posting's model
 	// score contribution, keyed by the scoring function's identity
 	// (ranking.Boundable.BoundKey()). MaxScore dynamic pruning consumes
-	// these; the v4 codec persists them.
+	// these; the codec persists them (since v4).
 	maxScores map[string][]float64
+	// blockMax refines maxScores to block granularity: per key, one upper
+	// bound per posting block, indexed by the index-wide block numbering
+	// (postingList.blk0). Only meaningful for the compressed layout; the
+	// v5 codec persists it.
+	blockMax map[string][]float64
 }
 
 // NumDocs returns the number of indexed documents.
@@ -175,6 +203,16 @@ func (x *Index) NumDocs() int { return len(x.docIDs) }
 
 // NumTerms returns the dictionary size.
 func (x *Index) NumTerms() int { return len(x.termList) }
+
+// Blocked reports whether postings are stored block-compressed.
+func (x *Index) Blocked() bool { return x.blockCap > 0 }
+
+// BlockSize returns the posting block capacity (0 for the flat layout).
+func (x *Index) BlockSize() int { return x.blockCap }
+
+// NumBlocks returns the total posting-block count across the dictionary
+// (0 for the flat layout) — the length of every block-max table.
+func (x *Index) NumBlocks() int { return x.nBlocks }
 
 // DocID maps an internal document number to its external ID.
 func (x *Index) DocID(doc int32) string { return x.docIDs[doc] }
@@ -198,34 +236,55 @@ func (x *Index) Lookup(term string) (TermStats, bool) {
 	if !ok {
 		return TermStats{}, false
 	}
-	return TermStats{ID: id, DF: int64(len(x.postings[id])), CF: x.cf[id]}, true
+	return TermStats{ID: id, DF: int64(x.plists[id].n), CF: x.cf[id]}, true
 }
 
-// LookupPostings returns the statistics and postings list of term in ONE
-// dictionary probe. Retrieval used to pay two map lookups per query term
-// (Lookup for the stats, Postings for the list); the evaluators now come
-// through here. The returned slice is shared and must not be modified.
+// LookupIter returns the statistics and a posting iterator for term in
+// ONE dictionary probe — the hot-path entry every evaluator uses. The
+// iterator must be Released when traversal ends.
+func (x *Index) LookupIter(term string) (TermStats, PostingIterator, bool) {
+	id, ok := x.terms[term]
+	if !ok {
+		return TermStats{}, PostingIterator{done: true}, false
+	}
+	pl := &x.plists[id]
+	return TermStats{ID: id, DF: int64(pl.n), CF: x.cf[id]}, pl.iter(0, math.MaxInt32), true
+}
+
+// PostingIter returns an iterator over the full posting list of an
+// internal term number. Release it when done.
+func (x *Index) PostingIter(id int32) PostingIterator {
+	return x.plists[id].iter(0, math.MaxInt32)
+}
+
+// LookupPostings returns the statistics and postings of term in one
+// dictionary probe, materializing the list. Flat layouts return the
+// shared slice (do not modify); the compressed layout decodes into a
+// fresh allocation per call — evaluators use LookupIter instead and
+// stream block at a time.
 func (x *Index) LookupPostings(term string) (TermStats, []Posting, bool) {
 	id, ok := x.terms[term]
 	if !ok {
 		return TermStats{}, nil, false
 	}
-	plist := x.postings[id]
-	return TermStats{ID: id, DF: int64(len(plist)), CF: x.cf[id]}, plist, true
+	pl := &x.plists[id]
+	return TermStats{ID: id, DF: int64(pl.n), CF: x.cf[id]}, pl.materialize(), true
 }
 
-// Postings returns the postings list of term (nil if absent). The returned
+// Postings returns the postings of term (nil if absent), materializing
+// under the compressed layout — see LookupPostings. The flat layout's
 // slice is shared and must not be modified.
 func (x *Index) Postings(term string) []Posting {
 	id, ok := x.terms[term]
 	if !ok {
 		return nil
 	}
-	return x.postings[id]
+	return x.plists[id].materialize()
 }
 
-// PostingsByID returns the postings list for an internal term number.
-func (x *Index) PostingsByID(id int32) []Posting { return x.postings[id] }
+// PostingsByID returns the postings for an internal term number,
+// materializing under the compressed layout.
+func (x *Index) PostingsByID(id int32) []Posting { return x.plists[id].materialize() }
 
 // Term returns the term string for an internal term number.
 func (x *Index) Term(id int32) string { return x.termList[id] }
@@ -240,7 +299,7 @@ func (x *Index) Terms() []string { return x.termList }
 // length of its posting list. Together with NumTerms/NumDocs it is the
 // allocation-free way to walk the dictionary's frequency statistics
 // (it satisfies textsim.DocFreqSource).
-func (x *Index) DF(id int32) int { return len(x.postings[id]) }
+func (x *Index) DF(id int32) int { return int(x.plists[id].n) }
 
 // MaxScores returns the per-term maximum score-contribution table
 // registered under key, or nil if none is. The table is indexed by
@@ -284,7 +343,63 @@ func (x *Index) SetMaxScores(key string, scores []float64) error {
 	return nil
 }
 
-// ComputeMaxScores walks every posting list once and returns the per-term
+// BlockMaxScores returns the per-block maximum score-contribution table
+// registered under key (indexed by the index-wide block numbering), or
+// nil. The returned slice is shared and must not be modified.
+func (x *Index) BlockMaxScores(key string) []float64 { return x.blockMax[key] }
+
+// BlockMaxKeys returns the registered block-max table keys in sorted
+// order.
+func (x *Index) BlockMaxKeys() []string {
+	keys := make([]string, 0, len(x.blockMax))
+	for k := range x.blockMax {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TermBlockMax returns the slice of key's block-max table covering the
+// given term's blocks (aligned with the term's block sequence), or nil
+// when the table or the compressed layout is absent. Evaluators attach it
+// to the term's iterator via SetBlockMax.
+func (x *Index) TermBlockMax(key string, id int32) []float64 {
+	t := x.blockMax[key]
+	if t == nil {
+		return nil
+	}
+	pl := &x.plists[id]
+	if pl.blocks == nil {
+		return nil
+	}
+	return t[pl.blk0 : int(pl.blk0)+len(pl.blocks)]
+}
+
+// SetBlockMaxScores registers a block-max table under key: one finite
+// nonnegative upper bound per posting block, in index-wide block order.
+// Only valid on the compressed layout. Same ownership contract as
+// SetMaxScores: call while the index is privately owned.
+func (x *Index) SetBlockMaxScores(key string, scores []float64) error {
+	if !x.Blocked() {
+		return fmt.Errorf("index: block-max table %q on a flat-layout index", key)
+	}
+	if len(scores) != x.nBlocks {
+		return fmt.Errorf("index: block-max table %q has %d entries for %d blocks",
+			key, len(scores), x.nBlocks)
+	}
+	for i, v := range scores {
+		if !(v >= 0) || v > math.MaxFloat64 {
+			return fmt.Errorf("index: block-max table %q entry %d is %v, want finite >= 0", key, i, v)
+		}
+	}
+	if x.blockMax == nil {
+		x.blockMax = make(map[string][]float64, 4)
+	}
+	x.blockMax[key] = scores
+	return nil
+}
+
+// ComputeMaxScores walks every posting once and returns the per-term
 // maximum of score(tf, docLen, termStats, collectionStats) — the table
 // MaxScore pruning consumes. Negative scores are floored at 0 so the
 // result is always a valid SetMaxScores table; scoring functions meant
@@ -292,15 +407,56 @@ func (x *Index) SetMaxScores(key string, scores []float64) error {
 func (x *Index) ComputeMaxScores(score func(tf, docLen float64, t TermStats, c CollectionStats) float64) []float64 {
 	c := x.Stats()
 	out := make([]float64, len(x.termList))
-	for id, plist := range x.postings {
-		t := TermStats{ID: int32(id), DF: int64(len(plist)), CF: x.cf[id]}
+	for id := range x.plists {
+		pl := &x.plists[id]
+		t := TermStats{ID: int32(id), DF: int64(pl.n), CF: x.cf[id]}
 		max := 0.0
-		for _, p := range plist {
-			if s := score(float64(p.TF), float64(x.docLens[p.Doc]), t, c); s > max {
-				max = s
+		it := pl.iter(0, math.MaxInt32)
+		for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
+			for _, p := range blk {
+				if s := score(float64(p.TF), float64(x.docLens[p.Doc]), t, c); s > max {
+					max = s
+				}
 			}
 		}
+		it.Release()
 		out[id] = max
+	}
+	return out
+}
+
+// ComputeBlockMaxScores is ComputeMaxScores at block granularity: one
+// pass over every posting producing, per block, the maximum score any of
+// its postings can contribute (floored at 0), in index-wide block order —
+// a valid SetBlockMaxScores table. The per-term maximum is the max over
+// the term's entries, so callers needing both tables can derive one from
+// the other exactly. Returns nil on a flat layout.
+func (x *Index) ComputeBlockMaxScores(score func(tf, docLen float64, t TermStats, c CollectionStats) float64) []float64 {
+	if !x.Blocked() {
+		return nil
+	}
+	c := x.Stats()
+	out := make([]float64, x.nBlocks)
+	scratch := blockScratch.Get().(*[]Posting)
+	defer blockScratch.Put(scratch)
+	for id := range x.plists {
+		pl := &x.plists[id]
+		t := TermStats{ID: int32(id), DF: int64(pl.n), CF: x.cf[id]}
+		base := int32(-1)
+		for bi, h := range pl.blocks {
+			if bi > 0 {
+				base = pl.blocks[bi-1].maxDoc
+			}
+			blk := decodeBlock((*scratch)[:0], pl.data, h, base)
+			*scratch = blk[:0]
+			max := 0.0
+			for _, p := range blk {
+				if s := score(float64(p.TF), float64(x.docLens[p.Doc]), t, c); s > max {
+					max = s
+				}
+			}
+			out[int(pl.blk0)+bi] = max
+		}
 	}
 	return out
 }
@@ -315,7 +471,7 @@ func (x *Index) ComputeMaxScores(score func(tf, docLen float64, t TermStats, c C
 func (x *Index) DocFreqs() map[string]int {
 	df := make(map[string]int, len(x.termList))
 	for id, t := range x.termList {
-		df[t] = len(x.postings[id])
+		df[t] = int(x.plists[id].n)
 	}
 	return df
 }

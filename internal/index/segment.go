@@ -1,7 +1,5 @@
 package index
 
-import "sort"
-
 // Segmented partitions an Index's document space into contiguous shards —
 // the scale-out unit of the retrieval layer. The segments share one
 // physical index (dictionary, postings, document store, collection
@@ -111,14 +109,34 @@ func (sh Shard) DocRange() (lo, hi int32) { return sh.lo, sh.hi }
 // NumDocs returns the number of documents in the shard.
 func (sh Shard) NumDocs() int { return int(sh.hi - sh.lo) }
 
+// Iter returns a posting iterator over the portion of the term's list
+// whose documents fall inside the shard — the hot-path shard view. The
+// range is located at BLOCK granularity: a binary search over block
+// headers lands on the first block that can contain the shard's lower
+// bound, and decoded blocks are clipped to the document range, so a block
+// straddling a shard boundary is handled by clipping, never by byte-level
+// offsets into the compressed stream. Release the iterator when done.
+func (sh Shard) Iter(id int32) PostingIterator {
+	return sh.idx.plists[id].iter(sh.lo, sh.hi)
+}
+
 // Postings returns the portion of the term's posting list whose documents
-// fall inside the shard. Postings are sorted by document number, so the
-// portion is a sub-slice located by binary search — no copying. The
-// returned slice is shared and must not be modified.
+// fall inside the shard. Under the flat layout this is a zero-copy
+// sub-slice (shared; do not modify); the compressed layout decodes the
+// range into a fresh slice. Hot paths stream through Iter instead.
 func (sh Shard) Postings(id int32) []Posting {
-	pl := sh.idx.postings[id]
-	a := sort.Search(len(pl), func(i int) bool { return pl[i].Doc >= sh.lo })
-	rest := pl[a:]
-	b := sort.Search(len(rest), func(i int) bool { return rest[i].Doc >= sh.hi })
-	return rest[:b]
+	pl := &sh.idx.plists[id]
+	if pl.flat != nil || pl.n == 0 {
+		f := pl.flat
+		a := seekPostings(f, 0, sh.lo)
+		f = f[a:]
+		return f[:seekPostings(f, 0, sh.hi)]
+	}
+	var out []Posting
+	it := pl.iter(sh.lo, sh.hi)
+	for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
+		out = append(out, blk...)
+	}
+	it.Release()
+	return out
 }

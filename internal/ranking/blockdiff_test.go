@@ -1,0 +1,172 @@
+package ranking
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// The block-layout acceptance differential: retrieval over block-
+// compressed postings must be BIT-IDENTICAL to retrieval over flat
+// []Posting lists — same documents, same ranks, same float64 score bits —
+// across block sizes (including the degenerate 1-posting blocks and
+// blocks far larger than any list), every weighting model, shard counts,
+// and both the exhaustive and the MaxScore/Block-Max evaluators.
+
+// flatCorpusIndex builds the reference index with the flat layout.
+func flatCorpusIndex(t testing.TB, seed int64, numDocs int) *index.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := index.NewBuilder()
+	b.SetBlockSize(-1)
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("v%02d", i)
+	}
+	for i := 0; i < numDocs; i++ {
+		n := rng.Intn(50) + 1
+		w := make([]string, n)
+		for j := range w {
+			w[j] = vocab[rng.Intn(len(vocab))]
+		}
+		if err := b.Add(fmt.Sprintf("doc%03d", i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestBlockedRetrievalBitIdenticalToFlat sweeps block sizes {1, 8, 128,
+// 1024} × models {DPH, BM25, TFIDF, LMDirichlet} × shards {1, 4} ×
+// k {10, 100, all} against the flat-layout reference, through Retrieve,
+// RetrievePruned and the sharded batch (pruning on).
+func TestBlockedRetrievalBitIdenticalToFlat(t *testing.T) {
+	flat := flatCorpusIndex(t, 61, 300)
+	if flat.Blocked() {
+		t.Fatal("reference index unexpectedly blocked")
+	}
+	installTables(t, flat)
+	models := []Model{DPH{}, BM25{}, TFIDF{}, LMDirichlet{}}
+	rng := rand.New(rand.NewSource(19))
+	queries := make([][]string, 0, 24)
+	for trial := 0; trial < 24; trial++ {
+		qn := rng.Intn(6) + 1
+		q := make([]string, qn)
+		for j := range q {
+			q[j] = fmt.Sprintf("v%02d", rng.Intn(40))
+		}
+		if trial%5 == 0 {
+			q = append(q, "never-indexed-term")
+		}
+		if trial%7 == 0 {
+			q = append(q, q[0]) // duplicate-term multiplicity
+		}
+		queries = append(queries, q)
+	}
+
+	for _, bs := range []int{1, 8, 128, 1024} {
+		blocked := index.Reblock(flat, bs)
+		installTables(t, blocked)
+		if index.Reblock(flat, bs).BlockSize() != bs {
+			t.Fatalf("Reblock(%d) built block size %d", bs, blocked.BlockSize())
+		}
+		for _, m := range models {
+			for _, k := range []int{10, 100, 0} {
+				for qi, q := range queries {
+					want := Retrieve(flat, m, q, k)
+					if got := Retrieve(blocked, m, q, k); !hitsBitIdentical(got, want) {
+						t.Fatalf("bs=%d %s k=%d q=%v: Retrieve diverged\n got %+v\nwant %+v",
+							bs, m.Name(), k, q, got, want)
+					}
+					if got := RetrievePruned(blocked, m, q, k); !hitsBitIdentical(got, want) {
+						t.Fatalf("bs=%d %s k=%d q=%v: RetrievePruned diverged\n got %+v\nwant %+v",
+							bs, m.Name(), k, q, got, want)
+					}
+					_ = qi
+				}
+				for _, shards := range []int{1, 4} {
+					seg := index.SegmentIndex(blocked, shards)
+					ks := make([]int, len(queries))
+					for i := range ks {
+						ks[i] = k
+					}
+					got, err := RetrieveBatchOpts(context.Background(), seg, m, queries, ks, BatchOptions{Prune: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for qi := range queries {
+						want := Retrieve(flat, m, queries[qi], k)
+						if !hitsBitIdentical(got[qi], want) {
+							t.Fatalf("bs=%d shards=%d %s k=%d query %d: batch diverged\n got %+v\nwant %+v",
+								bs, shards, m.Name(), k, qi, got[qi], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreDocBlockedMatchesFlat pins the point-lookup path (SeekGE over
+// blocks) against the flat layout.
+func TestScoreDocBlockedMatchesFlat(t *testing.T) {
+	flat := flatCorpusIndex(t, 67, 150)
+	blocked := index.Reblock(flat, 8)
+	q := []string{"v01", "v05", "v05", "v11"}
+	for d := int32(0); d < int32(flat.NumDocs()); d++ {
+		want := ScoreDoc(flat, DPH{}, q, d)
+		got := ScoreDoc(blocked, DPH{}, q, d)
+		if got != want {
+			t.Fatalf("doc %d: ScoreDoc %v != flat %v", d, got, want)
+		}
+	}
+}
+
+// TestRetrieveBatchPrunedConcurrentBlocked exercises the pooled block-
+// decode scratch under concurrent pruned batches across shards —
+// meaningful under -race: every worker decodes blocks of the same shared
+// lists into its own pooled buffers.
+func TestRetrieveBatchPrunedConcurrentBlocked(t *testing.T) {
+	flat := flatCorpusIndex(t, 71, 200)
+	blocked := index.Reblock(flat, 8)
+	installTables(t, blocked)
+	seg := index.SegmentIndex(blocked, 4)
+	queries := [][]string{
+		{"v00", "v01", "v02"},
+		{"v01", "v09"},
+		{"v02", "v02", "v17"},
+		{"v03", "v05", "v05", "v07", "v11"},
+	}
+	ks := []int{10, 25, 10, 100}
+	want, err := RetrieveBatchOpts(context.Background(), seg, DPH{}, queries, ks, BatchOptions{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for iter := 0; iter < 30; iter++ {
+				got, err := RetrieveBatchOpts(context.Background(), seg, DPH{}, queries, ks, BatchOptions{Prune: true})
+				if err != nil {
+					done <- err
+					return
+				}
+				for qi := range want {
+					if !hitsBitIdentical(got[qi], want[qi]) {
+						done <- fmt.Errorf("query %d diverged under concurrency", qi)
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -19,14 +19,25 @@ import (
 // Candidates are drawn from the essential lists only; each candidate's
 // remaining bound is re-checked before every non-essential probe, so
 // whole posting ranges of the frequent (low-bound) terms are skipped by
-// binary search instead of scored.
+// block-header search instead of scored.
+//
+// Over the block-compressed posting layout the pruning is Block-Max
+// MaxScore: posting lists are traversed through index.PostingIterator,
+// seeks skip whole blocks by header binary search without decoding them,
+// and before a non-essential list is probed its term-level bound is
+// refined to the maximum of the one block that could contain the
+// candidate (index.TermBlockMax). When even that refined bound cannot
+// lift the candidate past the threshold, the block's bytes are never
+// decoded — the bailout that makes frequent terms nearly free.
 //
 // The pruning is EXACT, not approximate: the returned top-k is
 // bit-identical to the exhaustive evaluator's, enforced by differential
-// tests. Three properties make that work:
+// tests. Four properties make that work:
 //
 //   - Boundable models have nonnegative term scores and zero DocAdjust,
 //     so "sum of per-term bounds" really bounds the total score;
+//   - a block-max entry is the exact float maximum of the block's
+//     computed scores, so refining a bound with it never under-bounds;
 //   - a surviving document's final score is re-accumulated in ascending
 //     term order — the exhaustive evaluator's exact float addition
 //     sequence — from the per-term contributions recorded while probing;
@@ -36,14 +47,29 @@ import (
 //     exceed the threshold can be dropped even on equality.
 
 // msCursor is one query term's traversal state in the MaxScore
-// evaluator.
+// evaluator. The iterator owns pooled decode scratch; maxscoreTopK takes
+// ownership of the cursors it is handed and releases every iterator
+// exactly once.
 type msCursor struct {
-	postings []index.Posting
-	pos      int
-	stats    index.TermStats
-	mult     float64 // query-term multiplicity
-	ub       float64 // upper bound on the term's per-doc contribution: mult · max score
-	order    int     // position in ascending term order — the accumulation order
+	it    index.PostingIterator
+	stats index.TermStats
+	mult  float64 // query-term multiplicity
+	ub    float64 // upper bound on the term's per-doc contribution: mult · max score
+	order int     // position in ascending term order — the accumulation order
+	// cur/ok cache the iterator's current posting so the per-candidate
+	// loops read struct fields instead of paying an iterator call per
+	// cursor per candidate. The cache is maintained only while the
+	// cursor is ESSENTIAL (the min-selection and match loops are the
+	// only readers, and they only touch essential cursors); once a list
+	// goes non-essential — a one-way transition, the threshold only
+	// rises — it is probed through BlockUpperBound/SeekGE and the stale
+	// cache is never read again.
+	cur index.Posting
+	ok  bool
+	// hasBM caches it.HasBlockMax(): probes consult the block-max bound
+	// only when a table is attached, so flat (or tableless) lists pay no
+	// BlockUpperBound call — SeekGE alone answers "no posting >= d".
+	hasBM bool
 }
 
 // msSlack returns the multiplicative safety factor applied to pruning
@@ -70,19 +96,31 @@ func maxScoreTable(idx *index.Index, model Model) []float64 {
 	return idx.MaxScores(b.BoundKey())
 }
 
+// boundKey returns the model's max-score table key, or "" when the model
+// is not Boundable.
+func boundKey(model Model) string {
+	if b, ok := model.(Boundable); ok {
+		return b.BoundKey()
+	}
+	return ""
+}
+
 // Pruneable reports whether MaxScore pruning can serve (idx, model):
 // the model is Boundable and idx carries its max-score table.
 func Pruneable(idx *index.Index, model Model) bool {
 	return maxScoreTable(idx, model) != nil
 }
 
-// InstallMaxScores computes and attaches max-score tables for every
-// Boundable model among models whose table idx does not already carry.
-// Engine build and load call this while the index is still privately
-// owned; it is NOT safe once the index is shared. Models that are not
-// Boundable are skipped, as is any model whose DocAdjust probes nonzero
-// — a Boundable implementation violating its zero-adjust contract must
-// not get a table, or pruning would silently turn inexact.
+// InstallMaxScores computes and attaches max-score tables — per-term
+// always, per-BLOCK additionally when the index stores postings block-
+// compressed — for every Boundable model among models whose tables idx
+// does not already carry. The per-term table is derived from the block
+// table (exact float maximum over the term's blocks), so the two can
+// never disagree. Engine build and load call this while the index is
+// still privately owned; it is NOT safe once the index is shared. Models
+// that are not Boundable are skipped, as is any model whose DocAdjust
+// probes nonzero — a Boundable implementation violating its zero-adjust
+// contract must not get a table, or pruning would silently turn inexact.
 func InstallMaxScores(idx *index.Index, models ...Model) error {
 	for _, m := range models {
 		b, ok := m.(Boundable)
@@ -90,7 +128,32 @@ func InstallMaxScores(idx *index.Index, models ...Model) error {
 			continue
 		}
 		key := b.BoundKey()
-		if idx.MaxScores(key) != nil {
+		wantTerm := idx.MaxScores(key) == nil
+		wantBlock := idx.Blocked() && idx.BlockMaxScores(key) == nil
+		if !wantTerm && !wantBlock {
+			continue
+		}
+		if idx.Blocked() {
+			blockTable := idx.BlockMaxScores(key)
+			if blockTable == nil {
+				blockTable = idx.ComputeBlockMaxScores(b.TermScore)
+				if err := idx.SetBlockMaxScores(key, blockTable); err != nil {
+					return err
+				}
+			}
+			if wantTerm {
+				term := make([]float64, idx.NumTerms())
+				for id := range term {
+					for _, v := range idx.TermBlockMax(key, int32(id)) {
+						if v > term[id] {
+							term[id] = v
+						}
+					}
+				}
+				if err := idx.SetMaxScores(key, term); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		if err := idx.SetMaxScores(key, idx.ComputeMaxScores(b.TermScore)); err != nil {
@@ -113,46 +176,16 @@ func violatesZeroAdjust(m Model, c index.CollectionStats) bool {
 	return false
 }
 
-// seekPosting returns the smallest position >= pos whose posting's Doc is
-// >= d. Galloping search: probes at exponentially growing strides from
-// the cursor before binary-searching the bracketed range, so short hops
-// (the common case — candidates arrive in ascending document order) cost
-// O(1) and long skips stay O(log n), without sort.Search's closure calls.
-func seekPosting(postings []index.Posting, pos int, d int32) int {
-	n := len(postings)
-	if pos >= n || postings[pos].Doc >= d {
-		return pos
-	}
-	step := 1
-	lo := pos + 1 // postings[pos].Doc < d
-	hi := pos + step
-	for hi < n && postings[hi].Doc < d {
-		lo = hi + 1
-		step <<= 1
-		hi = pos + step
-	}
-	if hi > n {
-		hi = n
-	}
-	// Invariant: postings[lo-1].Doc < d, postings[hi].Doc >= d (or hi==n).
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if postings[mid].Doc < d {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
 // maxscoreTopK runs MaxScore over the given cursors (one per indexed
-// query term, orders assigned in ascending term order, posting lists
-// possibly shard sub-slices carrying global document numbers) and
-// returns the k best documents exactly as the exhaustive evaluator
-// would: score descending, document ascending, scores bit-identical.
-// k must be positive; callers handle the k <= 0 "all matches" form via
-// the exhaustive path, where no threshold ever forms.
+// query term, orders assigned in ascending term order, iterators possibly
+// shard-ranged but carrying global document numbers) and returns the k
+// best documents exactly as the exhaustive evaluator would: score
+// descending, document ascending, scores bit-identical. k must be
+// positive; callers handle the k <= 0 "all matches" form via the
+// exhaustive path, where no threshold ever forms.
+//
+// Ownership: maxscoreTopK releases every cursor's iterator, on every
+// path; callers must not touch the cursors afterwards.
 //
 // ctx is polled every few hundred candidates — the pruned counterpart
 // of the exhaustive pass's between-posting-lists preemption — so a shed
@@ -160,12 +193,26 @@ func seekPosting(postings []index.Posting, pos int, d int32) int {
 // top-k nobody will read.
 func maxscoreTopK(ctx context.Context, idx *index.Index, model Model, qLen int, cursors []msCursor, k int) ([]topk.Item[int32], error) {
 	cstats := idx.Stats()
+	// Compact to the live (non-empty) cursors in place, releasing dead
+	// iterators immediately. After this, each iterator's pooled scratch is
+	// reachable through exactly one struct — the one in live — which the
+	// deferred loop releases; the tail of the original array is dead
+	// copies that are never touched again.
 	live := cursors[:0]
-	for _, c := range cursors {
-		if len(c.postings) > 0 {
-			live = append(live, c)
+	for i := range cursors {
+		if p, ok := cursors[i].it.Cur(); ok {
+			cursors[i].cur, cursors[i].ok = p, true
+			cursors[i].hasBM = cursors[i].it.HasBlockMax()
+			live = append(live, cursors[i])
+		} else {
+			cursors[i].it.Release()
 		}
 	}
+	defer func() {
+		for i := range live {
+			live[i].it.Release()
+		}
+	}()
 	if len(live) == 0 {
 		return nil, nil
 	}
@@ -210,8 +257,8 @@ func maxscoreTopK(ctx context.Context, idx *index.Index, model Model, qLen int, 
 		// bounded by prefix[firstEss-1] and provably out).
 		d := int32(math.MaxInt32)
 		for i := firstEss; i < len(live); i++ {
-			if c := &live[i]; c.pos < len(c.postings) && c.postings[c.pos].Doc < d {
-				d = c.postings[c.pos].Doc
+			if c := &live[i]; c.ok && c.cur.Doc < d {
+				d = c.cur.Doc
 			}
 		}
 		if d == math.MaxInt32 {
@@ -222,9 +269,10 @@ func maxscoreTopK(ctx context.Context, idx *index.Index, model Model, qLen int, 
 		matched := false
 		for i := firstEss; i < len(live); i++ {
 			c := &live[i]
-			if c.pos < len(c.postings) && c.postings[c.pos].Doc == d {
-				tf := float64(c.postings[c.pos].TF)
-				c.pos++
+			if c.ok && c.cur.Doc == d {
+				tf := float64(c.cur.TF)
+				c.it.Advance()
+				c.cur, c.ok = c.it.Cur()
 				if s := model.TermScore(tf, docLen, c.stats, cstats); s != 0 {
 					v := c.mult * s
 					contrib[c.order] = v
@@ -236,7 +284,11 @@ func maxscoreTopK(ctx context.Context, idx *index.Index, model Model, qLen int, 
 		}
 		// Non-essential lists, highest bound first: probe while the
 		// candidate can still reach the threshold, prune the moment it
-		// provably cannot.
+		// provably cannot. Before each probe the term-level bound is
+		// refined to the block that could contain the candidate (read off
+		// the header, no decode) — the Block-Max bailout: a bound that
+		// fails here kills the candidate without ever touching the
+		// block's bytes.
 		pruned := false
 		for i := firstEss - 1; i >= 0; i-- {
 			if (partial+prefix[i])*slack <= threshold {
@@ -244,10 +296,26 @@ func maxscoreTopK(ctx context.Context, idx *index.Index, model Model, qLen int, 
 				break
 			}
 			c := &live[i]
-			c.pos = seekPosting(c.postings, c.pos, d)
-			if c.pos < len(c.postings) && c.postings[c.pos].Doc == d {
-				tf := float64(c.postings[c.pos].TF)
-				if s := model.TermScore(tf, docLen, c.stats, cstats); s != 0 {
+			if c.hasBM {
+				bub, any := c.it.BlockUpperBound(d)
+				if !any {
+					// The list has no posting at or beyond d: it contributes
+					// nothing to this candidate; keep probing cheaper lists.
+					continue
+				}
+				if v := c.mult * bub; v < c.ub {
+					below := 0.0
+					if i > 0 {
+						below = prefix[i-1]
+					}
+					if (partial+below+v)*slack <= threshold {
+						pruned = true
+						break
+					}
+				}
+			}
+			if p, ok := c.it.SeekGE(d); ok && p.Doc == d {
+				if s := model.TermScore(float64(p.TF), docLen, c.stats, cstats); s != 0 {
 					v := c.mult * s
 					contrib[c.order] = v
 					touched = append(touched, c.order)
@@ -282,28 +350,31 @@ func maxscoreTopK(ctx context.Context, idx *index.Index, model Model, qLen int, 
 }
 
 // RetrievePruned is Retrieve with MaxScore dynamic pruning: identical
-// results (bit-identical scores, same order), fewer postings scored.
-// When pruning cannot apply — k <= 0 requests every match, the model is
-// not Boundable, or the index carries no max-score table for it — it
-// falls back to the exhaustive Retrieve.
+// results (bit-identical scores, same order), fewer postings scored — and
+// over the block-compressed layout, fewer blocks even decoded. When
+// pruning cannot apply — k <= 0 requests every match, the model is not
+// Boundable, or the index carries no max-score table for it — it falls
+// back to the exhaustive Retrieve.
 func RetrievePruned(idx *index.Index, model Model, queryTokens []string, k int) []Hit {
 	table := maxScoreTable(idx, model)
 	if table == nil || k <= 0 || len(queryTokens) == 0 {
 		return Retrieve(idx, model, queryTokens, k)
 	}
+	bkey := boundKey(model)
 	terms, mults := termMultiplicities(queryTokens)
 	cursors := make([]msCursor, 0, len(terms))
 	for ti, term := range terms {
-		tstats, plist, ok := idx.LookupPostings(term)
+		tstats, it, ok := idx.LookupIter(term)
 		if !ok {
 			continue
 		}
+		it.SetBlockMax(idx.TermBlockMax(bkey, tstats.ID))
 		cursors = append(cursors, msCursor{
-			postings: plist,
-			stats:    tstats,
-			mult:     mults[ti],
-			ub:       mults[ti] * table[tstats.ID],
-			order:    len(cursors),
+			it:    it,
+			stats: tstats,
+			mult:  mults[ti],
+			ub:    mults[ti] * table[tstats.ID],
+			order: len(cursors),
 		})
 	}
 	// Background context: the monolithic entry point has no request

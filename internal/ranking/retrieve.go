@@ -88,18 +88,24 @@ func Retrieve(idx *index.Index, model Model, queryTokens []string, k int) []Hit 
 	acc.reset(idx.NumDocs())
 	for ti, term := range terms {
 		mult := mults[ti]
-		// One dictionary probe per term: stats and postings together
-		// (Lookup followed by Postings used to pay the map hash twice).
-		tstats, plist, ok := idx.LookupPostings(term)
+		// One dictionary probe per term: stats and an iterator together.
+		// The iterator streams the (possibly block-compressed) posting
+		// list one decoded block at a time into pooled scratch; over a
+		// flat layout NextBlock degenerates to the whole shared slice, so
+		// the inner loop is the classic flat traversal either way.
+		tstats, it, ok := idx.LookupIter(term)
 		if !ok {
 			continue
 		}
-		for _, p := range plist {
-			s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), tstats, cstats)
-			if s != 0 {
-				acc.add(p.Doc, mult*s)
+		for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
+			for _, p := range blk {
+				s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), tstats, cstats)
+				if s != 0 {
+					acc.add(p.Doc, mult*s)
+				}
 			}
 		}
+		it.Release()
 	}
 	if len(acc.touched) == 0 {
 		return nil
@@ -165,16 +171,16 @@ func ScoreDoc(idx *index.Index, model Model, queryTokens []string, doc int32) fl
 	matched := false
 	for ti, term := range terms {
 		mult := mults[ti]
-		tstats, plist, ok := idx.LookupPostings(term)
+		tstats, it, ok := idx.LookupIter(term)
 		if !ok {
 			continue
 		}
-		i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
-		if i < len(plist) && plist[i].Doc == doc {
-			s := model.TermScore(float64(plist[i].TF), float64(idx.DocLen(doc)), tstats, cstats)
+		if p, found := it.SeekGE(doc); found && p.Doc == doc {
+			s := model.TermScore(float64(p.TF), float64(idx.DocLen(doc)), tstats, cstats)
 			total += mult * s
 			matched = true
 		}
+		it.Release()
 	}
 	if !matched {
 		return 0

@@ -94,11 +94,12 @@ type shardHits []Hit
 // posting-list traversals.
 //
 // Queries flagged in pruned leave the shared scatter pass and run the
-// MaxScore evaluator over the same posting sub-slices instead, each
-// against its own local heap (table carries the per-term bounds; global
-// maxima, hence valid for any sub-slice). A pruned query gives up the
-// batch's term-score sharing but skips postings wholesale; per-shard
-// results are bit-identical either way, so the merge cannot tell.
+// MaxScore evaluator over shard-ranged iterators of the same lists
+// instead, each against its own local heap (table carries the per-term
+// bounds; global maxima, hence valid for any document sub-range). A
+// pruned query gives up the batch's term-score sharing but skips whole
+// posting blocks by header; per-shard results are bit-identical either
+// way, so the merge cannot tell.
 func scoreShard(ctx context.Context, seg *index.Segmented, shard index.Shard, model Model,
 	plan []scatterTerm, queries [][]string, ks []int, table []float64, pruned []bool) ([]shardHits, error) {
 	idx := seg.Index()
@@ -108,28 +109,37 @@ func scoreShard(ctx context.Context, seg *index.Segmented, shard index.Shard, mo
 
 	// Cursor lists for the pruned queries, assembled off the plan: the
 	// plan is in ascending term order and each query's term list is a
-	// subsequence of it, so append order is the accumulation order.
+	// subsequence of it, so append order is the accumulation order. Each
+	// cursor gets its OWN shard-ranged iterator (iterators carry decode
+	// state and pooled scratch, so they cannot be shared the way the flat
+	// sub-slices once were). Ownership passes to maxscoreTopK query by
+	// query; the deferred sweep releases whatever an early error leaves
+	// behind (Release is a no-op for never-decoded iterators).
 	var msCursors [][]msCursor
+	bkey := boundKey(model)
 	if table != nil {
 		msCursors = make([][]msCursor, nq)
+		defer func() {
+			for _, cs := range msCursors {
+				for i := range cs {
+					cs[i].it.Release()
+				}
+			}
+		}()
 		for ti := range plan {
 			st := &plan[ti]
-			var plist []index.Posting
-			loaded := false
 			for _, tgt := range st.targets {
 				if !pruned[tgt.q] {
 					continue
 				}
-				if !loaded {
-					plist = shard.Postings(st.stats.ID)
-					loaded = true
-				}
+				it := shard.Iter(st.stats.ID)
+				it.SetBlockMax(idx.TermBlockMax(bkey, st.stats.ID))
 				msCursors[tgt.q] = append(msCursors[tgt.q], msCursor{
-					postings: plist,
-					stats:    st.stats,
-					mult:     tgt.mult,
-					ub:       tgt.mult * table[st.stats.ID],
-					order:    len(msCursors[tgt.q]),
+					it:    it,
+					stats: st.stats,
+					mult:  tgt.mult,
+					ub:    tgt.mult * table[st.stats.ID],
+					order: len(msCursors[tgt.q]),
 				})
 			}
 		}
@@ -175,23 +185,32 @@ func scoreShard(ctx context.Context, seg *index.Segmented, shard index.Shard, mo
 				}
 				targets = live
 			}
-			for _, p := range shard.Postings(st.stats.ID) {
-				s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), st.stats, cstats)
-				if s == 0 {
-					continue
-				}
-				local := p.Doc - lo
-				for _, tgt := range targets {
-					accs[tgt.q].add(local, tgt.mult*s)
+			it := shard.Iter(st.stats.ID)
+			for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
+				for _, p := range blk {
+					s := model.TermScore(float64(p.TF), float64(idx.DocLen(p.Doc)), st.stats, cstats)
+					if s == 0 {
+						continue
+					}
+					local := p.Doc - lo
+					for _, tgt := range targets {
+						accs[tgt.q].add(local, tgt.mult*s)
+					}
 				}
 			}
+			it.Release()
 		}
 	}
 
 	out := make([]shardHits, nq)
 	for q, acc := range accs {
 		if pruned != nil && pruned[q] {
-			items, err := maxscoreTopK(ctx, idx, model, len(queries[q]), msCursors[q], ks[q])
+			// Ownership of the cursors (and their iterators) transfers to
+			// maxscoreTopK; drop our reference so the deferred sweep does
+			// not double-release.
+			cs := msCursors[q]
+			msCursors[q] = nil
+			items, err := maxscoreTopK(ctx, idx, model, len(queries[q]), cs, ks[q])
 			if err != nil {
 				return nil, err
 			}

@@ -27,6 +27,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/suggest"
 	"repro/internal/synth"
 	"repro/internal/text"
@@ -170,13 +171,22 @@ type CacheStats struct {
 
 // IndexStats is the index-segment section of a stats response: the shard
 // fan-out every retrieval pays, with the per-shard document counts of the
-// partition, plus whether MaxScore dynamic pruning is live and which
-// scoring functions have precomputed max-score tables.
+// partition, whether MaxScore dynamic pruning is live and which scoring
+// functions have precomputed max-score tables, plus the posting-storage
+// footprint (block size 0 = flat layout) and the process-wide block I/O
+// counters — blocks decoded versus blocks skipped by header, the
+// observable win of Block-Max skipping.
 type IndexStats struct {
-	Shards         int      `json:"shards"`
-	DocsPerShard   []int    `json:"docs_per_shard"`
-	Pruning        bool     `json:"pruning"`
-	MaxScoreModels []string `json:"max_score_models,omitempty"`
+	Shards          int      `json:"shards"`
+	DocsPerShard    []int    `json:"docs_per_shard"`
+	Pruning         bool     `json:"pruning"`
+	MaxScoreModels  []string `json:"max_score_models,omitempty"`
+	BlockSize       int      `json:"block_size"`
+	Postings        int64    `json:"postings"`
+	PostingBytes    int64    `json:"posting_bytes"`
+	BytesPerPosting float64  `json:"bytes_per_posting"`
+	BlocksDecoded   int64    `json:"blocks_decoded"`
+	BlocksSkipped   int64    `json:"blocks_skipped"`
 }
 
 // StatsResponse is the JSON body of GET /stats.
@@ -332,6 +342,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		latency[endpoint] = hist.snapshot()
 	}
 	seg := s.handle.Pipeline.Engine.Segments()
+	storage := seg.Index().Storage()
+	decoded, skipped := index.BlockIOStats()
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:  int64(time.Since(s.start).Seconds()),
 		Workers:        s.cfg.Workers,
@@ -344,10 +356,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:      s.cacheHits.Load(),
 		AvgLatencyMsec: avgMs,
 		Index: IndexStats{
-			Shards:         seg.NumShards(),
-			DocsPerShard:   seg.ShardSizes(),
-			Pruning:        s.handle.Pipeline.Engine.PruningEnabled(),
-			MaxScoreModels: seg.Index().MaxScoreKeys(),
+			Shards:          seg.NumShards(),
+			DocsPerShard:    seg.ShardSizes(),
+			Pruning:         s.handle.Pipeline.Engine.PruningEnabled(),
+			MaxScoreModels:  seg.Index().MaxScoreKeys(),
+			BlockSize:       storage.BlockSize,
+			Postings:        storage.Postings,
+			PostingBytes:    storage.Bytes,
+			BytesPerPosting: storage.BytesPerPosting,
+			BlocksDecoded:   decoded,
+			BlocksSkipped:   skipped,
 		},
 		Latency: latency,
 		Cache: CacheStats{
