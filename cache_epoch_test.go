@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestCachedArtifactsInvalidatedByEpoch is the staleness contract of the
+// serving cache: artifacts are keyed by (engine epoch, query), so a
+// mutation — here a delete of a document that was being served — must
+// make the next request miss and recompute against the new snapshot. A
+// deleted document must never resurface through a cached R_q′ list or a
+// cached candidate set.
+func TestCachedArtifactsInvalidatedByEpoch(t *testing.T) {
+	p := buildTiny(t)
+	h := p.NewServeHandle(64, 2)
+	q := p.Testbed.TopicQuery(1)
+
+	sel, specs, hit := h.DiversifyCached(q, core.AlgOptSelect)
+	if hit {
+		t.Fatal("cold lookup reported a hit")
+	}
+	if len(specs) == 0 || len(sel) == 0 {
+		t.Fatalf("topic query %q not ambiguous (specs=%d, sel=%d); test is vacuous", q, len(specs), len(sel))
+	}
+	if _, _, hit = h.DiversifyCached(q, core.AlgOptSelect); !hit {
+		t.Fatal("warm lookup missed")
+	}
+
+	// Delete the top selected document. The epoch bumps, so the cached
+	// epoch-N artifacts must not be served for the epoch-N+1 request.
+	victim := sel[0].ID
+	epochBefore := p.Engine.Epoch()
+	if _, ok := p.Engine.Delete(victim); !ok {
+		t.Fatalf("delete of served doc %s missed", victim)
+	}
+	if p.Engine.Epoch() <= epochBefore {
+		t.Fatal("delete did not advance the epoch")
+	}
+
+	sel2, _, hit := h.DiversifyCached(q, core.AlgOptSelect)
+	if hit {
+		t.Fatal("lookup after delete served stale epoch-N artifacts")
+	}
+	for _, s := range sel2 {
+		if s.ID == victim {
+			t.Fatalf("deleted doc %s resurfaced in the diversified SERP", victim)
+		}
+	}
+
+	// The new epoch's entry is itself cacheable: next repeat hits again.
+	if _, _, hit = h.DiversifyCached(q, core.AlgOptSelect); !hit {
+		t.Fatal("post-delete repeat missed; new epoch entry was not cached")
+	}
+
+	// Any further mutation — an ingest — invalidates again.
+	if _, err := p.Engine.Ingest(engine.Document{ID: "fresh-doc", Title: "fresh", Body: "freshly streamed content"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, hit = h.DiversifyCached(q, core.AlgOptSelect); hit {
+		t.Fatal("lookup after ingest served stale artifacts")
+	}
+
+	st := h.CacheStats()
+	if st.Hits != 2 || st.Misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 2/3", st.Hits, st.Misses)
+	}
+}

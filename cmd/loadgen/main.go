@@ -5,12 +5,20 @@
 // reports client-observed throughput and latency percentiles together
 // with the server's cache and worker-pool counters.
 //
+// With -ingest N it additionally drives the live-index mutation
+// endpoints from one background writer while the search workers run:
+// ingests (some of them updates), deletes of previously ingested
+// documents, and periodic flushes and compactions — the end-to-end check
+// that searches keep succeeding across epoch swaps.
+//
 //	loadgen                                  # 2000 queries, 8 connections
 //	loadgen -n 10000 -c 32 -zipf 1.2
 //	loadgen -addr http://localhost:9090 -alg xquad -k 20
+//	loadgen -ingest 200                      # mutate the live index mid-run
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +43,7 @@ func main() {
 	alg := flag.String("alg", "", "algorithm override (empty = server default)")
 	k := flag.Int("k", 0, "per-request k override (0 = server default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	ingestN := flag.Int("ingest", 0, "live-index mutations to interleave with the search load (ingests with periodic updates, deletes, flushes and compactions; 0 = read-only run)")
 	flag.Parse()
 
 	client := &http.Client{
@@ -104,6 +113,61 @@ func main() {
 		close(jobs)
 	}()
 
+	// The mutation writer runs beside the search workers: a deterministic
+	// mix of ingests (every 4th one an update of an earlier doc), deletes
+	// (every 7th op), and a flush/compact every 25th — so the search load
+	// above crosses memtable growth, segment seals, and epoch swaps.
+	mutDone := make(chan [2]int, 1)
+	if *ingestN > 0 {
+		go func() {
+			mrng := rand.New(rand.NewSource(*seed + 42))
+			ok, failed := 0, 0
+			post := func(path string, body any) bool {
+				var buf bytes.Buffer
+				if body != nil {
+					json.NewEncoder(&buf).Encode(body)
+				}
+				resp, err := client.Post(*addr+path, "application/json", &buf)
+				if err != nil {
+					return false
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return resp.StatusCode == http.StatusOK
+			}
+			for i := 0; i < *ingestN; i++ {
+				var succeeded bool
+				switch {
+				case i%25 == 24 && i%2 == 0:
+					succeeded = post("/flush", nil)
+				case i%25 == 24:
+					succeeded = post("/compact", nil)
+				case i%7 == 6 && i > 0:
+					id := fmt.Sprintf("loadgen-%d", mrng.Intn(i))
+					succeeded = post("/delete", map[string]string{"id": id})
+				default:
+					id := fmt.Sprintf("loadgen-%d", i)
+					if i%4 == 3 && i > 4 {
+						id = fmt.Sprintf("loadgen-%d", mrng.Intn(i)) // update
+					}
+					succeeded = post("/ingest", map[string]string{
+						"id":    id,
+						"title": fmt.Sprintf("live document %d", i),
+						"body":  synth.NoiseQuery(i) + " streamed content revision",
+					})
+				}
+				if succeeded {
+					ok++
+				} else {
+					failed++
+				}
+			}
+			mutDone <- [2]int{ok, failed}
+		}()
+	} else {
+		mutDone <- [2]int{}
+	}
+
 	latencies := make([]time.Duration, 0, *n)
 	okCount, hitCount, diverseCount := 0, 0, 0
 	for i := 0; i < *n; i++ {
@@ -120,6 +184,7 @@ func main() {
 			diverseCount++
 		}
 	}
+	mut := <-mutDone
 	wall := time.Since(wallStart)
 
 	if okCount == 0 {
@@ -138,6 +203,9 @@ func main() {
 	fmt.Printf("latency max   %v\n", latencies[len(latencies)-1].Round(time.Microsecond))
 	fmt.Printf("cache hits    %d/%d (%.1f%% client-observed)\n", hitCount, okCount, 100*float64(hitCount)/float64(okCount))
 	fmt.Printf("diversified   %d/%d ambiguous SERPs\n", diverseCount, okCount)
+	if *ingestN > 0 {
+		fmt.Printf("mutations     %d ok, %d failed\n", mut[0], mut[1])
+	}
 
 	var st server.StatsResponse
 	if code, err := getJSON(client, *addr+"/stats", &st); err == nil && code == http.StatusOK {
@@ -145,6 +213,8 @@ func main() {
 			st.Searches, st.Rejected, st.AvgLatencyMsec)
 		fmt.Printf("server cache  %.1f%% hit rate (%d hits / %d misses, %d evictions, %d/%d entries)\n",
 			100*st.Cache.HitRate, st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries, st.Cache.Capacity)
+		fmt.Printf("server live   epoch %d, %d segments, %d mem docs, %d tombstones, %d live docs (%d flushes, %d compactions)\n",
+			st.Live.Epoch, st.Live.Segments, st.Live.MemDocs, st.Live.Tombstones, st.Live.LiveDocs, st.Live.Flushes, st.Live.Compactions)
 	}
 }
 

@@ -12,10 +12,13 @@
 //	serve -block-size 256                   # tune the compressed posting-block capacity
 //	serve -no-compress                      # flat []Posting layout (no block compression)
 //	serve -topics 20 -sessions 8000 -alg xquad -k 20
+//	serve -wal-dir /var/lib/repro           # durable epochs; restart recovers them
+//	serve -memtable 512 -merge-every 30s    # live-index tuning
 //	serve -pprof                            # expose /debug/pprof/ too
 //
 // Endpoints: /search?q=…&k=…&alg=…, /healthz, /stats (includes
-// per-endpoint latency histograms), /queries; with -pprof also the
+// per-endpoint latency histograms), /queries, plus the live-index
+// mutations POST /ingest, /delete, /flush, /compact; with -pprof also the
 // net/http/pprof suite under /debug/pprof/ for in-situ profiling of the
 // serving path (CPU: /debug/pprof/profile, heap: /debug/pprof/heap).
 package main
@@ -57,6 +60,9 @@ func main() {
 	noCompress := flag.Bool("no-compress", false, "store postings as flat structs instead of compressed blocks (~3-4x the memory, no block skipping; results are identical)")
 	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
 	maxK := flag.Int("maxk", 100, "cap on per-request k")
+	walDir := flag.String("wal-dir", "", "directory for durable epoch files; flushes/compactions persist there and a restart recovers the newest epoch (empty = in-memory only)")
+	memtableCap := flag.Int("memtable", 0, "live-index write-buffer capacity before auto-flush (0 = default 1024, negative = never auto-flush)")
+	mergeEvery := flag.Duration("merge-every", time.Minute, "background compaction interval for the live index (0 = never; compaction folds segments and tombstones back into one base segment)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	flag.Parse()
 
@@ -74,6 +80,8 @@ func main() {
 			DisablePruning:     *noPrune,
 			BlockSize:          *blockSize,
 			DisableCompression: *noCompress,
+			MemtableCap:        *memtableCap,
+			WALDir:             *walDir,
 		},
 		NumCandidates: *candidates,
 		PerSpec:       *perSpec,
@@ -132,6 +140,28 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *mergeEvery > 0 {
+		// Background compaction: fold accumulated segments and tombstones
+		// back into one freshly built base on a fixed cadence. Compaction
+		// holds only the engine's mutation lock — searches keep running
+		// against the previous snapshot until the epoch swap.
+		go func() {
+			tick := time.NewTicker(*mergeEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if _, err := pipe.Engine.Compact(); err != nil {
+						fmt.Fprintln(os.Stderr, "serve: background compaction:", err)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "serving on %s (%d workers, cache %d entries / %d shards, default alg %s)\n",

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Crash-consistency tests: a writer that dies mid-stream must never
+// corrupt what a reader later sees, and a process restart must recover
+// the newest durable epoch — never a torn or partial one.
+
+// failingWriter errors after n bytes, simulating a crash mid-write.
+type failingWriter struct {
+	n       int
+	written int
+}
+
+var errDiskGone = errors.New("simulated crash: disk gone")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		allowed := w.n - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.written += allowed
+		return allowed, errDiskGone
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// midLifecycleEngine builds an engine that exercises every RENG2 section:
+// multiple sealed segments, tombstones, and a non-empty memtable.
+func midLifecycleEngine(t *testing.T) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var docs []Document
+	for i := 0; i < 12; i++ {
+		docs = append(docs, liveDoc(rng, fmt.Sprintf("d%04d", i), 0))
+	}
+	e, err := Build(docs, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 18; i++ {
+		if _, err := e.Ingest(liveDoc(rng, fmt.Sprintf("d%04d", i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Delete("d0003"); !ok {
+		t.Fatal("delete d0003 missed")
+	}
+	if _, err := e.Ingest(liveDoc(rng, "d0005", 7)); err != nil { // supersede a sealed doc
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(liveDoc(rng, "d0100", 0)); err != nil { // brand-new, memtable only
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSaveToFailingWriter cuts the save stream at every prefix length:
+// SaveTo must surface the write error (never panic, never succeed), and
+// Load of the truncated prefix must fail cleanly too.
+func TestSaveToFailingWriter(t *testing.T) {
+	e := midLifecycleEngine(t)
+	var full bytes.Buffer
+	if err := e.SaveTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	if e.Live().MemDocs == 0 || e.Live().Tombstones == 0 || e.Live().Segments < 2 {
+		t.Fatalf("fixture is not mid-lifecycle: %+v", e.Live())
+	}
+	for cut := 0; cut < full.Len(); cut += 1 + cut/10 {
+		if err := e.SaveTo(&failingWriter{n: cut}); err == nil {
+			t.Fatalf("SaveTo with writer dying at byte %d reported success", cut)
+		}
+		if _, err := Load(bytes.NewReader(full.Bytes()[:cut]), Config{}); err == nil {
+			t.Fatalf("Load of %d-byte truncated stream reported success", cut)
+		}
+	}
+	// The untruncated stream round-trips to an identical search surface.
+	e2, err := Load(bytes.NewReader(full.Bytes()), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{liveVocab[0], "uniqd0005", "uniqd0003", "uniqd0100"} {
+		if got, want := e2.Search(q, 10), e.Search(q, 10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %q after reload: %+v, want %+v", q, got, want)
+		}
+	}
+	// Flushes/Compactions are process-lifetime counters, not persisted.
+	got, want := e2.Live(), e.Live()
+	got.Flushes, got.Compactions = want.Flushes, want.Compactions
+	if got != want {
+		t.Fatalf("LiveStats after reload: %+v, want %+v", got, want)
+	}
+}
+
+// TestWALRecoversNewestValidEpoch seals several epochs into a WAL dir,
+// then corrupts the newest files in the ways a crash can leave them —
+// pure garbage, a truncated tail — and checks a rebuild adopts the
+// newest epoch that still parses.
+func TestWALRecoversNewestValidEpoch(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	var docs []Document
+	for i := 0; i < 10; i++ {
+		docs = append(docs, liveDoc(rng, fmt.Sprintf("d%04d", i), 0))
+	}
+	cfg := Config{WALDir: dir}
+	e, err := Build(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch A: ingest + flush. Epoch B: delete + flush.
+	if _, err := e.Ingest(liveDoc(rng, "d0100", 0)); err != nil {
+		t.Fatal(err)
+	}
+	epochA, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Delete("d0002"); !ok {
+		t.Fatal("delete d0002 missed")
+	}
+	epochB, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochB <= epochA {
+		t.Fatalf("epochs not monotonic: flush gave %d then %d", epochA, epochB)
+	}
+	wantB := e.Search(liveVocab[0], 10)
+
+	// Restart: the newest epoch (B) is intact and must be adopted.
+	r1, err := Build(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Epoch() != epochB {
+		t.Fatalf("recovered epoch %d, want %d", r1.Epoch(), epochB)
+	}
+	if got := r1.Search(liveVocab[0], 10); !reflect.DeepEqual(got, wantB) {
+		t.Fatalf("recovered search differs from pre-crash epoch B")
+	}
+	if len(r1.Search("uniqd0002", 5)) != 0 {
+		t.Fatal("doc deleted in epoch B resurfaced after recovery")
+	}
+
+	// Corrupt epoch B's file with garbage: recovery must fall back to A.
+	fileB := filepath.Join(dir, epochFileName(epochB))
+	if err := os.WriteFile(fileB, []byte("not an engine stream at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Build(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Epoch() != epochA {
+		t.Fatalf("after garbage newest file: recovered epoch %d, want fallback %d", r2.Epoch(), epochA)
+	}
+	if len(r2.Search("uniqd0002", 5)) == 0 {
+		t.Fatal("epoch A should still contain d0002 (deleted only in B)")
+	}
+
+	// Truncate epoch B instead (torn write): same fallback.
+	good, err := os.ReadFile(filepath.Join(dir, epochFileName(epochA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fileB, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Build(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Epoch() != epochA {
+		t.Fatalf("after truncated newest file: recovered epoch %d, want %d", r3.Epoch(), epochA)
+	}
+
+	// With every file corrupted, recovery gives up and the engine starts
+	// from the freshly built state (epoch 0 lineage), not an error.
+	entries, err := filepath.Glob(filepath.Join(dir, "epoch-*.eng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range entries {
+		if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r4, err := Build(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r4.NumDocs(), len(docs); got != want {
+		t.Fatalf("fresh start after total WAL loss: %d docs, want %d", got, want)
+	}
+}
+
+// TestFlushFailureKeepsServing removes the WAL directory out from under
+// the engine: the seal cannot become durable, so Flush must fail WITHOUT
+// swapping state — the buffered document stays searchable, the epoch does
+// not advance — and once the directory returns, Flush succeeds.
+func TestFlushFailureKeepsServing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	rng := rand.New(rand.NewSource(9))
+	var docs []Document
+	for i := 0; i < 8; i++ {
+		docs = append(docs, liveDoc(rng, fmt.Sprintf("d%04d", i), 0))
+	}
+	e, err := Build(docs, Config{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(liveDoc(rng, "d0200", 0)); err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := e.Epoch()
+	memBefore := e.Live().MemDocs
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Flush(); err == nil {
+		t.Fatal("Flush with missing WAL dir reported success")
+	}
+	if e.Epoch() != epochBefore {
+		t.Fatalf("failed flush advanced the epoch: %d -> %d", epochBefore, e.Epoch())
+	}
+	if got := e.Live().MemDocs; got != memBefore {
+		t.Fatalf("failed flush changed the memtable: %d docs -> %d", memBefore, got)
+	}
+	if len(e.Search("uniqd0200", 5)) == 0 {
+		t.Fatal("buffered doc unsearchable after failed flush")
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatalf("Flush after restoring WAL dir: %v", err)
+	}
+	if e.Epoch() <= epochBefore {
+		t.Fatal("successful flush did not advance the epoch")
+	}
+	if len(e.Search("uniqd0200", 5)) == 0 {
+		t.Fatal("doc lost across the recovered flush")
+	}
+	// Exactly one durable epoch file exists for the recovered seal.
+	files, err := filepath.Glob(filepath.Join(dir, "epoch-*.eng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("WAL dir has %d epoch files, want 1: %v", len(files), files)
+	}
+}

@@ -11,6 +11,8 @@ package engine
 import (
 	"context"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/index"
 	"repro/internal/ranking"
@@ -70,6 +72,18 @@ type Config struct {
 	// skipping, identical results. The escape hatch for profiling the
 	// layouts against each other.
 	DisableCompression bool
+	// MemtableCap bounds the in-memory write buffer: once Ingest has
+	// buffered this many live documents the memtable is flushed into an
+	// immutable segment automatically. 0 means 1024; negative disables
+	// auto-flush (explicit Flush/Compact only).
+	MemtableCap int
+	// WALDir, when non-empty, makes flushes and compactions durable: each
+	// sealed epoch is persisted to an engine stream in this directory
+	// (written to a temp file, fsynced, atomically renamed) BEFORE the
+	// in-memory swap, and Build/Load recover the newest parseable epoch on
+	// startup. Ingest/Delete epochs between seals are not persisted — a
+	// crash rolls the buffered tail back to the last sealed epoch.
+	WALDir string
 }
 
 // blockLayout maps the config onto the index package's block-size
@@ -94,23 +108,136 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Engine is an immutable built search engine.
+// Engine is a search engine over an LSM-style segment lifecycle: an
+// immutable base state built (or loaded) up front, a mutable in-memory
+// write buffer fed by Ingest/Delete, flushes that seal the buffer into
+// immutable segments, and compactions that fold everything back into one
+// freshly built base. Searches never block on mutations — they load the
+// current state once (an atomic pointer) and run entirely against that
+// snapshot, while mutators build the next state and publish it with a
+// single atomic swap.
 type Engine struct {
 	cfg Config
-	// seg owns the index as a set of contiguous document segments; every
-	// retrieval is a fan-out over its shards (one shard degenerates to
-	// the sequential path). The physical index is shared across shards,
-	// so statistics — and therefore scores — stay collection-global.
-	seg     *index.Segmented
-	rawBody map[string]string // docID → raw body (for snippets)
-	idf     textsim.SliceIDF
+	// mu serializes mutations (Ingest/Delete/Flush/Compact). Searches
+	// never take it.
+	mu  sync.Mutex
+	cur atomic.Pointer[state]
+
+	// durable is the newest epoch sealed into the WAL (guarded by mu;
+	// meaningful only when cfg.WALDir is set). Flush consults it so a
+	// delete-only interval — empty memtable, fresh tombstones — still
+	// reaches disk.
+	durable uint64
+
+	flushes     atomic.Uint64
+	compactions atomic.Uint64
+}
+
+// segment is one immutable sealed segment: its index plus the raw bodies
+// of its documents (for snippet extraction and compaction replay).
+type segment struct {
+	// seg owns the segment's index as a set of contiguous document
+	// shards; retrieval fans out over them (one shard degenerates to the
+	// sequential path). The physical index is shared across shards, so
+	// statistics — and therefore scores — stay collection-global within
+	// the segment.
+	seg *index.Segmented
+	raw map[string]string // docID → raw body
+}
+
+// state is one consistent snapshot of the engine: the sealed segments
+// (oldest first), the delete set, and the live write buffer. A document's
+// LIVE version is its newest copy: the memtable's if buffered there,
+// otherwise the newest segment's — and only if its ID is not in dead.
+// Older copies are superseded structurally (a newer source holds the ID);
+// dead holds only fully deleted IDs, so re-ingesting clears the tombstone.
+type state struct {
+	epoch uint64
+	segs  []*segment
+	// dead is the tombstone set: IDs whose sealed copies are all deleted.
+	// Invariant: no ID in dead is live in the memtable.
+	dead map[string]bool
+	mem  *index.Memtable
+	// shadowed counts sealed document copies that are dead or superseded
+	// — exactly the hits a search may have to filter, so retrieving
+	// k+shadowed per source keeps top-k exact.
+	shadowed int
+	live     int // live documents across segments and memtable
+	idf      textsim.SliceIDF
 	// lex interns surrogate terms for the similarity hot paths. Its
-	// sorted base is the index dictionary (lexicographic by the Build
-	// invariant), so every term of every indexed document — hence every
-	// snippet term — gets an ID whose order equals string order, keeping
-	// interned cosines bit-identical to the string path. Terms of
-	// out-of-collection text land in the dynamic overflow region.
+	// sorted base is the base segment's dictionary (lexicographic by the
+	// Build invariant), so every term of every base document — hence
+	// every snippet term — gets an ID whose order equals string order,
+	// keeping interned cosines bit-identical to the string path. Terms
+	// of out-of-collection text (including memtable-only terms) land in
+	// the dynamic overflow region.
 	lex *textsim.Lexicon
+}
+
+// clone returns a mutable copy of the state sharing the immutable pieces:
+// the segments slice (copied before append), the memtable pointer (the
+// shared live tail between flushes), and the lexicon/IDF of the base
+// segment. The dead set is deep-copied.
+func (st *state) clone() *state {
+	ns := *st
+	ns.dead = make(map[string]bool, len(st.dead))
+	for k, v := range st.dead {
+		ns.dead[k] = v
+	}
+	return &ns
+}
+
+// sealedHas returns the newest segment holding a copy of id.
+func (st *state) sealedHas(id string) (int, bool) {
+	for j := len(st.segs) - 1; j >= 0; j-- {
+		if _, ok := st.segs[j].raw[id]; ok {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// sealedLive reports whether segment si's copy of id is the live version:
+// not deleted, and not superseded by a newer segment or the memtable view.
+func (st *state) sealedLive(si int, id string, mv *index.MemView) bool {
+	if st.dead[id] || mv.Has(id) {
+		return false
+	}
+	for j := si + 1; j < len(st.segs); j++ {
+		if _, ok := st.segs[j].raw[id]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// isLive reports whether any live version of id exists in the snapshot.
+func (st *state) isLive(id string, mv *index.MemView) bool {
+	if mv.Has(id) {
+		return true
+	}
+	_, ok := st.sealedHas(id)
+	return ok && !st.dead[id]
+}
+
+// body returns the raw body of id's newest copy.
+func (st *state) body(id string, mv *index.MemView) (string, bool) {
+	if p, ok := mv.Payload(id); ok {
+		return p, true
+	}
+	for j := len(st.segs) - 1; j >= 0; j-- {
+		if p, ok := st.segs[j].raw[id]; ok {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// quiet reports whether the snapshot degenerates to a single immutable
+// segment with nothing to filter — the batch-built shape, searched on the
+// exact pre-lifecycle code path.
+func (st *state) quiet(mv *index.MemView) bool {
+	return len(st.segs) == 1 && st.shadowed == 0 && mv == nil
 }
 
 // Build analyzes and indexes the corpus. Duplicate document IDs are an
@@ -132,7 +259,11 @@ func Build(docs []Document, cfg Config) (*Engine, error) {
 		shards = 1
 	}
 	seg := b.BuildSegmented(shards)
-	return newEngine(cfg, seg, raw), nil
+	e := newEngine(cfg, seg, raw)
+	if err := e.openWAL(); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // newEngine assembles an Engine around a segmented index and its raw
@@ -144,42 +275,63 @@ func Build(docs []Document, cfg Config) (*Engine, error) {
 // them, v4 streams arrive with them, and older streams get them rebuilt
 // — so pruning works identically whichever way the engine came to be.
 func newEngine(cfg Config, seg *index.Segmented, raw map[string]string) *Engine {
+	e := &Engine{cfg: cfg}
+	e.cur.Store(freshState(cfg, seg, raw, 0))
+	return e
+}
+
+// freshState builds the single-segment state every engine starts (and
+// every compaction ends) in: max-score tables installed while the index
+// is still privately owned, lexicon wrapped around the dictionary, IDF
+// table derived from it, empty tombstones, empty memtable.
+func freshState(cfg Config, seg *index.Segmented, raw map[string]string, epoch uint64) *state {
 	idx := seg.Index()
-	if !cfg.DisablePruning {
-		models := append(ranking.PrecomputableModels(), cfg.Model)
-		if err := ranking.InstallMaxScores(idx, models...); err != nil {
-			// Only reachable through a table/dictionary size mismatch,
-			// which InstallMaxScores cannot produce from its own
-			// ComputeMaxScores output.
-			panic(err)
-		}
-	}
+	installTables(cfg, idx)
 	lex := textsim.WrapSortedTerms(idx.Terms())
-	return &Engine{
-		cfg:     cfg,
-		seg:     seg,
-		rawBody: raw,
-		idf:     textsim.ComputeIDFFromIndex(idx, lex),
-		lex:     lex,
+	return &state{
+		epoch: epoch,
+		segs:  []*segment{{seg: seg, raw: raw}},
+		dead:  make(map[string]bool),
+		mem:   index.NewMemtable(cfg.blockLayout()),
+		live:  idx.NumDocs(),
+		idf:   textsim.ComputeIDFFromIndex(idx, lex),
+		lex:   lex,
 	}
 }
 
-// Index exposes the underlying inverted index (read-only use).
-func (e *Engine) Index() *index.Index { return e.seg.Index() }
+// installTables installs max-score tables for the registered boundable
+// models plus the configured one: fresh builds compute them, v4+ streams
+// arrive with them, and older streams get them rebuilt — so pruning works
+// identically whichever way the segment came to be.
+func installTables(cfg Config, idx *index.Index) {
+	if cfg.DisablePruning {
+		return
+	}
+	models := append(ranking.PrecomputableModels(), cfg.Model)
+	if err := ranking.InstallMaxScores(idx, models...); err != nil {
+		// Only reachable through a table/dictionary size mismatch,
+		// which InstallMaxScores cannot produce from its own
+		// ComputeMaxScores output.
+		panic(err)
+	}
+}
 
-// Segments exposes the index's shard partition (read-only use): the
-// serving layer reports it in /stats, and benchmarks resegment it to
+// Index exposes the base segment's inverted index (read-only use).
+func (e *Engine) Index() *index.Index { return e.cur.Load().segs[0].seg.Index() }
+
+// Segments exposes the base segment's shard partition (read-only use):
+// the serving layer reports it in /stats, and benchmarks resegment it to
 // sweep shard counts.
-func (e *Engine) Segments() *index.Segmented { return e.seg }
+func (e *Engine) Segments() *index.Segmented { return e.cur.Load().segs[0].seg }
 
 // Model returns the engine's weighting model.
 func (e *Engine) Model() ranking.Model { return e.cfg.Model }
 
 // PruningEnabled reports whether retrieval runs with MaxScore dynamic
-// pruning: the config allows it and the index carries the model's
+// pruning: the config allows it and the base index carries the model's
 // max-score table. The serving layer surfaces this in /stats.
 func (e *Engine) PruningEnabled() bool {
-	return !e.cfg.DisablePruning && ranking.Pruneable(e.seg.Index(), e.cfg.Model)
+	return !e.cfg.DisablePruning && ranking.Pruneable(e.Index(), e.cfg.Model)
 }
 
 // batchOpts returns the retrieval options every search path shares.
@@ -187,8 +339,9 @@ func (e *Engine) batchOpts() ranking.BatchOptions {
 	return ranking.BatchOptions{Prune: !e.cfg.DisablePruning}
 }
 
-// NumDocs returns the collection size.
-func (e *Engine) NumDocs() int { return e.seg.Index().NumDocs() }
+// NumDocs returns the number of live documents across segments and the
+// write buffer. For a batch-built engine this is the collection size.
+func (e *Engine) NumDocs() int { return e.cur.Load().live }
 
 // Search retrieves the top-k documents for the raw query and attaches
 // query-biased snippets. k <= 0 retrieves all matches.
@@ -202,12 +355,21 @@ func (e *Engine) Search(query string, k int) []Result {
 // disconnected request stops consuming shard workers instead of running
 // to completion. The only possible error is ctx.Err().
 func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, error) {
-	qTokens := e.cfg.Analyzer.Tokens(query)
-	hits, err := ranking.RetrieveShardedOpts(ctx, e.seg, e.cfg.Model, qTokens, k, e.batchOpts())
+	res, _, err := e.SearchStamped(ctx, query, k)
+	return res, err
+}
+
+// SearchStamped is SearchCtx plus the epoch of the snapshot the search
+// ran against: the whole search — retrieval, filtering, merging, snippet
+// extraction — uses one atomically loaded state, so the stamp certifies
+// which mutations the results reflect.
+func (e *Engine) SearchStamped(ctx context.Context, query string, k int) ([]Result, uint64, error) {
+	st := e.cur.Load()
+	out, err := e.searchBatchState(ctx, st, []string{query}, []int{k})
 	if err != nil {
-		return nil, err
+		return nil, st.epoch, err
 	}
-	return e.resultsFor(hits, qTokens), nil
+	return out[0], st.epoch, nil
 }
 
 // SearchBatch answers a batch of queries in ONE scatter-gather round over
@@ -217,30 +379,91 @@ func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, 
 // Search(queries[i], ks[i]) — the serving pipeline batches the main query
 // with all its specialization retrievals through here.
 func (e *Engine) SearchBatch(ctx context.Context, queries []string, ks []int) ([][]Result, error) {
+	return e.searchBatchState(ctx, e.cur.Load(), queries, ks)
+}
+
+// searchBatchState answers a query batch against one loaded snapshot.
+// The quiet fast path is the exact pre-lifecycle code; the general path
+// retrieves k+shadowed per source (sealed segments plus the memtable
+// view), filters superseded and deleted sealed copies, globalizes doc
+// numbers by source offset and k-way merges — exact top-k, because at
+// most `shadowed` hits per source can be filtered away.
+func (e *Engine) searchBatchState(ctx context.Context, st *state, queries []string, ks []int) ([][]Result, error) {
 	qTokens := make([][]string, len(queries))
 	for i, q := range queries {
 		qTokens[i] = e.cfg.Analyzer.Tokens(q)
 	}
-	hitLists, err := ranking.RetrieveBatchOpts(ctx, e.seg, e.cfg.Model, qTokens, ks, e.batchOpts())
-	if err != nil {
-		return nil, err
+	mv := st.mem.View()
+	if st.quiet(mv) {
+		hitLists, err := ranking.RetrieveBatchOpts(ctx, st.segs[0].seg, e.cfg.Model, qTokens, ks, e.batchOpts())
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]Result, len(queries))
+		for i, hits := range hitLists {
+			out[i] = e.resultsFor(st, mv, hits, qTokens[i])
+		}
+		return out, nil
+	}
+
+	sources := make([]*index.Segmented, 0, len(st.segs)+1)
+	segN := len(st.segs)
+	for _, sg := range st.segs {
+		sources = append(sources, sg.seg)
+	}
+	if mv != nil {
+		sources = append(sources, mv.Seg)
+	}
+	kp := make([]int, len(ks))
+	for i, k := range ks {
+		kp[i] = k
+		if k > 0 {
+			kp[i] = k + st.shadowed
+		}
+	}
+	lists := make([][][]ranking.Hit, len(queries))
+	for i := range lists {
+		lists[i] = make([][]ranking.Hit, 0, len(sources))
+	}
+	off := int32(0)
+	for si, src := range sources {
+		res, err := ranking.RetrieveBatchOpts(ctx, src, e.cfg.Model, qTokens, kp, e.batchOpts())
+		if err != nil {
+			return nil, err
+		}
+		for q, hl := range res {
+			if si < segN {
+				kept := hl[:0]
+				for _, h := range hl {
+					if st.sealedLive(si, h.DocID, mv) {
+						kept = append(kept, h)
+					}
+				}
+				hl = kept
+			}
+			for j := range hl {
+				hl[j].Doc += off
+			}
+			lists[q] = append(lists[q], hl)
+		}
+		off += int32(src.Index().NumDocs())
 	}
 	out := make([][]Result, len(queries))
-	for i, hits := range hitLists {
-		out[i] = e.resultsFor(hits, qTokens[i])
+	for q := range queries {
+		out[q] = e.resultsFor(st, mv, ranking.MergeSegments(lists[q], ks[q]), qTokens[q])
 	}
 	return out, nil
 }
 
 // resultsFor attaches query-biased snippets to retrieval hits.
-func (e *Engine) resultsFor(hits []ranking.Hit, qTokens []string) []Result {
+func (e *Engine) resultsFor(st *state, mv *index.MemView, hits []ranking.Hit, qTokens []string) []Result {
 	out := make([]Result, len(hits))
 	for i, h := range hits {
 		out[i] = Result{
 			DocID:   h.DocID,
 			Rank:    h.Rank,
 			Score:   h.Score,
-			Snippet: e.snippetFor(h.DocID, qTokens),
+			Snippet: e.snippetFor(st, mv, h.DocID, qTokens),
 		}
 	}
 	return out
@@ -248,14 +471,20 @@ func (e *Engine) resultsFor(hits []ranking.Hit, qTokens []string) []Result {
 
 // Snippet returns the query-biased snippet of a document: the
 // SnippetWindow-token window of the raw text containing the most query
-// term matches (earliest such window on ties). An unknown document yields
-// the empty string; a document with no match yields its leading window.
+// term matches (earliest such window on ties). An unknown or deleted
+// document yields the empty string; a document with no match yields its
+// leading window.
 func (e *Engine) Snippet(docID, query string) string {
-	return e.snippetFor(docID, e.cfg.Analyzer.Tokens(query))
+	st := e.cur.Load()
+	mv := st.mem.View()
+	if !st.isLive(docID, mv) {
+		return ""
+	}
+	return e.snippetFor(st, mv, docID, e.cfg.Analyzer.Tokens(query))
 }
 
-func (e *Engine) snippetFor(docID string, qTokens []string) string {
-	body, ok := e.rawBody[docID]
+func (e *Engine) snippetFor(st *state, mv *index.MemView, docID string, qTokens []string) string {
+	body, ok := st.body(docID, mv)
 	if !ok {
 		return ""
 	}
@@ -307,19 +536,24 @@ func (e *Engine) SurrogateVector(docID, query string) textsim.Vector {
 }
 
 // VectorOfText analyzes arbitrary text and returns its IDF-weighted vector
-// under the engine's collection statistics.
+// under the base segment's collection statistics.
 func (e *Engine) VectorOfText(s string) textsim.Vector {
-	return e.idf.Apply(textsim.FromTokens(e.cfg.Analyzer.Tokens(s)))
+	return e.cur.Load().idf.Apply(textsim.FromTokens(e.cfg.Analyzer.Tokens(s)))
 }
 
 // Lexicon returns the engine's term lexicon — the interning dictionary
 // every IVectorOfText result is expressed in. Problems built from this
-// engine's vectors must carry it as their Problem.Lex.
-func (e *Engine) Lexicon() *textsim.Lexicon { return e.lex }
+// engine's vectors must carry it as their Problem.Lex. Compaction swaps
+// in a fresh lexicon over the rebuilt dictionary; interned vectors from
+// different epochs compare safely (the similarity kernels are sorted-ID
+// merge joins), though cross-epoch cosines are not bit-stable — the
+// serving layer keys its caches by epoch for exactly this reason.
+func (e *Engine) Lexicon() *textsim.Lexicon { return e.cur.Load().lex }
 
 // IVectorOfText is VectorOfText in interned form: the representation the
 // scoring hot paths consume. Equivalent to interning VectorOfText(s)
 // under Lexicon(), weights and norm bit-identical.
 func (e *Engine) IVectorOfText(s string) textsim.IVector {
-	return textsim.Intern(e.lex, e.VectorOfText(s))
+	st := e.cur.Load()
+	return textsim.Intern(st.lex, st.idf.Apply(textsim.FromTokens(e.cfg.Analyzer.Tokens(s))))
 }

@@ -147,7 +147,7 @@ func TestSliceIDFMatchesMapIDF(t *testing.T) {
 	for _, s := range texts {
 		toks := e.cfg.Analyzer.Tokens(s)
 		want := legacy.Apply(textsim.FromTokens(toks))
-		got := e.idf.Apply(textsim.FromTokens(toks))
+		got := e.cur.Load().idf.Apply(textsim.FromTokens(toks))
 		if !reflect.DeepEqual(got.Terms, want.Terms) {
 			t.Fatalf("%q: terms %v, want %v", s, got.Terms, want.Terms)
 		}

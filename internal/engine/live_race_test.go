@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestLiveConcurrentSearchMutate runs searches concurrently with ingests,
+// deletes, flushes, compactions and their epoch swaps. Run under -race it
+// is the data-race detector for the snapshot design; beyond that it
+// asserts two consistency properties per result batch:
+//
+//   - Monotonic epochs: each reader's observed epoch stamp never goes
+//     backwards (cur is swapped atomically, never torn).
+//   - Delete visibility: once Delete(id) returns at epoch d, no search
+//     stamped >= d may return id. (A search stamped earlier may — it ran
+//     against an older snapshot, which is the documented semantics.)
+func TestLiveConcurrentSearchMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var initial []Document
+	for i := 0; i < 40; i++ {
+		initial = append(initial, liveDoc(rng, fmt.Sprintf("d%04d", i), 0))
+	}
+	e, err := Build(initial, Config{Shards: 2, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// deletedAt maps id -> epoch at which Delete returned true. An entry
+	// is stored only AFTER Delete returns (so the bound is sound) and
+	// removed BEFORE a re-ingest of the same id (so resurrection does not
+	// trip the assertion).
+	var deletedAt sync.Map
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // mutator
+		defer wg.Done()
+		defer close(stop)
+		mrng := rand.New(rand.NewSource(11))
+		nextID := 40
+		for op := 0; op < 400; op++ {
+			switch roll := mrng.Intn(100); {
+			case roll < 40:
+				id := fmt.Sprintf("d%04d", nextID)
+				nextID++
+				deletedAt.Delete(id)
+				if _, err := e.Ingest(liveDoc(mrng, id, 0)); err != nil {
+					t.Errorf("ingest %s: %v", id, err)
+					return
+				}
+			case roll < 60:
+				id := fmt.Sprintf("d%04d", mrng.Intn(nextID))
+				deletedAt.Delete(id)
+				if _, err := e.Ingest(liveDoc(mrng, id, 1+mrng.Intn(5))); err != nil {
+					t.Errorf("update %s: %v", id, err)
+					return
+				}
+			case roll < 80:
+				id := fmt.Sprintf("d%04d", mrng.Intn(nextID))
+				if epoch, ok := e.Delete(id); ok {
+					deletedAt.Store(id, epoch)
+				}
+			case roll < 92:
+				if _, err := e.Flush(); err != nil {
+					t.Errorf("flush: %v", err)
+					return
+				}
+			default:
+				if _, err := e.Compact(); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	queries := []string{
+		liveVocab[0], liveVocab[5], liveVocab[2] + " " + liveVocab[9], liveVocab[17],
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) { // reader
+			defer wg.Done()
+			var lastEpoch uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, epoch, err := e.SearchStamped(context.Background(), queries[(r+i)%len(queries)], 20)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if epoch < lastEpoch {
+					t.Errorf("reader %d: epoch went backwards: %d after %d", r, epoch, lastEpoch)
+					return
+				}
+				lastEpoch = epoch
+				for _, h := range res {
+					if d, ok := deletedAt.Load(h.DocID); ok && epoch >= d.(uint64) {
+						t.Errorf("reader %d: doc %s deleted at epoch %d returned by search stamped %d",
+							r, h.DocID, d.(uint64), epoch)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Quiesce and sanity-check the survivors are still searchable.
+	if _, err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumDocs() == 0 {
+		t.Fatal("all documents vanished")
+	}
+	stats := e.Live()
+	if stats.Segments != 1 || stats.MemDocs != 0 || stats.Tombstones != 0 {
+		t.Fatalf("not quiesced after final compact: %+v", stats)
+	}
+	if stats.LiveDocs != e.NumDocs() {
+		t.Fatalf("LiveStats.LiveDocs %d != NumDocs %d", stats.LiveDocs, e.NumDocs())
+	}
+}

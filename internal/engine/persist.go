@@ -6,38 +6,63 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/index"
+	"repro/internal/textsim"
 )
 
-// Engine persistence: a built engine can be written to a single stream and
-// reloaded without re-analyzing the corpus — the index goes through the
-// index codec, the raw document text (needed for snippet extraction)
-// follows as length-prefixed pairs, and the IDF table and term lexicon
-// are reconstructed from the index at load time (the codec's sorted-
-// dictionary invariant makes the lexicon a zero-copy wrap). Layout:
+// Engine persistence: an engine state can be written to a single stream
+// and reloaded without re-analyzing the corpus. Two formats:
 //
-//	magic "RENG1\n"
-//	index (index codec)
-//	numDocs, then per doc: idLen, idBytes, bodyLen, bodyBytes
+//	RENG1 (legacy, read-only): one segmented index, then the raw document
+//	store — numDocs, then per doc: idLen, idBytes, bodyLen, bodyBytes.
 //
-// The weighting model and analyzer are code, not data: the loader supplies
-// them through Config exactly as Build does.
+//	RENG2: the full segment lifecycle state —
+//	  magic "RENG2\n"
+//	  index manifest (index codec RIDX6: epoch, segments, tombstones)
+//	  per segment, per doc in internal order: bodyLen, bodyBytes
+//	    (doc IDs come from the segment's index, so only bodies repeat)
+//	  memtable: numDocs, then per doc: idLen, idBytes, bodyLen, bodyBytes
+//	    (tokens are re-derived by analysis at load time)
+//
+// SaveTo always writes RENG2; Load dispatches on the magic, lifting an
+// RENG1 stream to a quiet single-segment state at epoch 0. The weighting
+// model and analyzer are code, not data: the loader supplies them through
+// Config exactly as Build does. The IDF table and term lexicon are
+// reconstructed from the base index at load time (the codec's sorted-
+// dictionary invariant makes the lexicon a zero-copy wrap).
 
-const engineMagic = "RENG1\n"
+const (
+	engineMagic   = "RENG1\n"
+	engineMagicV2 = "RENG2\n"
+)
 
 // ErrBadEngineFormat reports a corrupt or foreign engine stream.
 var ErrBadEngineFormat = errors.New("engine: bad engine format")
 
-// SaveTo serializes the engine's index and document store. The index
-// goes through the segmented codec, so the shard partition survives the
-// round trip (Load keeps it unless Config.Shards overrides).
+// SaveTo serializes the engine's current state — segments, tombstones and
+// buffered memtable documents included. Shard partitions and posting
+// layouts survive the round trip (Load keeps them unless Config
+// overrides).
 func (e *Engine) SaveTo(w io.Writer) error {
+	return saveState(e.cur.Load(), w)
+}
+
+func saveState(st *state, w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(engineMagic); err != nil {
+	if _, err := bw.WriteString(engineMagicV2); err != nil {
 		return err
 	}
-	if _, err := e.seg.WriteTo(bw); err != nil {
+	man := &index.Manifest{Epoch: st.epoch}
+	for _, sg := range st.segs {
+		man.Segments = append(man.Segments, sg.seg)
+	}
+	for id := range st.dead {
+		man.Tombstones = append(man.Tombstones, id)
+	}
+	sort.Strings(man.Tombstones)
+	if _, err := man.WriteTo(bw); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -53,40 +78,66 @@ func (e *Engine) SaveTo(w io.Writer) error {
 		_, err := bw.WriteString(s)
 		return err
 	}
-	idx := e.seg.Index()
-	if err := writeUvarint(uint64(idx.NumDocs())); err != nil {
+	// Per-segment bodies in internal doc order: the stream is canonical
+	// and IDs need not repeat (the index carries them).
+	for _, sg := range st.segs {
+		idx := sg.seg.Index()
+		for d := int32(0); d < int32(idx.NumDocs()); d++ {
+			if err := writeString(sg.raw[idx.DocID(d)]); err != nil {
+				return err
+			}
+		}
+	}
+	docs := st.mem.LiveDocs()
+	if err := writeUvarint(uint64(len(docs))); err != nil {
 		return err
 	}
-	// Iterate in internal doc order so the stream is canonical.
-	for d := int32(0); d < int32(idx.NumDocs()); d++ {
-		id := idx.DocID(d)
-		if err := writeString(id); err != nil {
+	for _, d := range docs {
+		if err := writeString(d.ID); err != nil {
 			return err
 		}
-		if err := writeString(e.rawBody[id]); err != nil {
+		if err := writeString(d.Payload); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Load reconstructs an engine written by SaveTo. cfg supplies the model
-// and analyzer (they must match the ones used at build time for query
-// analysis to agree with the stored index).
+// Load reconstructs an engine written by SaveTo (either format). cfg
+// supplies the model and analyzer (they must match the ones used at build
+// time for query analysis to agree with the stored index).
 func Load(r io.Reader, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	st, err := loadState(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg}
+	e.cur.Store(st)
+	if err := e.openWAL(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func loadState(r io.Reader, cfg Config) (*state, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(engineMagic))
-	if _, err := io.ReadFull(br, head); err != nil {
+	head, err := br.Peek(len(engineMagic))
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEngineFormat, err)
 	}
-	if string(head) != engineMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadEngineFormat, head)
+	switch string(head) {
+	case engineMagic:
+		return loadStateV1(br, cfg)
+	case engineMagicV2:
+		return loadStateV2(br, cfg)
 	}
-	seg, err := index.ReadSegmented(br)
-	if err != nil {
-		return nil, fmt.Errorf("engine: loading index: %w", err)
-	}
+	return nil, fmt.Errorf("%w: bad magic %q", ErrBadEngineFormat, head)
+}
+
+// reshape applies the deployment knobs — shard count, posting layout —
+// to a loaded segment. Config zero values keep the stream's choices.
+func reshape(seg *index.Segmented, cfg Config) *index.Segmented {
 	if cfg.Shards > 0 {
 		// Shard count is a deployment knob, not corpus data: an explicit
 		// Config.Shards overrides whatever partition the stream recorded.
@@ -94,14 +145,25 @@ func Load(r io.Reader, cfg Config) (*Engine, error) {
 	}
 	// Posting layout is a deployment knob too: an explicit block size
 	// (negative = flat, Build's convention) or DisableCompression
-	// re-lays the loaded postings (preserving the shard partition);
-	// Config zero values keep the stream's layout.
+	// re-lays the loaded postings (preserving the shard partition).
 	switch {
 	case (cfg.DisableCompression || cfg.BlockSize < 0) && seg.Index().Blocked():
 		seg = index.ReblockSegmented(seg, -1)
 	case !cfg.DisableCompression && cfg.BlockSize > 0 && seg.Index().BlockSize() != cfg.BlockSize:
 		seg = index.ReblockSegmented(seg, cfg.BlockSize)
 	}
+	return seg
+}
+
+func loadStateV1(br *bufio.Reader, cfg Config) (*state, error) {
+	if _, err := br.Discard(len(engineMagic)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEngineFormat, err)
+	}
+	seg, err := index.ReadSegmented(br)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading index: %w", err)
+	}
+	seg = reshape(seg, cfg)
 	idx := seg.Index()
 	numDocs, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -111,31 +173,110 @@ func Load(r io.Reader, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("%w: doc store has %d docs, index %d",
 			ErrBadEngineFormat, numDocs, idx.NumDocs())
 	}
-	readString := func() (string, error) {
-		l, err := binary.ReadUvarint(br)
-		if err != nil {
-			return "", err
-		}
-		if l > 1<<28 {
-			return "", fmt.Errorf("%w: string too long (%d)", ErrBadEngineFormat, l)
-		}
-		b := make([]byte, l)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
-		}
-		return string(b), nil
-	}
 	raw := make(map[string]string, numDocs)
 	for i := uint64(0); i < numDocs; i++ {
-		id, err := readString()
+		id, err := readLenString(br)
 		if err != nil {
 			return nil, fmt.Errorf("%w: doc id %d: %v", ErrBadEngineFormat, i, err)
 		}
-		body, err := readString()
+		body, err := readLenString(br)
 		if err != nil {
 			return nil, fmt.Errorf("%w: doc body %d: %v", ErrBadEngineFormat, i, err)
 		}
 		raw[id] = body
 	}
-	return newEngine(cfg, seg, raw), nil
+	return freshState(cfg, seg, raw, 0), nil
+}
+
+func loadStateV2(br *bufio.Reader, cfg Config) (*state, error) {
+	if _, err := br.Discard(len(engineMagicV2)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEngineFormat, err)
+	}
+	man, err := index.ReadManifest(br)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading manifest: %w", err)
+	}
+	segs := make([]*segment, len(man.Segments))
+	for si, sg := range man.Segments {
+		if si == 0 {
+			// Deployment knobs reshape the base segment only: flushed
+			// segments were already laid out under this config, and their
+			// single-shard partition is part of the lifecycle's shape.
+			sg = reshape(sg, cfg)
+		}
+		installTables(cfg, sg.Index())
+		idx := sg.Index()
+		raw := make(map[string]string, idx.NumDocs())
+		for d := int32(0); d < int32(idx.NumDocs()); d++ {
+			body, err := readLenString(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d body %d: %v", ErrBadEngineFormat, si, d, err)
+			}
+			raw[idx.DocID(d)] = body
+		}
+		segs[si] = &segment{seg: sg, raw: raw}
+	}
+	memN, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: memtable count: %v", ErrBadEngineFormat, err)
+	}
+	if memN > 1<<24 {
+		return nil, fmt.Errorf("%w: memtable count %d too large", ErrBadEngineFormat, memN)
+	}
+	mem := index.NewMemtable(cfg.blockLayout())
+	for i := uint64(0); i < memN; i++ {
+		id, err := readLenString(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: memtable id %d: %v", ErrBadEngineFormat, i, err)
+		}
+		body, err := readLenString(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: memtable body %d: %v", ErrBadEngineFormat, i, err)
+		}
+		mem.Add(index.MemDoc{ID: id, Tokens: cfg.Analyzer.Tokens(body), Payload: body})
+	}
+	dead := make(map[string]bool, len(man.Tombstones))
+	for _, id := range man.Tombstones {
+		if !mem.Has(id) { // defensive: the invariant keeps these disjoint
+			dead[id] = true
+		}
+	}
+	st := &state{
+		epoch: man.Epoch,
+		segs:  segs,
+		dead:  dead,
+		mem:   mem,
+	}
+	// Recount liveness: a sealed copy is shadowed when deleted or
+	// superseded by a newer source; everything else is live.
+	st.live = mem.Len()
+	mv := mem.View()
+	for si, sg := range segs {
+		for id := range sg.raw {
+			if st.sealedLive(si, id, mv) {
+				st.live++
+			} else {
+				st.shadowed++
+			}
+		}
+	}
+	base := segs[0].seg.Index()
+	st.lex = textsim.WrapSortedTerms(base.Terms())
+	st.idf = textsim.ComputeIDFFromIndex(base, st.lex)
+	return st, nil
+}
+
+func readLenString(br *bufio.Reader) (string, error) {
+	l, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if l > 1<<28 {
+		return "", fmt.Errorf("string too long (%d)", l)
+	}
+	b := make([]byte, l)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
 }

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Durability: when Config.WALDir is set, every SEALED epoch — the initial
+// build/load, each flush, each compaction — is persisted as a full engine
+// stream `epoch-<n>.eng` in that directory before the in-memory swap
+// (write to a temp file, fsync, atomic rename). Recovery takes the newest
+// file that parses, so a crash mid-write (torn temp file, or a garbage or
+// truncated epoch file) falls back to the last durable epoch. The two
+// newest epoch files are kept; older ones are pruned opportunistically.
+//
+// Ingest/Delete epochs between seals are deliberately NOT persisted: the
+// memtable is the volatile tail, and a crash rolls it back to the last
+// sealed epoch — the classic LSM trade, made explicit here.
+
+const epochFilePattern = "epoch-*.eng"
+
+func epochFileName(epoch uint64) string {
+	return fmt.Sprintf("epoch-%016d.eng", epoch)
+}
+
+// openWAL attaches the configured WAL directory at Build/Load time: if it
+// holds a recoverable epoch, that state replaces the freshly built one
+// (the directory is the durable truth across restarts); otherwise the
+// current state is sealed into it as the first durable epoch.
+func (e *Engine) openWAL() error {
+	if e.cfg.WALDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.cfg.WALDir, 0o755); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := recoverNewest(e.cfg); ok {
+		e.cur.Store(st)
+		e.durable = st.epoch
+		return nil
+	}
+	return e.persistLocked(e.cur.Load())
+}
+
+// recoverNewest loads the newest parseable epoch file, newest first.
+func recoverNewest(cfg Config) (*state, bool) {
+	names, err := filepath.Glob(filepath.Join(cfg.WALDir, epochFilePattern))
+	if err != nil || len(names) == 0 {
+		return nil, false
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			continue
+		}
+		st, err := loadState(f, cfg)
+		f.Close()
+		if err == nil {
+			return st, true
+		}
+	}
+	return nil, false
+}
+
+// persistLocked seals a state into the WAL directory (no-op without one).
+// Called with e.mu held, BEFORE the state is swapped in: on any error the
+// caller keeps the old state, so a failed seal never publishes an epoch
+// that is not durable.
+func (e *Engine) persistLocked(st *state) error {
+	if e.cfg.WALDir == "" {
+		return nil
+	}
+	f, err := os.CreateTemp(e.cfg.WALDir, "epoch-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := saveState(st, f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	final := filepath.Join(e.cfg.WALDir, epochFileName(st.epoch))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	pruneEpochs(e.cfg.WALDir)
+	e.durable = st.epoch
+	return nil
+}
+
+// pruneEpochs keeps the two newest epoch files (the newest plus one
+// fallback against a torn newest). Best-effort: errors are ignored — a
+// failed prune costs disk, not correctness.
+func pruneEpochs(dir string) {
+	names, err := filepath.Glob(filepath.Join(dir, epochFilePattern))
+	if err != nil || len(names) <= 2 {
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names[:len(names)-2] {
+		os.Remove(name)
+	}
+}

@@ -62,6 +62,7 @@ import (
 // loaded index serves identically across all five versions.
 
 const (
+	magicV6 = "RIDX6\n"
 	magicV5 = "RIDX5\n"
 	magicV4 = "RIDX4\n"
 	magicV3 = "RIDX3\n"
@@ -542,6 +543,150 @@ func readBlockedPostings(br *bufio.Reader, df, numDocs uint64) (postingList, err
 	pl.data = data
 	pl.blocks = blocks
 	return pl, nil
+}
+
+// A Manifest is the multi-segment epoch the v6 stream persists: the
+// sealed segments of an LSM-style live index (oldest first), the epoch
+// counter of the snapshot, and the tombstoned document IDs whose segment
+// copies are dead. Each segment is embedded as a self-delimiting v5
+// stream, so the v6 format is the v5 format lifted from one index to a
+// segment list. Version 1–5 streams read back as a single-segment
+// manifest at epoch 0 with no tombstones, so every pre-v6 index is a
+// valid (frozen) epoch.
+type Manifest struct {
+	Epoch      uint64
+	Segments   []*Segmented
+	Tombstones []string
+}
+
+// maxManifestSegments bounds the segment count a manifest may declare —
+// far above what any real lifecycle accumulates between compactions, low
+// enough that a hostile count fails fast.
+const maxManifestSegments = 1 << 10
+
+// WriteTo serializes the manifest as a v6 stream. Layout:
+//
+//	magic "RIDX6\n"
+//	epoch
+//	numSegments, then per segment: a complete v5 stream (see writeStream)
+//	numTombstones, then per tombstone: idLen, idBytes
+func (m *Manifest) WriteTo(w io.Writer) (int64, error) {
+	// bufio.NewWriter returns bw itself for the nested writeStream calls,
+	// so the embedded segments share this buffer.
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		k, err := bw.Write(buf[:k])
+		n += int64(k)
+		return err
+	}
+	k, err := bw.WriteString(magicV6)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	if err := writeUvarint(m.Epoch); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(m.Segments))); err != nil {
+		return n, err
+	}
+	for _, seg := range m.Segments {
+		k, err := seg.idx.writeStream(bw, seg.bounds)
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	if err := writeUvarint(uint64(len(m.Tombstones))); err != nil {
+		return n, err
+	}
+	for _, id := range m.Tombstones {
+		if err := writeUvarint(uint64(len(id))); err != nil {
+			return n, err
+		}
+		k, err := bw.WriteString(id)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadManifest deserializes a manifest written by Manifest.WriteTo, or
+// lifts a v1–v5 single-index stream into a single-segment manifest at
+// epoch 0. Hostile segment or tombstone counts error — never panic or
+// OOM: counts are untrusted until that many entries have parsed, and every
+// embedded segment goes through the fully validating v5 reader.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magicV6))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head) != magicV6 {
+		// Pre-v6 stream: one frozen segment, epoch 0. readStream consumes
+		// from br directly (bufio.NewReader returns br itself), so the
+		// magic dispatch costs nothing.
+		seg, err := ReadSegmented(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Manifest{Segments: []*Segmented{seg}}, nil
+	}
+	if _, err := br.Discard(len(magicV6)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	epoch, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest epoch: %v", ErrBadFormat, err)
+	}
+	numSegs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: segment count: %v", ErrBadFormat, err)
+	}
+	if numSegs == 0 || numSegs > maxManifestSegments {
+		return nil, fmt.Errorf("%w: segment count %d out of range", ErrBadFormat, numSegs)
+	}
+	man := &Manifest{Epoch: epoch, Segments: make([]*Segmented, 0, capHint(numSegs))}
+	for i := uint64(0); i < numSegs; i++ {
+		x, sizes, err := readStream(br)
+		if err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+		seg, ok := segmentedFromSizes(x, sizes)
+		if !ok {
+			return nil, fmt.Errorf("%w: segment %d: shard manifest %v does not cover %d docs",
+				ErrBadFormat, i, sizes, x.NumDocs())
+		}
+		man.Segments = append(man.Segments, seg)
+	}
+	numTombs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: tombstone count: %v", ErrBadFormat, err)
+	}
+	if numTombs > 1<<31 {
+		return nil, fmt.Errorf("%w: tombstone count %d out of range", ErrBadFormat, numTombs)
+	}
+	man.Tombstones = make([]string, 0, capHint(numTombs))
+	for i := uint64(0); i < numTombs; i++ {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tombstone %d: %v", ErrBadFormat, i, err)
+		}
+		if l > 1<<24 {
+			return nil, fmt.Errorf("%w: tombstone %d: id too long (%d)", ErrBadFormat, i, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("%w: tombstone %d: %v", ErrBadFormat, i, err)
+		}
+		man.Tombstones = append(man.Tombstones, string(b))
+	}
+	return man, nil
 }
 
 // capHint bounds the initial capacity allocated for an untrusted element

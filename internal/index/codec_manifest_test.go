@@ -1,0 +1,158 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func buildTestSegment(t *testing.T, blockSize, shards int, docs [][2]string) *Segmented {
+	t.Helper()
+	b := NewBuilder()
+	b.SetBlockSize(blockSize)
+	for _, d := range docs {
+		if err := b.Add(d[0], strings.Fields(d[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.BuildSegmented(shards)
+}
+
+func sameIndex(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.NumDocs() != want.NumDocs() || got.NumTerms() != want.NumTerms() {
+		t.Fatalf("shape mismatch: %d/%d docs, %d/%d terms",
+			got.NumDocs(), want.NumDocs(), got.NumTerms(), want.NumTerms())
+	}
+	for d := int32(0); d < int32(want.NumDocs()); d++ {
+		if got.DocID(d) != want.DocID(d) || got.DocLen(d) != want.DocLen(d) {
+			t.Fatalf("doc %d mismatch", d)
+		}
+	}
+	for id := int32(0); id < int32(want.NumTerms()); id++ {
+		if got.Term(id) != want.Term(id) {
+			t.Fatalf("term %d: %q vs %q", id, got.Term(id), want.Term(id))
+		}
+		if !reflect.DeepEqual(got.PostingsByID(id), want.PostingsByID(id)) {
+			t.Fatalf("postings of %q differ", want.Term(id))
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	base := buildTestSegment(t, 2, 3, [][2]string{
+		{"d1", "apple fruit pie apple"},
+		{"d2", "apple mac os"},
+		{"d3", "tank army leopard"},
+		{"d4", "leopard print coat"},
+		{"d5", "fruit salad bowl"},
+	})
+	score := func(tf, docLen float64, _ TermStats, _ CollectionStats) float64 {
+		return tf / (1 + docLen)
+	}
+	if err := base.Index().SetMaxScores("DPH", base.Index().ComputeMaxScores(score)); err != nil {
+		t.Fatal(err)
+	}
+	extra := buildTestSegment(t, 128, 1, [][2]string{
+		{"d6", "banana bread recipe"},
+		{"d2", "apple watch band"}, // updated copy of d2: duplicate IDs across segments are legal
+	})
+	in := &Manifest{
+		Epoch:      42,
+		Segments:   []*Segmented{base, extra},
+		Tombstones: []string{"d2", "d3"},
+	}
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 42 {
+		t.Fatalf("epoch %d, want 42", out.Epoch)
+	}
+	if !reflect.DeepEqual(out.Tombstones, in.Tombstones) {
+		t.Fatalf("tombstones %v, want %v", out.Tombstones, in.Tombstones)
+	}
+	if len(out.Segments) != 2 {
+		t.Fatalf("%d segments, want 2", len(out.Segments))
+	}
+	if out.Segments[0].NumShards() != 3 || out.Segments[1].NumShards() != 1 {
+		t.Fatalf("shard counts %d/%d, want 3/1",
+			out.Segments[0].NumShards(), out.Segments[1].NumShards())
+	}
+	sameIndex(t, out.Segments[0].Index(), base.Index())
+	sameIndex(t, out.Segments[1].Index(), extra.Index())
+	if got := out.Segments[0].Index().MaxScores("DPH"); got == nil {
+		t.Fatal("max-score table lost in the round trip")
+	}
+}
+
+// TestManifestLegacyReadCompat: every pre-v6 stream is a valid manifest —
+// one frozen segment at epoch 0, no tombstones.
+func TestManifestLegacyReadCompat(t *testing.T) {
+	seg := buildTestSegment(t, 0, 2, [][2]string{
+		{"d1", "apple fruit pie"},
+		{"d2", "tank army leopard"},
+	})
+	var buf bytes.Buffer
+	if _, err := seg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 0 || len(man.Tombstones) != 0 || len(man.Segments) != 1 {
+		t.Fatalf("legacy lift wrong: %+v", man)
+	}
+	if man.Segments[0].NumShards() != 2 {
+		t.Fatalf("legacy shard manifest lost: %d shards", man.Segments[0].NumShards())
+	}
+	sameIndex(t, man.Segments[0].Index(), seg.Index())
+}
+
+// TestManifestHostileInputs: corrupt counts, truncations and junk must
+// error (wrapped in ErrBadFormat for structural problems), never panic.
+func TestManifestHostileInputs(t *testing.T) {
+	valid := func() []byte {
+		seg := buildTestSegment(t, 2, 1, [][2]string{{"d1", "a b c"}, {"d2", "b d"}})
+		var buf bytes.Buffer
+		if _, err := (&Manifest{Epoch: 7, Segments: []*Segmented{seg}, Tombstones: []string{"x"}}).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := map[string][]byte{
+		"empty":                 {},
+		"bare magic":            []byte("RIDX6\n"),
+		"zero segments":         []byte("RIDX6\n\x01\x00"),
+		"huge segment count":    []byte("RIDX6\n\x01\xff\xff\xff\xff\x0f"),
+		"segment count no body": []byte("RIDX6\n\x01\x02"),
+		"junk segment":          []byte("RIDX6\n\x01\x01JUNKJUNKJUNK"),
+		"huge tombstone count":  append(append([]byte{}, valid[:len(valid)-3]...), 0xff, 0xff, 0xff, 0xff, 0x0f),
+		"foreign magic":         []byte("RIDX9\nxxxx"),
+	}
+	for i := 1; i < len(valid); i += 7 {
+		cases[fmt.Sprintf("truncated-at-%d", i)] = valid[:i]
+	}
+	for name, data := range cases {
+		if _, err := ReadManifest(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Structural errors carry ErrBadFormat.
+	if _, err := ReadManifest(bytes.NewReader([]byte("RIDX6\n\x01\x00"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("zero segments: err = %v, want ErrBadFormat", err)
+	}
+	// The valid bytes still parse (guard against over-strictness).
+	if _, err := ReadManifest(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+}

@@ -40,6 +40,35 @@ func fuzzSeedStream(tb testing.TB, blockSize int) []byte {
 	return buf.Bytes()
 }
 
+// fuzzSeedManifest builds a small valid RIDX6 manifest — two segments
+// (one block-compressed with a max-score table, one flat) plus
+// tombstones — for the fuzzer to mutate.
+func fuzzSeedManifest(tb testing.TB) []byte {
+	b := NewBuilder()
+	b.SetBlockSize(-1)
+	for _, d := range [][2]string{{"d4", "banana bread"}, {"d2", "apple watch"}} {
+		if err := b.Add(d[0], strings.Fields(d[1])); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var base *Segmented
+	if seg, err := ReadSegmented(bytes.NewReader(fuzzSeedStream(tb, 2))); err != nil {
+		tb.Fatal(err)
+	} else {
+		base = seg
+	}
+	man := &Manifest{
+		Epoch:      3,
+		Segments:   []*Segmented{base, b.BuildSegmented(1)},
+		Tombstones: []string{"d3"},
+	}
+	var buf bytes.Buffer
+	if _, err := man.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzReadIndex drives both codec entry points with arbitrary bytes: any
 // input may be rejected with an error, but none may panic or hang —
 // truncated or corrupt streams (including mangled RIDX5 block headers —
@@ -68,6 +97,15 @@ func FuzzReadIndex(f *testing.F) {
 	// Hostile v5 block shapes: huge block count, huge byte length.
 	f.Add([]byte("RIDX5\n\x02\x01\x01x\x01\x01\x01\x01a\x01\x01\xff\xff\xff\xff\x0f"))
 	f.Add([]byte("RIDX5\n\x02\x01\x01x\x01\x01\x01\x01a\x01\x01\x01\x01\xff\xff\xff\xff\x0f"))
+	// RIDX6 manifests: a valid two-segment manifest with tombstones, the
+	// legacy lift of a bare v5 stream, and hostile segment/tombstone
+	// counts (huge varints where the counts go).
+	f.Add(fuzzSeedManifest(f))
+	f.Add([]byte("RIDX6\n"))
+	f.Add([]byte("RIDX6\n\x01\x00"))                                     // zero segments
+	f.Add([]byte("RIDX6\n\x01\xff\xff\xff\xff\x0f"))                     // hostile segment count
+	f.Add([]byte("RIDX6\n\x01\x01" + "RIDX5\n"))                         // truncated embedded segment
+	f.Add(append(fuzzSeedManifest(f)[:8], 0xff, 0xff, 0xff, 0xff, 0x0f)) // mangled counts mid-header
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if x, err := Read(bytes.NewReader(data)); err == nil {
 			// Accepted streams must produce a usable index: exercise the
@@ -102,6 +140,26 @@ func FuzzReadIndex(f *testing.F) {
 				lo, hi := seg.Shard(i).DocRange()
 				if lo > hi || int(hi) > seg.Index().NumDocs() {
 					t.Fatalf("shard %d range [%d,%d) out of bounds", i, lo, hi)
+				}
+			}
+		}
+		if man, err := ReadManifest(bytes.NewReader(data)); err == nil {
+			// An accepted manifest must uphold the invariants the engine's
+			// live-state loader trusts: at least one segment, every segment
+			// a usable index with an in-bounds shard partition.
+			if len(man.Segments) == 0 {
+				t.Fatal("accepted manifest with no segments")
+			}
+			for si, seg := range man.Segments {
+				x := seg.Index()
+				for id := int32(0); id < int32(x.NumTerms()); id++ {
+					_ = x.PostingsByID(id)
+				}
+				for i := 0; i < seg.NumShards(); i++ {
+					lo, hi := seg.Shard(i).DocRange()
+					if lo > hi || int(hi) > x.NumDocs() {
+						t.Fatalf("segment %d shard %d range [%d,%d) out of bounds", si, i, lo, hi)
+					}
 				}
 			}
 		}

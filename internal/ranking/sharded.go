@@ -433,6 +433,25 @@ func RetrieveBatchOpts(ctx context.Context, seg *index.Segmented, model Model, q
 	return out, nil
 }
 
+// MergeSegments merges per-segment hit lists — each already sorted by
+// (score desc, doc asc) with globalized Doc numbers and DocIDs filled —
+// into one top-k list with the same deterministic order, reassigning
+// ranks. It is the cross-segment gather of the live index's search path:
+// the same k-way merge the sharded scorer uses, so stitching segment
+// results cannot introduce order differences a single-segment run would
+// not have.
+func MergeSegments(lists [][]Hit, k int) []Hit {
+	sh := make([]shardHits, len(lists))
+	for i, l := range lists {
+		sh[i] = l
+	}
+	hits := mergeHits(sh, k)
+	for i := range hits {
+		hits[i].Rank = i + 1
+	}
+	return hits
+}
+
 // RetrieveSharded is the single-query form of RetrieveBatch: Retrieve
 // with per-shard parallel scoring and a deterministic merge, bit-identical
 // to the monolithic path.

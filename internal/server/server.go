@@ -10,11 +10,19 @@
 // are then shed with 503 — under overload the server degrades by
 // rejecting, never by collapsing. Endpoints:
 //
-//	GET /search?q=…&k=…&alg=…   diversified SERP as JSON
-//	GET /healthz                liveness + collection summary
-//	GET /stats                  worker pool and cache counters
-//	GET /queries                known query strings, popularity-ordered
+//	GET  /search?q=…&k=…&alg=…  diversified SERP as JSON
+//	GET  /healthz               liveness + collection summary
+//	GET  /stats                 worker pool, cache and lifecycle counters
+//	GET  /queries               known query strings, popularity-ordered
 //	                            (the replay corpus for cmd/loadgen)
+//	POST /ingest                add/replace one document in the live index
+//	POST /delete                remove one document from the live index
+//	POST /flush                 seal the write buffer into a segment
+//	POST /compact               fold segments+tombstones into a fresh base
+//
+// Mutations bypass the search worker pool — the engine serializes them
+// internally and searches never block on them (they run against the
+// previous atomically-published snapshot until the epoch swap).
 package server
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/suggest"
 	"repro/internal/synth"
@@ -81,6 +90,8 @@ type Server struct {
 	ambiguous atomic.Int64 // completed searches that diversified
 	cacheHits atomic.Int64 // completed searches served from cached artifacts
 	serveNano atomic.Int64 // cumulative in-worker latency
+	ingests   atomic.Int64 // documents accepted by POST /ingest
+	deletes   atomic.Int64 // documents removed by POST /delete
 
 	// latency histograms per endpoint, measured around the whole handler
 	// (for /search that includes worker-pool queueing, unlike serveNano
@@ -103,6 +114,10 @@ func New(h *repro.ServeHandle, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /queries", s.instrument("/queries", s.handleQueries))
+	s.mux.HandleFunc("POST /ingest", s.instrument("/ingest", s.handleIngest))
+	s.mux.HandleFunc("POST /delete", s.instrument("/delete", s.handleDelete))
+	s.mux.HandleFunc("POST /flush", s.instrument("/flush", s.handleFlush))
+	s.mux.HandleFunc("POST /compact", s.instrument("/compact", s.handleCompact))
 	return s
 }
 
@@ -200,10 +215,33 @@ type StatsResponse struct {
 	Searches       int64                   `json:"searches"`
 	Ambiguous      int64                   `json:"ambiguous"`
 	CacheHits      int64                   `json:"cache_hits"`
+	Ingests        int64                   `json:"ingests"`
+	Deletes        int64                   `json:"deletes"`
 	AvgLatencyMsec float64                 `json:"avg_latency_ms"`
 	Index          IndexStats              `json:"index"`
+	Live           engine.LiveStats        `json:"live"`
 	Cache          CacheStats              `json:"cache"`
 	Latency        map[string]LatencyStats `json:"latency"`
+}
+
+// MutationResponse is the JSON body of the POST mutation endpoints: the
+// epoch at which the mutation became visible (or the current epoch for a
+// no-op), and for /delete whether a live document was removed.
+type MutationResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Deleted *bool  `json:"deleted,omitempty"`
+}
+
+// IngestRequest is the JSON body of POST /ingest.
+type IngestRequest struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Body  string `json:"body"`
+}
+
+// DeleteRequest is the JSON body of POST /delete.
+type DeleteRequest struct {
+	ID string `json:"id"`
 }
 
 // QueriesResponse is the JSON body of GET /queries: query strings the
@@ -354,6 +392,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Searches:       searches,
 		Ambiguous:      s.ambiguous.Load(),
 		CacheHits:      s.cacheHits.Load(),
+		Ingests:        s.ingests.Load(),
+		Deletes:        s.deletes.Load(),
 		AvgLatencyMsec: avgMs,
 		Index: IndexStats{
 			Shards:          seg.NumShards(),
@@ -367,6 +407,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BlocksDecoded:   decoded,
 			BlocksSkipped:   skipped,
 		},
+		Live:    s.handle.Pipeline.Engine.Live(),
 		Latency: latency,
 		Cache: CacheStats{
 			Hits:      cs.Hits,
@@ -377,6 +418,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			HitRate:   cs.HitRate(),
 		},
 	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad ingest body: "+err.Error())
+		return
+	}
+	if req.ID == "" {
+		s.fail(w, http.StatusBadRequest, "missing required field id")
+		return
+	}
+	epoch, err := s.handle.Pipeline.Engine.Ingest(engine.Document{ID: req.ID, Title: req.Title, Body: req.Body})
+	if err != nil {
+		// The document is buffered and searchable; only sealing it durably
+		// failed. Surface that as a server-side error.
+		s.fail(w, http.StatusInternalServerError, "ingest flush failed: "+err.Error())
+		return
+	}
+	s.ingests.Add(1)
+	s.writeJSON(w, http.StatusOK, MutationResponse{Epoch: epoch})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad delete body: "+err.Error())
+		return
+	}
+	if req.ID == "" {
+		s.fail(w, http.StatusBadRequest, "missing required field id")
+		return
+	}
+	epoch, deleted := s.handle.Pipeline.Engine.Delete(req.ID)
+	if deleted {
+		s.deletes.Add(1)
+	}
+	s.writeJSON(w, http.StatusOK, MutationResponse{Epoch: epoch, Deleted: &deleted})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	epoch, err := s.handle.Pipeline.Engine.Flush()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "flush failed: "+err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, MutationResponse{Epoch: epoch})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	epoch, err := s.handle.Pipeline.Engine.Compact()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "compaction failed: "+err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, MutationResponse{Epoch: epoch})
 }
 
 func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {

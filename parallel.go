@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"strconv"
 	"sync"
 
 	"repro/internal/cache"
@@ -142,10 +143,17 @@ func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg
 	// "jaguar cars" share a cache entry.
 	norm := text.NormalizeQuery(query)
 
+	// Cache entries are keyed by (engine epoch, normalized query): a
+	// mutation — ingest, delete, flush, compaction — bumps the epoch, so
+	// artifacts computed against an older snapshot are never served after
+	// it (a deleted document must not resurface through a cached R_q′
+	// list). Stale-epoch entries age out of the LRU naturally.
+	key := artifactKey(p.Engine.Epoch(), norm)
+
 	// The document scoring phase runs per request: on a miss it overlaps
 	// with the artifact build (the §6 parallel architecture); on a hit it
 	// is the only retrieval left.
-	art, hit := h.cache.Get(norm)
+	art, hit := h.cache.Get(key)
 	var candidates []core.Doc
 	var candErr error
 	if hit {
@@ -157,7 +165,7 @@ func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg
 			defer wg.Done()
 			candidates, candErr = p.candidateDocsCtx(ctx, norm)
 		}()
-		art = h.buildOrJoin(norm)
+		art = h.buildOrJoin(key, norm)
 		wg.Wait()
 	}
 	if candErr != nil {
@@ -174,12 +182,21 @@ func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg
 	return core.Diversify(alg, problem), art.Specs, hit, nil
 }
 
-// buildOrJoin returns the artifacts for norm, building them if this
-// goroutine is the first to ask (the leader caches the result) and
-// joining the in-flight build otherwise.
-func (h *ServeHandle) buildOrJoin(norm string) *queryArtifacts {
+// artifactKey scopes a normalized query to an engine epoch. The NUL
+// separator cannot occur in either part (epochs are decimal digits,
+// normalization strips control characters), so keys never collide.
+func artifactKey(epoch uint64, norm string) string {
+	return strconv.FormatUint(epoch, 10) + "\x00" + norm
+}
+
+// buildOrJoin returns the artifacts for norm under the epoch-scoped cache
+// key, building them if this goroutine is the first to ask (the leader
+// caches the result) and joining the in-flight build otherwise. The
+// singleflight map is keyed like the cache, so requests racing an epoch
+// swap coalesce only with builds against their own snapshot.
+func (h *ServeHandle) buildOrJoin(key, norm string) *queryArtifacts {
 	h.mu.Lock()
-	if c, ok := h.inflight[norm]; ok {
+	if c, ok := h.inflight[key]; ok {
 		h.mu.Unlock()
 		<-c.done
 		if c.art != nil {
@@ -187,23 +204,23 @@ func (h *ServeHandle) buildOrJoin(norm string) *queryArtifacts {
 		}
 		// The leader panicked before producing artifacts; retry as (or
 		// joining) a new leader rather than returning nil.
-		return h.buildOrJoin(norm)
+		return h.buildOrJoin(key, norm)
 	}
 	c := &artifactCall{done: make(chan struct{})}
-	h.inflight[norm] = c
+	h.inflight[key] = c
 	h.mu.Unlock()
 
 	// Unregister via defer so a panicking build does not wedge every
 	// future request for this query on a never-closed channel.
 	defer func() {
 		h.mu.Lock()
-		delete(h.inflight, norm)
+		delete(h.inflight, key)
 		h.builds++
 		h.mu.Unlock()
 		close(c.done)
 	}()
 	c.art = h.buildArtifacts(norm)
-	h.cache.Put(norm, c.art)
+	h.cache.Put(key, c.art)
 	return c.art
 }
 
