@@ -11,23 +11,35 @@
 // documents, and periodic flushes and compactions — the end-to-end check
 // that searches keep succeeding across epoch swaps.
 //
+// Failed requests are tallied by error class — connection refused,
+// connection errors, client-side timeouts, 503 sheds, other 5xx/4xx,
+// body decode failures — so a failover experiment can tell "the router
+// shed load" apart from "the router was down". With -fail-on-error the
+// exit status is nonzero if ANY search request failed, which is what
+// the CI failover gate runs: kill a replica mid-run, require zero
+// failed requests.
+//
 //	loadgen                                  # 2000 queries, 8 connections
 //	loadgen -n 10000 -c 32 -zipf 1.2
 //	loadgen -addr http://localhost:9090 -alg xquad -k 20
 //	loadgen -ingest 200                      # mutate the live index mid-run
+//	loadgen -fail-on-error                   # exit 1 unless every request succeeded
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -44,6 +56,7 @@ func main() {
 	k := flag.Int("k", 0, "per-request k override (0 = server default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	ingestN := flag.Int("ingest", 0, "live-index mutations to interleave with the search load (ingests with periodic updates, deletes, flushes and compactions; 0 = read-only run)")
+	failOnError := flag.Bool("fail-on-error", false, "exit nonzero if any search request fails (the failover gate: chaos runs must lose zero requests)")
 	flag.Parse()
 
 	client := &http.Client{
@@ -75,10 +88,10 @@ func main() {
 	}
 
 	type result struct {
-		latency  time.Duration
-		hit      bool
-		diverse  bool
-		statusOK bool
+		latency time.Duration
+		hit     bool
+		diverse bool
+		class   string // empty = success; otherwise the error class
 	}
 	jobs := make(chan string)
 	results := make(chan result, *n)
@@ -96,10 +109,10 @@ func main() {
 				var sr server.SearchResponse
 				code, err := getJSON(client, *addr+"/search?"+v.Encode(), &sr)
 				results <- result{
-					latency:  time.Since(began),
-					hit:      sr.CacheHit,
-					diverse:  sr.Ambiguous,
-					statusOK: err == nil && code == http.StatusOK,
+					latency: time.Since(began),
+					hit:     sr.CacheHit,
+					diverse: sr.Ambiguous,
+					class:   classify(code, err),
 				}
 			}
 		}()
@@ -170,9 +183,11 @@ func main() {
 
 	latencies := make([]time.Duration, 0, *n)
 	okCount, hitCount, diverseCount := 0, 0, 0
+	errClasses := map[string]int{}
 	for i := 0; i < *n; i++ {
 		r := <-results
-		if !r.statusOK {
+		if r.class != "" {
+			errClasses[r.class]++
 			continue
 		}
 		okCount++
@@ -194,6 +209,18 @@ func main() {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 
 	fmt.Printf("requests      %d ok, %d failed\n", okCount, *n-okCount)
+	if len(errClasses) > 0 {
+		classes := make([]string, 0, len(errClasses))
+		for cl := range errClasses {
+			classes = append(classes, cl)
+		}
+		sort.Strings(classes)
+		fmt.Printf("errors       ")
+		for _, cl := range classes {
+			fmt.Printf(" %s=%d", cl, errClasses[cl])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("wall clock    %v\n", wall.Round(time.Millisecond))
 	fmt.Printf("throughput    %.1f qps\n", float64(okCount)/wall.Seconds())
 	fmt.Printf("latency p50   %v\n", percentile(latencies, 0.50).Round(time.Microsecond))
@@ -215,6 +242,45 @@ func main() {
 			100*st.Cache.HitRate, st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries, st.Cache.Capacity)
 		fmt.Printf("server live   epoch %d, %d segments, %d mem docs, %d tombstones, %d live docs (%d flushes, %d compactions)\n",
 			st.Live.Epoch, st.Live.Segments, st.Live.MemDocs, st.Live.Tombstones, st.Live.LiveDocs, st.Live.Flushes, st.Live.Compactions)
+	}
+
+	if *failOnError && okCount < *n {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d of %d requests failed\n", *n-okCount, *n)
+		os.Exit(1)
+	}
+}
+
+// classify buckets a request outcome into an error class; the empty
+// string means success. Transport failures are split by cause so a
+// failover run can distinguish a dead endpoint (conn_refused), a
+// black-holed one (timeout), and torn connections (conn); HTTP
+// failures by status family, with 503 separated out because the server
+// uses it for deliberate shedding.
+func classify(code int, err error) string {
+	switch {
+	case err == nil && code == http.StatusOK:
+		return ""
+	case err != nil && code != 0:
+		// The status line arrived but the body did not decode.
+		return "decode"
+	case err != nil:
+		var ne net.Error
+		switch {
+		case errors.Is(err, syscall.ECONNREFUSED):
+			return "conn_refused"
+		case errors.As(err, &ne) && ne.Timeout():
+			return "timeout"
+		default:
+			return "conn"
+		}
+	case code == http.StatusServiceUnavailable:
+		return "http_503_shed"
+	case code >= 500:
+		return "http_5xx"
+	case code >= 400:
+		return "http_4xx"
+	default:
+		return fmt.Sprintf("http_%d", code)
 	}
 }
 

@@ -1,0 +1,211 @@
+// Command router is the front end of the distributed serving tier: it
+// scatter-gathers the document scoring phase over replicated shard
+// workers (cmd/serve -worker) and runs everything else — Algorithm 1,
+// the recommender, utilities, selection, the artifact cache — locally.
+// Because workers compute the very same score bits the in-process
+// fan-out would and the k-way merge is deterministic, a router /search
+// response is byte-identical to a single-process serve (the router
+// package's differential tests enforce this).
+//
+//	router -shard 'http://127.0.0.1:9101,http://127.0.0.1:9102' \
+//	       -shard 'http://127.0.0.1:9103,http://127.0.0.1:9104@2'
+//
+// Each -shard flag declares one shard's replica pool, in shard order;
+// 'url@weight' biases the weighted round-robin (default weight 1). The
+// workers must be started with -shards N where N is the number of
+// -shard flags, and with the same world flags (-seed, -topics, ...) as
+// the router — probes reject workers whose shard count disagrees.
+//
+// Fault tolerance: replicas are health-checked every -probe-interval
+// and circuit-broken after -fail-threshold consecutive failures, with
+// an exponentially growing re-admission cooldown (-cooldown up to
+// -cooldown-max). Each scatter attempt is bounded by -attempt-timeout
+// and fails over to the next healthy replica; a request fails only when
+// some shard has no reachable replica left.
+//
+// Endpoints are the same as cmd/serve, with /readyz additionally
+// gating on every shard having a healthy replica and /stats growing a
+// per-replica breaker table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+// shardFlag accumulates repeated -shard values into the topology.
+type shardFlag [][]router.ReplicaSpec
+
+func (f *shardFlag) String() string {
+	var b strings.Builder
+	for i, pool := range *f {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j, r := range pool {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%s@%d", r.URL, r.Weight)
+		}
+	}
+	return b.String()
+}
+
+func (f *shardFlag) Set(v string) error {
+	var pool []router.ReplicaSpec
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		url, weightStr, weighted := strings.Cut(part, "@")
+		weight := 1
+		if weighted {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return fmt.Errorf("bad replica weight in %q", part)
+			}
+			weight = w
+		}
+		pool = append(pool, router.ReplicaSpec{URL: strings.TrimSuffix(url, "/"), Weight: weight})
+	}
+	if len(pool) == 0 {
+		return fmt.Errorf("empty replica pool %q", v)
+	}
+	*f = append(*f, pool)
+	return nil
+}
+
+func main() {
+	var shards shardFlag
+	flag.Var(&shards, "shard", "one shard's replica pool: 'url[,url...]' with optional '@weight'; repeat per shard, in shard order")
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "testbed + log seed; MUST match the workers' world")
+	topics := flag.Int("topics", 12, "ambiguous topics; MUST match the workers' world")
+	sessions := flag.Int("sessions", 6000, "training query-log sessions")
+	candidates := flag.Int("candidates", 500, "|R_q|, candidates retrieved per query")
+	perSpec := flag.Int("perspec", 20, "|R_q'|, stored results per specialization")
+	k := flag.Int("k", 10, "default diversified SERP size")
+	threshold := flag.Float64("threshold", 0.30, "utility threshold c")
+	workers := flag.Int("workers", 8, "max concurrent diversifications")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max wait for a worker slot")
+	cacheCap := flag.Int("cache", 1024, "query-artifact cache capacity (entries)")
+	cacheShards := flag.Int("cache-shards", 16, "cache shard count")
+	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
+	maxK := flag.Int("maxk", 100, "cap on per-request k")
+	attemptTimeout := flag.Duration("attempt-timeout", 2*time.Second, "per-replica scatter attempt timeout before failing over")
+	maxAttempts := flag.Int("max-attempts", 0, "max replicas tried per shard per request (0 = pool size)")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures that open a replica's circuit breaker")
+	cooldown := flag.Duration("cooldown", 500*time.Millisecond, "first breaker cooldown; doubles per consecutive open cycle")
+	cooldownMax := flag.Duration("cooldown-max", 30*time.Second, "breaker cooldown cap")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health-check period per replica")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "health-check request timeout")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0 = unlimited)")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout (0 = unlimited)")
+	flag.Parse()
+
+	defaultAlg := core.Algorithm(*alg)
+	if !defaultAlg.Valid() {
+		fmt.Fprintf(os.Stderr, "router: unknown -alg %q (valid: %v)\n", *alg, core.Algorithms)
+		os.Exit(2)
+	}
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "router: at least one -shard pool is required")
+		os.Exit(2)
+	}
+
+	searcher, err := router.NewSearcher(router.Config{
+		Shards:         shards,
+		AttemptTimeout: *attemptTimeout,
+		MaxAttempts:    *maxAttempts,
+		FailThreshold:  *failThreshold,
+		CooldownBase:   *cooldown,
+		CooldownMax:    *cooldownMax,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(2)
+	}
+	searcher.Start()
+	defer searcher.Close()
+
+	// Listener up first: probes, /healthz and a 503 /readyz work while
+	// the local pipeline builds.
+	inner := server.New(nil, server.Config{
+		Workers:      *workers,
+		QueueTimeout: *queueTimeout,
+		DefaultAlg:   defaultAlg,
+		MaxK:         *maxK,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           router.NewRouter(inner, searcher).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "router listening on %s over %d shards (not ready: building pipeline)\n", *addr, len(shards))
+
+	// The router's own pipeline carries the query-understanding half —
+	// lexicon, query-flow graph, recommender — built from the same seeds
+	// as the workers' world. Its local index never scores a query (the
+	// Searcher override sends retrieval to the workers); it exists so
+	// surrogate vectors and cache epochs come from the identical world.
+	fmt.Fprintf(os.Stderr, "building pipeline (seed %d, %d topics, %d sessions)...\n", *seed, *topics, *sessions)
+	began := time.Now()
+	pipe, err := repro.Build(repro.Config{
+		Corpus:        synth.CorpusSpec{Seed: *seed, NumTopics: *topics},
+		Log:           synth.AOLLike(*seed+1, *sessions),
+		Engine:        engine.Config{Shards: len(shards)},
+		NumCandidates: *candidates,
+		PerSpec:       *perSpec,
+		K:             *k,
+		Threshold:     *threshold,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(1)
+	}
+	pipe.Searcher = searcher
+	inner.Publish(pipe.NewServeHandle(*cacheCap, *cacheShards))
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v; serving when every shard has a healthy replica (see /readyz)\n",
+		time.Since(began).Round(time.Millisecond))
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "router: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -15,8 +15,21 @@
 //	serve -wal-dir /var/lib/repro           # durable epochs; restart recovers them
 //	serve -memtable 512 -merge-every 30s    # live-index tuning
 //	serve -pprof                            # expose /debug/pprof/ too
+//	serve -worker -shards 2 -addr :9101     # shard worker for the distributed tier
 //
-// Endpoints: /search?q=…&k=…&alg=…, /healthz, /stats (includes
+// The listener binds before the pipeline builds: /healthz answers 200
+// (liveness) immediately, /readyz answers 503 until the index is
+// published, and a router or load balancer should gate traffic on
+// /readyz, not /healthz.
+//
+// With -worker the binary becomes a shard worker of the distributed
+// serving tier (see cmd/router): it builds only the deterministic
+// testbed and index — no query log, no recommender — and serves
+// per-shard retrieval over POST /shard/search plus /healthz and
+// /readyz. Workers serve an immutable snapshot; the live-mutation
+// endpoints do not exist in worker mode.
+//
+// Endpoints: /search?q=…&k=…&alg=…, /healthz, /readyz, /stats (includes
 // per-endpoint latency histograms), /queries, plus the live-index
 // mutations POST /ingest, /delete, /flush, /compact; with -pprof also the
 // net/http/pprof suite under /debug/pprof/ for in-situ profiling of the
@@ -37,6 +50,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/synth"
 )
@@ -64,6 +78,10 @@ func main() {
 	memtableCap := flag.Int("memtable", 0, "live-index write-buffer capacity before auto-flush (0 = default 1024, negative = never auto-flush)")
 	mergeEvery := flag.Duration("merge-every", time.Minute, "background compaction interval for the live index (0 = never; compaction folds segments and tombstones back into one base segment)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
+	workerMode := flag.Bool("worker", false, "run as a shard worker of the distributed tier: build only the index and serve POST /shard/search (see cmd/router)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: max time to read a full request (0 = unlimited)")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout: max time to write a full response (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout: max keep-alive idle time per connection (0 = unlimited)")
 	flag.Parse()
 
 	defaultAlg := core.Algorithm(*alg)
@@ -89,27 +107,26 @@ func main() {
 		Threshold:     *threshold,
 	}
 
-	fmt.Fprintf(os.Stderr, "building pipeline (seed %d, %d topics, %d sessions)...\n", *seed, *topics, *sessions)
-	began := time.Now()
-	pipe, err := repro.Build(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
-	pruning := "maxscore pruning"
-	if !pipe.Engine.PruningEnabled() {
-		pruning = "exhaustive retrieval"
-	}
-	storage := pipe.Engine.Index().Storage()
-	layout := fmt.Sprintf("block-compressed postings, %d/block, %.2f B/posting", storage.BlockSize, storage.BytesPerPosting)
-	if storage.BlockSize == 0 {
-		layout = fmt.Sprintf("flat postings, %.2f B/posting", storage.BytesPerPosting)
-	}
-	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed over %d shards (%s; %s), %d log records, %d sessions\n",
-		time.Since(began).Round(time.Millisecond), pipe.Engine.NumDocs(),
-		pipe.Engine.Segments().NumShards(), pruning, layout, pipe.Log.Len(), len(pipe.Sessions))
 
-	srv := server.New(pipe.NewServeHandle(*cacheCap, *cacheShards), server.Config{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *workerMode {
+		runWorker(ctx, httpSrv, cfg)
+		return
+	}
+
+	// The server starts not-ready and the listener binds immediately:
+	// /healthz (liveness) answers during the build, /readyz flips to 200
+	// only once the pipeline is published.
+	srv := server.New(nil, server.Config{
 		Workers:      *workers,
 		QueueTimeout: *queueTimeout,
 		DefaultAlg:   defaultAlg,
@@ -131,15 +148,35 @@ func main() {
 		handler = root
 		fmt.Fprintln(os.Stderr, "pprof enabled on /debug/pprof/")
 	}
+	httpSrv.Handler = handler
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "listening on %s (not ready: building pipeline)\n", *addr)
+
+	fmt.Fprintf(os.Stderr, "building pipeline (seed %d, %d topics, %d sessions)...\n", *seed, *topics, *sessions)
+	began := time.Now()
+	pipe, err := repro.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
 	}
+	pruning := "maxscore pruning"
+	if !pipe.Engine.PruningEnabled() {
+		pruning = "exhaustive retrieval"
+	}
+	storage := pipe.Engine.Index().Storage()
+	layout := fmt.Sprintf("block-compressed postings, %d/block, %.2f B/posting", storage.BlockSize, storage.BytesPerPosting)
+	if storage.BlockSize == 0 {
+		layout = fmt.Sprintf("flat postings, %.2f B/posting", storage.BytesPerPosting)
+	}
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d docs indexed over %d shards (%s; %s), %d log records, %d sessions\n",
+		time.Since(began).Round(time.Millisecond), pipe.Engine.NumDocs(),
+		pipe.Engine.Segments().NumShards(), pruning, layout, pipe.Log.Len(), len(pipe.Sessions))
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	srv.Publish(pipe.NewServeHandle(*cacheCap, *cacheShards))
+	fmt.Fprintf(os.Stderr, "ready on %s (%d workers, cache %d entries / %d shards, default alg %s)\n",
+		*addr, *workers, *cacheCap, *cacheShards, *alg)
 
 	if *mergeEvery > 0 {
 		// Background compaction: fold accumulated segments and tombstones
@@ -162,11 +199,39 @@ func main() {
 		}()
 	}
 
+	waitAndShutdown(ctx, httpSrv, errc)
+}
+
+// runWorker is the -worker mode: an index-only build (no query log, no
+// recommender — workers run only the document scoring phase) behind the
+// distributed tier's per-shard retrieval endpoint. The listener binds
+// before the build so the router's probes see a live but not-ready
+// replica instead of connection refused.
+func runWorker(ctx context.Context, httpSrv *http.Server, cfg repro.Config) {
+	w := router.NewWorker(nil)
+	httpSrv.Handler = w.Handler()
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving on %s (%d workers, cache %d entries / %d shards, default alg %s)\n",
-		*addr, *workers, *cacheCap, *cacheShards, *alg)
+	fmt.Fprintf(os.Stderr, "worker listening on %s (not ready: building index)\n", httpSrv.Addr)
 
+	began := time.Now()
+	tb := synth.GenerateTestbed(cfg.Corpus)
+	eng, err := engine.Build(tb.Docs, cfg.Engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve: worker build:", err)
+		os.Exit(1)
+	}
+	w.Publish(eng)
+	fmt.Fprintf(os.Stderr, "worker ready in %v: %d docs over %d shards (epoch %d)\n",
+		time.Since(began).Round(time.Millisecond), eng.NumDocs(), eng.Segments().NumShards(), eng.Epoch())
+
+	waitAndShutdown(ctx, httpSrv, errc)
+}
+
+// waitAndShutdown blocks until the listener fails or a signal arrives,
+// then drains gracefully.
+func waitAndShutdown(ctx context.Context, httpSrv *http.Server, errc chan error) {
 	select {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "serve:", err)

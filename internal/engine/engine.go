@@ -10,6 +10,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -370,6 +372,69 @@ func (e *Engine) SearchStamped(ctx context.Context, query string, k int) ([]Resu
 		return nil, st.epoch, err
 	}
 	return out[0], st.epoch, nil
+}
+
+// ShardResult is one per-shard retrieval hit with its surrogate
+// snippet: the unit the distributed serving tier ships from a shard
+// worker to the router. Doc is the global internal document number
+// (shard doc ranges are disjoint), which the router's k-way merge uses
+// as its deterministic tie-break; Rank is a property of the merged list
+// and is assigned router-side.
+type ShardResult struct {
+	Doc     int32
+	DocID   string
+	Score   float64
+	Snippet string
+}
+
+// SearchShardBatch answers a query batch against ONE shard of the base
+// segment — the worker half of the distributed serving tier. The
+// returned lists are sorted by (score desc, doc asc) and truncated to
+// ks[i] (<= 0 keeps all matches); merging the lists of every shard with
+// ranking.MergeSegments reproduces SearchBatch bit for bit (scores
+// depend only on collection-global statistics, so a worker holding the
+// full deterministic index computes the very same float64s the
+// in-process fan-out would).
+//
+// Workers serve immutable replicas: the engine must be quiescent (a
+// fresh Build/Load with no pending mutations), because the live
+// lifecycle's shadowed-copy filtering is a cross-segment property the
+// per-shard path cannot apply exactly. A non-quiescent engine returns
+// an error rather than silently approximate results. The second return
+// is the snapshot epoch, so a router can detect replicas that have
+// diverged from the common world.
+func (e *Engine) SearchShardBatch(ctx context.Context, si int, queries []string, ks []int) ([][]ShardResult, uint64, error) {
+	st := e.cur.Load()
+	mv := st.mem.View()
+	if !st.quiet(mv) {
+		return nil, st.epoch, errors.New("engine: shard search requires a quiescent index (no pending mutations)")
+	}
+	seg := st.segs[0].seg
+	if si < 0 || si >= seg.NumShards() {
+		return nil, st.epoch, fmt.Errorf("engine: shard %d out of range [0,%d)", si, seg.NumShards())
+	}
+	qTokens := make([][]string, len(queries))
+	for i, q := range queries {
+		qTokens[i] = e.cfg.Analyzer.Tokens(q)
+	}
+	hitLists, err := ranking.RetrieveShardBatch(ctx, seg, si, e.cfg.Model, qTokens, ks, e.batchOpts())
+	if err != nil {
+		return nil, st.epoch, err
+	}
+	out := make([][]ShardResult, len(queries))
+	for i, hits := range hitLists {
+		rs := make([]ShardResult, len(hits))
+		for j, h := range hits {
+			rs[j] = ShardResult{
+				Doc:     h.Doc,
+				DocID:   h.DocID,
+				Score:   h.Score,
+				Snippet: e.snippetFor(st, mv, h.DocID, qTokens[i]),
+			}
+		}
+		out[i] = rs
+	}
+	return out, st.epoch, nil
 }
 
 // SearchBatch answers a batch of queries in ONE scatter-gather round over

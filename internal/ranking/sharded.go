@@ -345,21 +345,20 @@ func RetrieveBatch(ctx context.Context, seg *index.Segmented, model Model, queri
 	return RetrieveBatchOpts(ctx, seg, model, queries, ks, BatchOptions{})
 }
 
-// RetrieveBatchOpts is RetrieveBatch with explicit options — the engine
-// comes through here to switch MaxScore pruning on.
-func RetrieveBatchOpts(ctx context.Context, seg *index.Segmented, model Model, queries [][]string, ks []int, opts BatchOptions) ([][]Hit, error) {
-	if len(queries) != len(ks) {
-		panic("ranking: RetrieveBatch queries/ks length mismatch")
-	}
-	out := make([][]Hit, len(queries))
-	if len(queries) == 0 {
-		return out, nil
-	}
-	idx := seg.Index()
-
-	qterms := make([][]string, len(queries))
+// batchPlan resolves everything about a query batch that is shard-
+// independent: per-query sorted terms and multiplicities, the scatter
+// plan over the term union, and — when pruning is requested and the
+// model's max-score table is installed — the per-query pruned flags.
+// Both the all-shards gather (RetrieveBatchOpts) and the single-shard
+// worker path (RetrieveShardBatch) build their plan here, so a remote
+// worker scores its shard with exactly the plan the in-process fan-out
+// would have used — the first half of the distributed tier's
+// bit-identity argument (the other half is that per-query accumulation
+// order depends only on the query's own sorted terms, never on the rest
+// of the batch).
+func batchPlan(idx *index.Index, queries [][]string, ks []int, opts BatchOptions, model Model) (qterms [][]string, plan []scatterTerm, table []float64, pruned []bool, any bool) {
+	qterms = make([][]string, len(queries))
 	qmults := make([][]float64, len(queries))
-	any := false
 	for q, toks := range queries {
 		if len(toks) == 0 {
 			continue
@@ -368,12 +367,10 @@ func RetrieveBatchOpts(ctx context.Context, seg *index.Segmented, model Model, q
 		any = true
 	}
 	if !any {
-		return out, nil
+		return qterms, nil, nil, nil, false
 	}
-	plan := buildScatterPlan(idx, qterms, qmults)
+	plan = buildScatterPlan(idx, qterms, qmults)
 
-	var table []float64
-	var pruned []bool
 	if opts.Prune {
 		if table = maxScoreTable(idx, model); table != nil {
 			pruned = make([]bool, len(queries))
@@ -386,6 +383,25 @@ func RetrieveBatchOpts(ctx context.Context, seg *index.Segmented, model Model, q
 				table, pruned = nil, nil
 			}
 		}
+	}
+	return qterms, plan, table, pruned, true
+}
+
+// RetrieveBatchOpts is RetrieveBatch with explicit options — the engine
+// comes through here to switch MaxScore pruning on.
+func RetrieveBatchOpts(ctx context.Context, seg *index.Segmented, model Model, queries [][]string, ks []int, opts BatchOptions) ([][]Hit, error) {
+	if len(queries) != len(ks) {
+		panic("ranking: RetrieveBatch queries/ks length mismatch")
+	}
+	out := make([][]Hit, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	idx := seg.Index()
+
+	qterms, plan, table, pruned, any := batchPlan(idx, queries, ks, opts, model)
+	if !any {
+		return out, nil
 	}
 
 	shards := seg.NumShards()

@@ -1,0 +1,348 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// ---- fault-injection harness -----------------------------------------
+
+type faultMode int
+
+const (
+	faultNone    faultMode = iota
+	faultRefused           // connection refused: the replica process is dead
+	faultHang              // accepts, never answers: hung process / black-holed network
+	fault500               // answers HTTP 500: sick but alive
+	faultSlow              // answers after a delay: degraded but correct
+)
+
+// fakeNet is an in-memory transport: requests route to registered
+// worker handlers by URL host, and per-host fault injection synthesizes
+// the failure classes a real deployment sees — without real sockets, so
+// chaos tests are fast and deterministic.
+type fakeNet struct {
+	mu     sync.Mutex
+	hosts  map[string]http.Handler
+	faults map[string]faultMode
+	delay  time.Duration // faultSlow's added latency
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{hosts: make(map[string]http.Handler), faults: make(map[string]faultMode)}
+}
+
+func (f *fakeNet) register(host string, h http.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hosts[host] = h
+}
+
+func (f *fakeNet) setFault(host string, m faultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[host] = m
+}
+
+func (f *fakeNet) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	h := f.hosts[req.URL.Host]
+	mode := f.faults[req.URL.Host]
+	delay := f.delay
+	f.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("fakeNet: unknown host %q", req.URL.Host)
+	}
+	switch mode {
+	case faultRefused:
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("connect: connection refused")}
+	case faultHang:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case fault500:
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Header:     http.Header{"Content-Type": {"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(`{"error":"injected fault"}`)),
+			Request:    req,
+		}, nil
+	case faultSlow:
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// chaosWorld wires 2 shards x 2 replicas over the in-memory transport,
+// with a single-process reference server alongside.
+type chaosWorld struct {
+	net      *fakeNet
+	searcher *Searcher
+	router   *httptest.Server
+	single   *httptest.Server
+}
+
+func newChaosWorld(t *testing.T, cfg Config) *chaosWorld {
+	t.Helper()
+	p := testPipeline(t)
+	fn := newFakeNet()
+	for _, host := range []string{"s0a", "s0b", "s1a", "s1b"} {
+		fn.register(host, NewWorker(p.Engine).Handler())
+	}
+	cfg.Shards = [][]ReplicaSpec{
+		{{URL: "http://s0a"}, {URL: "http://s0b"}},
+		{{URL: "http://s1a"}, {URL: "http://s1b"}},
+	}
+	cfg.Transport = fn
+	s, err := NewSearcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ProbeOnce(context.Background())
+	if !s.Ready() {
+		t.Fatalf("not ready after first probe: %+v", s.Stats())
+	}
+	w := &chaosWorld{
+		net:      fn,
+		searcher: s,
+		router:   httptest.NewServer(NewRouter(server.New(routedPipeline(p, s).NewServeHandle(64, 2), server.Config{}), s).Handler()),
+		single:   httptest.NewServer(server.New(p.NewServeHandle(64, 2), server.Config{}).Handler()),
+	}
+	t.Cleanup(w.router.Close)
+	t.Cleanup(w.single.Close)
+	return w
+}
+
+// expectSame sends the identical request to the router and the
+// single-process reference (in lockstep, so cache state matches) and
+// requires 200 + byte-identical bodies.
+func (w *chaosWorld) expectSame(t *testing.T, q string, extra url.Values) {
+	t.Helper()
+	wantCode, want := fetch(t, searchURL(w.single.URL, q, extra))
+	gotCode, got := fetch(t, searchURL(w.router.URL, q, extra))
+	if wantCode != http.StatusOK {
+		t.Fatalf("reference server failed: %d %s", wantCode, want)
+	}
+	if gotCode != http.StatusOK {
+		t.Fatalf("client request failed through router: %d %s\nstats: %+v", gotCode, got, w.searcher.Stats())
+	}
+	if want != got {
+		t.Fatalf("router response diverged:\nsingle: %s\nrouter: %s", want, got)
+	}
+}
+
+// replicaStats digs one replica's row out of the stats snapshot.
+func (w *chaosWorld) replicaStats(t *testing.T, shard int, url string) ReplicaStats {
+	t.Helper()
+	for _, ps := range w.searcher.Stats() {
+		if ps.Shard != shard {
+			continue
+		}
+		for _, rs := range ps.Replicas {
+			if rs.URL == url {
+				return rs
+			}
+		}
+	}
+	t.Fatalf("replica %s not in shard %d stats", url, shard)
+	return ReplicaStats{}
+}
+
+// ---- the chaos gates -------------------------------------------------
+
+// TestChaosZeroFailedRequests is the fault-injection gate: with 2
+// shards x 2 replicas, killing (connection refused), hanging, 5xx-ing,
+// or slowing one replica mid-run must produce ZERO failed client
+// requests — every response stays 200 and byte-identical to the
+// single-process reference, because the router fails over to the
+// surviving replica within its per-attempt timeout budget.
+func TestChaosZeroFailedRequests(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: 300 * time.Millisecond,
+		FailThreshold:  2,
+		CooldownBase:   50 * time.Millisecond,
+		CooldownMax:    200 * time.Millisecond,
+		ProbeInterval:  time.Hour, // probes driven manually
+	})
+	w.net.delay = 30 * time.Millisecond
+	p := testPipeline(t)
+	queries := []string{p.Testbed.TopicQuery(1), p.Testbed.TopicQuery(3)}
+
+	warm := func(tag string) {
+		for i, q := range queries {
+			alg := core.Algorithms[i%len(core.Algorithms)]
+			w.expectSame(t, q, url.Values{"alg": {string(alg)}, "k": {"8"}})
+		}
+		_ = tag
+	}
+	warm("healthy")
+
+	for _, tc := range []struct {
+		name string
+		mode faultMode
+	}{
+		{"killed", faultRefused},
+		{"hung", faultHang},
+		{"http-500", fault500},
+		{"slow-but-alive", faultSlow},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w.net.setFault("s0a", tc.mode)
+			defer w.net.setFault("s0a", faultNone)
+			// Several rounds: the first may burn the failing replica's
+			// breaker threshold, later ones should route straight to the
+			// healthy peer. All must succeed, bit-identically.
+			for round := 0; round < 3; round++ {
+				for _, q := range queries {
+					for _, alg := range []core.Algorithm{core.AlgOptSelect, core.AlgXQuAD} {
+						w.expectSame(t, q, url.Values{"alg": {string(alg)}, "k": {"8"}})
+					}
+				}
+			}
+			if tc.mode != faultSlow { // slow-but-alive never trips the breaker
+				// The short cooldown may already have lapsed the breaker
+				// into half_open by snapshot time; OpenCycles records that
+				// it tripped.
+				if rs := w.replicaStats(t, 0, "http://s0a"); rs.OpenCycles == 0 {
+					t.Errorf("faulted replica breaker never opened (stats %+v)", rs)
+				}
+			}
+			// Recover: clear the fault, sit out the cooldown, probe. The
+			// breaker must re-admit the replica (half-open -> closed).
+			w.net.setFault("s0a", faultNone)
+			time.Sleep(w.searcher.cfg.CooldownMax + 20*time.Millisecond)
+			w.searcher.ProbeOnce(context.Background())
+			if rs := w.replicaStats(t, 0, "http://s0a"); rs.State != "closed" || !rs.Healthy {
+				t.Fatalf("replica not re-admitted after recovery: %+v", rs)
+			}
+			warm("recovered")
+		})
+	}
+}
+
+// TestChaosReAdmissionTakesTraffic verifies re-admission end to end: a
+// killed replica's breaker opens, and after recovery + cooldown +
+// probe, live traffic actually reaches it again (its request counter
+// advances), with responses still bit-identical throughout.
+func TestChaosReAdmissionTakesTraffic(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: 300 * time.Millisecond,
+		FailThreshold:  1, // first failure opens
+		CooldownBase:   30 * time.Millisecond,
+		CooldownMax:    100 * time.Millisecond,
+		ProbeInterval:  time.Hour,
+	})
+	p := testPipeline(t)
+	q := p.Testbed.TopicQuery(2)
+
+	w.net.setFault("s0a", faultRefused)
+	for i := 0; i < 4; i++ {
+		w.expectSame(t, q, url.Values{"k": {"6"}})
+	}
+	down := w.replicaStats(t, 0, "http://s0a")
+	if down.OpenCycles == 0 || down.Failures == 0 {
+		t.Fatalf("killed replica: %+v, want a tripped breaker with failures", down)
+	}
+
+	w.net.setFault("s0a", faultNone)
+	time.Sleep(150 * time.Millisecond)
+	w.searcher.ProbeOnce(context.Background())
+	readmitted := w.replicaStats(t, 0, "http://s0a")
+	if readmitted.State != "closed" || !readmitted.Healthy {
+		t.Fatalf("after cooldown+probe: %+v, want closed+healthy", readmitted)
+	}
+
+	before := readmitted.Requests
+	for i := 0; i < 8; i++ { // WRR over two weight-1 replicas: ~half land here
+		w.expectSame(t, q, url.Values{"k": {"6"}})
+	}
+	if after := w.replicaStats(t, 0, "http://s0a").Requests; after <= before {
+		t.Errorf("re-admitted replica took no traffic (requests %d -> %d)", before, after)
+	}
+}
+
+// TestChaosWholeShardDown: with EVERY replica of a shard dead the
+// request cannot be answered — the router must shed it cleanly (503,
+// not a hang or a partial result), and recover as soon as a replica
+// returns.
+func TestChaosWholeShardDown(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: 100 * time.Millisecond,
+		FailThreshold:  1,
+		CooldownBase:   20 * time.Millisecond,
+		CooldownMax:    50 * time.Millisecond,
+		ProbeInterval:  time.Hour,
+	})
+	p := testPipeline(t)
+	q := p.Testbed.TopicQuery(1)
+	w.expectSame(t, q, nil)
+
+	w.net.setFault("s1a", faultRefused)
+	w.net.setFault("s1b", faultRefused)
+	code, body := fetch(t, searchURL(w.router.URL, q, url.Values{"k": {"5"}}))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("whole shard down: %d %s, want 503", code, body)
+	}
+	if !strings.Contains(body, "retrieval aborted") {
+		t.Errorf("error body %q lacks the shed marker", body)
+	}
+	if w.searcher.Ready() {
+		t.Error("searcher still Ready with a whole pool down")
+	}
+
+	w.net.setFault("s1a", faultNone)
+	w.net.setFault("s1b", faultNone)
+	time.Sleep(70 * time.Millisecond)
+	w.searcher.ProbeOnce(context.Background())
+	if !w.searcher.Ready() {
+		t.Fatalf("searcher not ready after recovery: %+v", w.searcher.Stats())
+	}
+	w.expectSame(t, q, url.Values{"k": {"5"}})
+}
+
+// TestChaosClientCancelNotPenalized: a client hanging up mid-scatter
+// must not count against the replica's breaker — otherwise impatient
+// clients could eject healthy workers.
+func TestChaosClientCancelNotPenalized(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: time.Hour, // only the client's context can end the attempt
+		FailThreshold:  1,
+		ProbeInterval:  time.Hour,
+	})
+	w.net.setFault("s0a", faultHang)
+	w.net.setFault("s0b", faultHang)
+	w.net.setFault("s1a", faultHang)
+	w.net.setFault("s1b", faultHang)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := w.searcher.SearchBatch(ctx, []string{"topic01"}, []int{5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	for _, ps := range w.searcher.Stats() {
+		for _, rs := range ps.Replicas {
+			if rs.State != "closed" {
+				t.Errorf("replica %s breaker %s after client cancel, want closed", rs.URL, rs.State)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package router
+
+import (
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// Router fronts the serving tier: it owns a full local pipeline wrapped
+// by internal/server (so /search, /queries, /stats behave exactly like
+// the single-process binary) with the pipeline's Searcher swapped for
+// the distributed scatter-gatherer. Only readiness and stats change
+// shape: the router is ready when its own pipeline is published AND
+// every shard pool has a healthy replica, and /stats grows the
+// per-replica breaker table.
+type Router struct {
+	inner    *server.Server
+	searcher *Searcher
+}
+
+// NewRouter composes the inner serving surface with the distributed
+// searcher.
+func NewRouter(inner *server.Server, s *Searcher) *Router {
+	return &Router{inner: inner, searcher: s}
+}
+
+// RouterStats is the router's /stats body: the usual serving stats
+// (present once the local pipeline is up) plus the replica pools.
+type RouterStats struct {
+	Serving *server.StatsResponse `json:"serving,omitempty"`
+	Shards  []PoolStats           `json:"shards"`
+}
+
+// RouterReady is the router's /readyz body.
+type RouterReady struct {
+	Ready    bool   `json:"ready"`
+	Reason   string `json:"reason,omitempty"`
+	Pipeline bool   `json:"pipeline"` // local pipeline published
+	Backends bool   `json:"backends"` // every shard pool has a healthy replica
+}
+
+// Handler shadows /readyz and /stats over the inner server's routes;
+// everything else — /search, /healthz, /queries, the mutation endpoints
+// (which reject, as router pipelines serve batch-built worlds) — passes
+// through.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.Handle("/", rt.inner.Handler())
+	return mux
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := RouterReady{Pipeline: rt.inner.Ready(), Backends: rt.searcher.Ready()}
+	st.Ready = st.Pipeline && st.Backends
+	code := http.StatusOK
+	switch {
+	case !st.Pipeline:
+		st.Reason = "pipeline still loading"
+		code = http.StatusServiceUnavailable
+	case !st.Backends:
+		st.Reason = "a shard has no healthy replica"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := RouterStats{Shards: rt.searcher.Stats()}
+	if snap, ok := rt.inner.StatsSnapshot(); ok {
+		st.Serving = &snap
+	}
+	writeJSON(w, http.StatusOK, st)
+}

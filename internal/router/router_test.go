@@ -1,0 +1,304 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+var (
+	testPipe     *repro.Pipeline
+	testPipeOnce sync.Once
+)
+
+// testPipeline builds one small deterministic world with a 2-shard
+// index partition — the same spec the server tests use, so behavior
+// differences between tiers cannot hide behind corpus differences.
+// Tests only read it.
+func testPipeline(t testing.TB) *repro.Pipeline {
+	t.Helper()
+	testPipeOnce.Do(func() {
+		p, err := repro.Build(repro.Config{
+			Corpus: synth.CorpusSpec{
+				Seed:                11,
+				NumTopics:           6,
+				MinSubtopics:        2,
+				MaxSubtopics:        4,
+				DocsPerSubtopic:     10,
+				GenericDocsPerTopic: 5,
+				NoiseDocs:           100,
+				DocLength:           40,
+				BackgroundVocab:     400,
+				TopicVocab:          10,
+				SubtopicVocab:       8,
+			},
+			Log:           synth.AOLLike(12, 2500),
+			Engine:        engine.Config{Shards: 2},
+			NumCandidates: 100,
+			PerSpec:       10,
+			K:             10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testPipe = p
+	})
+	return testPipe
+}
+
+// routedPipeline shallow-copies the shared pipeline with the
+// distributed searcher swapped in: every component (engine, lexicon,
+// recommender) is the shared immutable one, only document scoring goes
+// remote.
+func routedPipeline(p *repro.Pipeline, s *Searcher) *repro.Pipeline {
+	rp := *p
+	rp.Searcher = s
+	return &rp
+}
+
+func searchURL(base, q string, extra url.Values) string {
+	v := url.Values{}
+	v.Set("q", q)
+	for key, vals := range extra {
+		for _, val := range vals {
+			v.Add(key, val)
+		}
+	}
+	return base + "/search?" + v.Encode()
+}
+
+// tookUs strips the only inherently timing-dependent field from a
+// /search body so the remainder can be compared byte for byte.
+var tookUs = regexp.MustCompile(`"took_us":\d+`)
+
+func normalizeBody(b []byte) string {
+	return tookUs.ReplaceAllString(string(b), `"took_us":0`)
+}
+
+func fetch(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, normalizeBody(b)
+}
+
+// TestRouterDifferential is the tentpole gate: a router fronting shard
+// workers must answer /search byte-identically (modulo took_us) to the
+// single-process server over the same deterministic world, across
+// topologies (one worker serving every shard; two shards with two
+// replicas each), every algorithm, and several k. Both servers get
+// identical request sequences from fresh caches, so even cache_hit
+// fields must line up.
+func TestRouterDifferential(t *testing.T) {
+	p := testPipeline(t)
+	eng := p.Engine
+
+	worker := func() *httptest.Server {
+		ts := httptest.NewServer(NewWorker(eng).Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	w1, w2, w3 := worker(), worker(), worker()
+
+	topologies := []struct {
+		name   string
+		shards [][]ReplicaSpec
+	}{
+		{"one-worker-all-shards", [][]ReplicaSpec{
+			{{URL: w1.URL}},
+			{{URL: w1.URL}},
+		}},
+		{"two-shards-two-replicas", [][]ReplicaSpec{
+			{{URL: w1.URL}, {URL: w2.URL, Weight: 2}},
+			{{URL: w2.URL}, {URL: w3.URL}},
+		}},
+	}
+
+	queries := []string{
+		p.Testbed.TopicQuery(1),
+		p.Testbed.TopicQuery(2),
+		p.Testbed.TopicQuery(4),
+	}
+
+	for _, topo := range topologies {
+		t.Run(topo.name, func(t *testing.T) {
+			s, err := NewSearcher(Config{Shards: topo.shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.ProbeOnce(context.Background())
+			if !s.Ready() {
+				t.Fatalf("searcher not ready after probe: %+v", s.Stats())
+			}
+
+			// Fresh caches on BOTH sides so the nth request of every
+			// sequence sees the same hit/miss state.
+			single := httptest.NewServer(server.New(p.NewServeHandle(64, 2), server.Config{}).Handler())
+			defer single.Close()
+			routed := httptest.NewServer(NewRouter(server.New(routedPipeline(p, s).NewServeHandle(64, 2), server.Config{}), s).Handler())
+			defer routed.Close()
+
+			for _, q := range queries {
+				for _, alg := range core.Algorithms {
+					for _, k := range []string{"5", "10"} {
+						v := url.Values{"alg": {string(alg)}, "k": {k}}
+						wantCode, want := fetch(t, searchURL(single.URL, q, v))
+						gotCode, got := fetch(t, searchURL(routed.URL, q, v))
+						if wantCode != gotCode || want != got {
+							t.Fatalf("q=%q alg=%s k=%s:\nsingle (%d): %s\nrouter (%d): %s",
+								q, alg, k, wantCode, want, gotCode, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRouterReadyz pins the router's composite readiness: not ready
+// until the local pipeline is published AND every pool has a healthy
+// probed replica; /healthz stays 200 (liveness) throughout.
+func TestRouterReadyz(t *testing.T) {
+	p := testPipeline(t)
+	w := NewWorker(nil) // worker up, index not loaded
+	wts := httptest.NewServer(w.Handler())
+	defer wts.Close()
+
+	s, err := NewSearcher(Config{Shards: [][]ReplicaSpec{{{URL: wts.URL}}, {{URL: wts.URL}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := server.New(nil, server.Config{})
+	rts := httptest.NewServer(NewRouter(inner, s).Handler())
+	defer rts.Close()
+
+	get := func(path string) (int, RouterReady) {
+		resp, err := http.Get(rts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rr RouterReady
+		if path == "/readyz" {
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, rr
+	}
+
+	if code, rr := get("/readyz"); code != http.StatusServiceUnavailable || rr.Ready {
+		t.Fatalf("readyz before anything: %d %+v", code, rr)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz must stay 200 (liveness): %d", code)
+	}
+
+	// Pipeline up, backends still cold.
+	inner.Publish(p.NewServeHandle(16, 1))
+	if code, rr := get("/readyz"); code != http.StatusServiceUnavailable || rr.Backends || !rr.Pipeline {
+		t.Fatalf("readyz with cold backends: %d %+v", code, rr)
+	}
+
+	// Worker publishes; a probe round flips backends.
+	w.Publish(p.Engine)
+	s.ProbeOnce(context.Background())
+	if code, rr := get("/readyz"); code != http.StatusOK || !rr.Ready {
+		t.Fatalf("readyz after publish+probe: %d %+v", code, rr)
+	}
+}
+
+// TestProbeRejectsShardMismatch: a worker partitioned differently than
+// the router's topology must never pass a probe — merging its lists
+// would be silently wrong.
+func TestProbeRejectsShardMismatch(t *testing.T) {
+	p := testPipeline(t) // 2-shard engine
+	wts := httptest.NewServer(NewWorker(p.Engine).Handler())
+	defer wts.Close()
+
+	// Router configured for 3 shards; worker partitions into 2.
+	s, err := NewSearcher(Config{Shards: [][]ReplicaSpec{
+		{{URL: wts.URL}}, {{URL: wts.URL}}, {{URL: wts.URL}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ProbeOnce(context.Background())
+	if s.Ready() {
+		t.Fatalf("searcher ready despite shard-count mismatch: %+v", s.Stats())
+	}
+	for _, ps := range s.Stats() {
+		for _, rs := range ps.Replicas {
+			if rs.Healthy {
+				t.Fatalf("replica marked healthy despite shard mismatch: %+v", rs)
+			}
+		}
+	}
+}
+
+// TestSearcherValidation covers topology construction errors.
+func TestSearcherValidation(t *testing.T) {
+	if _, err := NewSearcher(Config{}); err == nil {
+		t.Error("empty topology accepted")
+	}
+	if _, err := NewSearcher(Config{Shards: [][]ReplicaSpec{{{URL: "http://a"}}, {}}}); err == nil {
+		t.Error("shard with no replicas accepted")
+	}
+}
+
+// TestWorkerShardSearchErrors pins the worker's error envelope: shed
+// while loading, reject malformed bodies and out-of-range shards.
+func TestWorkerShardSearchErrors(t *testing.T) {
+	p := testPipeline(t)
+	w := NewWorker(nil)
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/shard/search", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := post(`{"shard":0,"queries":["x"],"ks":[5]}`); code != http.StatusServiceUnavailable {
+		t.Errorf("search while loading: %d, want 503", code)
+	}
+	w.Publish(p.Engine)
+	if code := post(`{not json`); code != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", code)
+	}
+	if code := post(`{"shard":0,"queries":["x"],"ks":[5,6]}`); code != http.StatusBadRequest {
+		t.Errorf("length mismatch: %d, want 400", code)
+	}
+	if code := post(fmt.Sprintf(`{"shard":%d,"queries":["x"],"ks":[5]}`, 99)); code != http.StatusInternalServerError {
+		t.Errorf("out-of-range shard: %d, want 500", code)
+	}
+	if code := post(`{"shard":0,"queries":["x"],"ks":[5]}`); code != http.StatusOK {
+		t.Errorf("valid search: %d, want 200", code)
+	}
+}

@@ -1,0 +1,383 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ranking"
+)
+
+// ReplicaSpec declares one worker endpoint of a shard's pool. Weight
+// biases the smooth weighted round-robin (<= 0 means 1): a replica with
+// weight 2 takes twice the traffic of a weight-1 peer.
+type ReplicaSpec struct {
+	URL    string
+	Weight int
+}
+
+// Config assembles a distributed Searcher. Only Shards is required.
+type Config struct {
+	// Shards[i] is the replica pool serving shard i; every pool needs at
+	// least one replica. The shard count must match the workers'
+	// partition (-shards), which probes verify via /readyz.
+	Shards [][]ReplicaSpec
+
+	// Transport carries all worker traffic (nil: http.DefaultTransport).
+	// Tests inject an in-memory fault-injecting RoundTripper here.
+	Transport http.RoundTripper
+
+	// AttemptTimeout bounds one scatter attempt against one replica
+	// (default 2s); on expiry the searcher fails over to the next
+	// healthy replica. Retrying is safe unconditionally: /shard/search
+	// is a pure read of an immutable snapshot.
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds the failover loop per shard per request
+	// (default: the pool size — each replica at most once).
+	MaxAttempts int
+
+	// FailThreshold consecutive failures open a replica's breaker
+	// (default 3; a failure during half-open probation reopens
+	// immediately).
+	FailThreshold int
+	// CooldownBase is the first open cooldown; each consecutive open
+	// cycle doubles it up to CooldownMax (defaults 500ms, 30s).
+	CooldownBase time.Duration
+	CooldownMax  time.Duration
+
+	// ProbeInterval spaces the health-check rounds (default 1s);
+	// ProbeTimeout bounds each GET /readyz (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+
+	// Now overrides the clock (tests drive breaker cooldowns without
+	// sleeping). Nil: time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.CooldownBase <= 0 {
+		c.CooldownBase = 500 * time.Millisecond
+	}
+	if c.CooldownMax <= 0 {
+		c.CooldownMax = 30 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Searcher is the distributed document scoring phase: a repro.Searcher
+// that scatters each query batch over one replica per shard, gathers
+// the per-shard hit lists, and k-way merges them with the same
+// deterministic merge the in-process fan-out uses — so its output is
+// bit-identical to engine.SearchBatch over the same world.
+type Searcher struct {
+	cfg    Config
+	pools  []*pool
+	client *http.Client
+
+	// expectedEpoch pins the fleet to the first snapshot epoch seen; a
+	// replica answering from a diverged snapshot is treated as failed
+	// rather than have its lists merged with the rest of the fleet's.
+	mu         sync.Mutex
+	epochSet   bool
+	epochValue uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	probes   sync.WaitGroup
+}
+
+// NewSearcher validates the topology and builds the pools. Probing does
+// not start until Start; call ProbeOnce for a synchronous first round.
+func NewSearcher(cfg Config) (*Searcher, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: no shards configured")
+	}
+	s := &Searcher{
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport},
+		stop:   make(chan struct{}),
+	}
+	for si, specs := range cfg.Shards {
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", si)
+		}
+		p := &pool{shard: si}
+		for _, spec := range specs {
+			w := spec.Weight
+			if w <= 0 {
+				w = 1
+			}
+			p.replicas = append(p.replicas, &replica{url: spec.URL, weight: w})
+		}
+		s.pools = append(s.pools, p)
+	}
+	return s, nil
+}
+
+// Start launches the periodic probe loop (stop with Close).
+func (s *Searcher) Start() {
+	s.probes.Add(1)
+	go func() {
+		defer s.probes.Done()
+		t := time.NewTicker(s.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.ProbeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop. Idempotent.
+func (s *Searcher) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.probes.Wait()
+}
+
+// ProbeOnce health-checks every replica of every pool concurrently and
+// feeds the outcomes into membership and the breakers. A probe passes
+// when /readyz answers 200 ready:true AND the worker's shard count
+// matches the router's topology — a worker partitioned differently
+// would return per-shard lists that merge into silently wrong results,
+// so it is treated as down, not as degraded.
+func (s *Searcher) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range s.pools {
+		for _, r := range p.replicas {
+			wg.Add(1)
+			go func(p *pool, r *replica) {
+				defer wg.Done()
+				ok := s.probe(ctx, r)
+				if !ok {
+					r.probeFail.Add(1)
+				}
+				p.onProbe(r, ok, s.cfg.Now(), s.cfg.FailThreshold, s.cfg.CooldownBase, s.cfg.CooldownMax)
+			}(p, r)
+		}
+	}
+	wg.Wait()
+}
+
+func (s *Searcher) probe(ctx context.Context, r *replica) bool {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	var wr WorkerReady
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return false
+	}
+	r.epoch.Store(wr.Epoch)
+	return resp.StatusCode == http.StatusOK && wr.Ready && wr.Shards == len(s.pools)
+}
+
+// Ready reports whether every shard's pool has at least one
+// probe-confirmed replica whose breaker admits traffic — the router's
+// readiness condition.
+func (s *Searcher) Ready() bool {
+	now := s.cfg.Now()
+	for _, p := range s.pools {
+		if !p.ready(now) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats snapshots every pool for the router's /stats.
+func (s *Searcher) Stats() []PoolStats {
+	now := s.cfg.Now()
+	out := make([]PoolStats, len(s.pools))
+	for i, p := range s.pools {
+		out[i] = p.stats(now)
+	}
+	return out
+}
+
+// SearchBatch implements repro.Searcher: scatter the batch to one
+// replica per shard (with failover), gather, and deterministically
+// merge. The error is either ctx.Err() or "shard i: all replicas
+// failed" — partial answers are never returned, because a missing shard
+// silently changes results.
+func (s *Searcher) SearchBatch(ctx context.Context, queries []string, ks []int) ([][]engine.Result, error) {
+	perShard := make([][][]WireHit, len(s.pools))
+	errs := make([]error, len(s.pools))
+	var wg sync.WaitGroup
+	for si := range s.pools {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			perShard[si], errs[si] = s.searchShard(ctx, si, queries, ks)
+		}(si)
+	}
+	wg.Wait()
+	for si, err := range errs {
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+
+	out := make([][]engine.Result, len(queries))
+	lists := make([][]ranking.Hit, len(s.pools))
+	for q := range queries {
+		snippets := make(map[string]string)
+		for si := range s.pools {
+			wire := perShard[si][q]
+			hl := make([]ranking.Hit, len(wire))
+			for j, wh := range wire {
+				hl[j] = ranking.Hit{Doc: wh.Doc, DocID: wh.ID, Score: wh.Score}
+				snippets[wh.ID] = wh.Snippet
+			}
+			lists[si] = hl
+		}
+		merged := ranking.MergeSegments(lists, ks[q])
+		res := make([]engine.Result, len(merged))
+		for j, h := range merged {
+			res[j] = engine.Result{DocID: h.DocID, Rank: h.Rank, Score: h.Score, Snippet: snippets[h.DocID]}
+		}
+		out[q] = res
+	}
+	return out, nil
+}
+
+// searchShard runs the bounded failover loop for one shard: pick the
+// best untried replica, attempt with a per-attempt timeout, and on
+// failure feed the breaker and move to the next. Parent-context
+// cancellation aborts without penalizing the replica in flight — a
+// client hanging up is not evidence the worker is sick.
+func (s *Searcher) searchShard(ctx context.Context, si int, queries []string, ks []int) ([][]WireHit, error) {
+	body, err := json.Marshal(ShardSearchRequest{Shard: si, Queries: queries, Ks: ks})
+	if err != nil {
+		return nil, err
+	}
+	p := s.pools[si]
+	maxAttempts := s.cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = len(p.replicas)
+	}
+	tried := make(map[*replica]bool, maxAttempts)
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r := p.pick(s.cfg.Now(), tried)
+		if r == nil {
+			break // every replica tried
+		}
+		tried[r] = true
+		lists, err := s.attempt(ctx, r, body, len(queries))
+		if err == nil {
+			p.onResult(r, true, s.cfg.Now(), s.cfg.FailThreshold, s.cfg.CooldownBase, s.cfg.CooldownMax)
+			return lists, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		r.failures.Add(1)
+		p.onResult(r, false, s.cfg.Now(), s.cfg.FailThreshold, s.cfg.CooldownBase, s.cfg.CooldownMax)
+		lastErr = fmt.Errorf("%s: %w", r.url, err)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no replica available")
+	}
+	return nil, fmt.Errorf("all replicas failed: %w", lastErr)
+}
+
+// attempt runs one scatter call against one replica.
+func (s *Searcher) attempt(ctx context.Context, r *replica, body []byte, nq int) ([][]WireHit, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.url+"/shard/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	r.requests.Add(1)
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		// Read a little of the error body for the failover trail.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var sr ShardSearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	if len(sr.Lists) != nq {
+		return nil, fmt.Errorf("got %d lists for %d queries", len(sr.Lists), nq)
+	}
+	r.epoch.Store(sr.Epoch)
+	if err := s.checkEpoch(sr.Epoch); err != nil {
+		return nil, err
+	}
+	return sr.Lists, nil
+}
+
+// checkEpoch pins the fleet to the first snapshot epoch observed;
+// replicas answering from any other epoch are failed over, never
+// merged.
+func (s *Searcher) checkEpoch(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.epochSet {
+		s.epochSet = true
+		s.epochValue = epoch
+		return nil
+	}
+	if epoch != s.epochValue {
+		return fmt.Errorf("replica epoch %d diverges from fleet epoch %d", epoch, s.epochValue)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package router is the distributed serving tier: a fault-tolerant
+// scatter-gather front end over replicated shard-worker processes.
+//
+// The topology splits the single-process serving stack along the line
+// the deterministic k-way merge already draws: every worker builds the
+// same deterministic world (same seed => same index, same
+// collection-global statistics => the very same score float64s) and
+// answers per-shard retrieval over POST /shard/search; the router runs
+// the rest of the pipeline — Algorithm 1, the query-flow graph
+// recommender, utilities, selection — locally, swapping only the
+// document scoring phase for a remote fan-out (repro.Searcher). Because
+// per-shard scores are bit-identical to the in-process fan-out and
+// ranking.MergeSegments is the same deterministic merge, a router
+// /search response is byte-identical to a single-process /search
+// response; the differential tests in this package enforce that.
+//
+// Fault tolerance lives in the replica pools: each shard is served by
+// one or more replicas with health-check-driven membership (periodic
+// /readyz probes plus passive failure detection from live traffic),
+// per-replica circuit breaking with exponential-backoff cooldown on
+// re-admission, per-attempt timeouts, and bounded failover to the next
+// healthy replica. A request fails only when every replica of some
+// shard is down.
+package router
+
+// ShardSearchRequest is the wire form of one scatter call: score every
+// query of the batch against one shard of the deterministic index.
+// Queries are raw (pre-analysis) strings — the worker runs the same
+// analyzer the router would, so the token streams match by construction.
+type ShardSearchRequest struct {
+	Shard   int      `json:"shard"`
+	Queries []string `json:"queries"`
+	Ks      []int    `json:"ks"`
+}
+
+// WireHit is one per-shard retrieval hit in transit. Doc is the global
+// internal document number (the deterministic merge tie-break), ID the
+// external document ID, Score the raw model score — JSON encodes
+// float64 with Go's shortest-round-trip representation, so the exact
+// bits survive the wire — and Snippet the query-biased snippet computed
+// worker-side (the router needs it for surrogate vectors and the
+// response body, and only workers hold document text).
+type WireHit struct {
+	Doc     int32   `json:"doc"`
+	ID      string  `json:"id"`
+	Score   float64 `json:"score"`
+	Snippet string  `json:"snippet,omitempty"`
+}
+
+// ShardSearchResponse carries the per-query hit lists plus the epoch of
+// the snapshot they were scored against; the router rejects replicas
+// whose epoch diverges from the rest of the fleet rather than merge
+// lists from different worlds.
+type ShardSearchResponse struct {
+	Epoch uint64      `json:"epoch"`
+	Lists [][]WireHit `json:"lists"`
+}
+
+// WorkerReady is the worker's /readyz body. Shards lets the router's
+// probe reject a worker partitioned differently than the router expects
+// (merging a 4-shard worker's shard 1 into a 2-shard plan would be
+// silently wrong); Epoch lets operators spot diverged replicas at a
+// glance.
+type WorkerReady struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+	Docs   int    `json:"docs,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// errorBody is the JSON error envelope shared by worker and router
+// endpoints (mirrors internal/server's {"error": ...} convention).
+type errorBody struct {
+	Error string `json:"error"`
+}

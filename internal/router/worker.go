@@ -1,0 +1,116 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Worker is the shard-serving half of the distributed tier: a thin HTTP
+// facade over engine.SearchShardBatch. It holds no pipeline — no query
+// log, no recommender — because workers only run the document scoring
+// phase; everything query-understanding-shaped stays on the router.
+//
+// The engine is published atomically so a worker can bind its listener
+// (and answer liveness probes) before the deterministic build finishes;
+// until Publish, /readyz reports not-ready and /shard/search sheds 503.
+type Worker struct {
+	eng      atomic.Pointer[engine.Engine]
+	searches atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewWorker returns a worker with no engine yet (not ready). Pass a
+// non-nil engine to start ready.
+func NewWorker(e *engine.Engine) *Worker {
+	w := &Worker{}
+	if e != nil {
+		w.eng.Store(e)
+	}
+	return w
+}
+
+// Publish atomically installs the engine; the worker reports ready and
+// serves shard searches from this point on.
+func (w *Worker) Publish(e *engine.Engine) { w.eng.Store(e) }
+
+// Ready reports whether the engine has been published.
+func (w *Worker) Ready() bool { return w.eng.Load() != nil }
+
+// Handler returns the worker's route table: /healthz (liveness),
+// /readyz (readiness), POST /shard/search (per-shard retrieval).
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", w.handleHealthz)
+	mux.HandleFunc("GET /readyz", w.handleReadyz)
+	mux.HandleFunc("POST /shard/search", w.handleShardSearch)
+	return mux
+}
+
+func (w *Worker) handleHealthz(wr http.ResponseWriter, r *http.Request) {
+	writeJSON(wr, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"ready":    w.Ready(),
+		"searches": w.searches.Load(),
+		"shed":     w.shed.Load(),
+	})
+}
+
+func (w *Worker) handleReadyz(wr http.ResponseWriter, r *http.Request) {
+	e := w.eng.Load()
+	if e == nil {
+		writeJSON(wr, http.StatusServiceUnavailable, WorkerReady{Ready: false, Reason: "index still loading"})
+		return
+	}
+	writeJSON(wr, http.StatusOK, WorkerReady{
+		Ready:  true,
+		Docs:   e.NumDocs(),
+		Shards: e.Segments().NumShards(),
+		Epoch:  e.Epoch(),
+	})
+}
+
+func (w *Worker) handleShardSearch(wr http.ResponseWriter, r *http.Request) {
+	e := w.eng.Load()
+	if e == nil {
+		w.shed.Add(1)
+		writeJSON(wr, http.StatusServiceUnavailable, errorBody{Error: "warming up: index still loading"})
+		return
+	}
+	var req ShardSearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(wr, http.StatusBadRequest, errorBody{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	if len(req.Queries) != len(req.Ks) {
+		writeJSON(wr, http.StatusBadRequest, errorBody{Error: "queries and ks length mismatch"})
+		return
+	}
+	lists, epoch, err := e.SearchShardBatch(r.Context(), req.Shard, req.Queries, req.Ks)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			code = 499 // client closed request; the scatter was aborted, not broken
+		}
+		writeJSON(wr, code, errorBody{Error: err.Error()})
+		return
+	}
+	w.searches.Add(1)
+	resp := ShardSearchResponse{Epoch: epoch, Lists: make([][]WireHit, len(lists))}
+	for i, hits := range lists {
+		wire := make([]WireHit, len(hits))
+		for j, h := range hits {
+			wire[j] = WireHit{Doc: h.Doc, ID: h.DocID, Score: h.Score, Snippet: h.Snippet}
+		}
+		resp.Lists[i] = wire
+	}
+	writeJSON(wr, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain pins the shutdown contract of the serving tier: an
+// http.Server.Shutdown must let in-flight searches run to completion
+// while refusing new connections, and once the drain finishes every
+// worker slot must be back in the pool. The holdSearch seam pins the
+// in-flight request inside its worker slot deterministically, so the
+// test never races the (fast) real search.
+func TestGracefulDrain(t *testing.T) {
+	p := testPipeline(t)
+	srv := New(p.NewServeHandle(64, 2), Config{Workers: 2})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.holdSearch = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// One in-flight search, parked inside its worker slot.
+	type outcome struct {
+		code int
+		err  error
+	}
+	inflight := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Get(searchURL(base, p.Testbed.TopicQuery(1), url.Values{"k": {"5"}}))
+		if err != nil {
+			inflight <- outcome{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		inflight <- outcome{code: resp.StatusCode}
+	}()
+	<-entered
+
+	// Start the drain. Shutdown closes the listener first, then waits for
+	// the in-flight request.
+	shutdownDone := make(chan error, 1)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- httpSrv.Shutdown(shutdownCtx) }()
+
+	// New connections must be refused once the listener is down. Poll:
+	// Shutdown's listener close races this goroutine by design.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			// A dial racing the close can land in the accept backlog and be
+			// reset instead of refused; both mean "no new work admitted".
+			if !errors.Is(err, syscall.ECONNREFUSED) && !errors.Is(err, syscall.ECONNRESET) {
+				t.Fatalf("dial during drain: %v (want connection refused)", err)
+			}
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections during Shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned before the in-flight request finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the parked search: it must complete successfully over the
+	// already-established connection.
+	close(release)
+	got := <-inflight
+	if got.err != nil || got.code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: code=%d err=%v, want 200", got.code, got.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	if n := srv.inFlight.Load(); n != 0 {
+		t.Errorf("in_flight = %d after drain", n)
+	}
+	if n := len(srv.sem); n != 0 {
+		t.Errorf("%d worker slots still held after drain", n)
+	}
+	if srv.searches.Load() != 1 {
+		t.Errorf("searches = %d, want 1", srv.searches.Load())
+	}
+}
+
+// TestReadinessSplit pins the liveness/readiness contract: a server
+// created before its pipeline is built answers liveness 200 but reports
+// not-ready and sheds pipeline-backed endpoints with 503; Publish flips
+// all of it atomically.
+func TestReadinessSplit(t *testing.T) {
+	p := testPipeline(t)
+	srv := New(nil, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("liveness while loading: status %d, want 200", code)
+	}
+	if health.Status != "ok" || health.Ready {
+		t.Fatalf("healthz while loading = %+v", health)
+	}
+
+	var ready ReadyResponse
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("readiness while loading: status %d, want 503", code)
+	}
+	if ready.Ready || ready.Reason == "" {
+		t.Fatalf("readyz while loading = %+v", ready)
+	}
+
+	for _, path := range []string{"/search?q=topic01", "/stats", "/queries"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s while loading: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST /flush while loading: status %d, want 503", resp.StatusCode)
+	}
+
+	srv.Publish(p.NewServeHandle(64, 2))
+
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusOK || !ready.Ready || ready.Docs == 0 {
+		t.Fatalf("readyz after publish: code=%d %+v", code, ready)
+	}
+	var sr SearchResponse
+	if code := getJSON(t, searchURL(ts.URL, p.Testbed.TopicQuery(1), nil), &sr); code != http.StatusOK {
+		t.Fatalf("search after publish: status %d, want 200", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health.Ready || health.Docs == 0 {
+		t.Fatalf("healthz after publish: code=%d %+v", code, health)
+	}
+}

@@ -75,12 +75,27 @@ func (c Config) withDefaults() Config {
 
 // Server serves diversified SERPs from a warm pipeline. Create with New;
 // all exported methods are safe for concurrent use.
+//
+// A Server can be created BEFORE its pipeline finishes building (New with
+// a nil handle): it answers /healthz (liveness — the process is up) but
+// reports not-ready on /readyz and sheds every pipeline-backed endpoint
+// with 503 until Publish installs the handle. This is the split a
+// replicated deployment needs — the distributed router's health probes
+// watch /readyz, so a worker that is still indexing (or re-loading after
+// a crash) is never routed to, while /healthz keeps the process manager
+// from killing it during the build.
 type Server struct {
-	handle *repro.ServeHandle
+	handle atomic.Pointer[repro.ServeHandle]
 	cfg    Config
 	start  time.Time
 	mux    *http.ServeMux
 	sem    chan struct{} // worker pool: one token per concurrent search
+
+	// holdSearch, when non-nil, runs inside the worker slot before the
+	// diversification — a test seam that lets the drain tests pin
+	// in-flight requests deterministically. Set before serving starts;
+	// never used in production paths.
+	holdSearch func()
 
 	requests  atomic.Int64 // /search requests admitted past parsing
 	errors    atomic.Int64 // 4xx/5xx responses on /search
@@ -99,19 +114,24 @@ type Server struct {
 	latency map[string]*latencyHistogram
 }
 
-// New wraps the handle in a Server with the given configuration.
+// New wraps the handle in a Server with the given configuration. A nil
+// handle creates a not-ready server (see Server); install the handle
+// with Publish once the pipeline is built.
 func New(h *repro.ServeHandle, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		handle:  h,
 		cfg:     cfg,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, cfg.Workers),
 		latency: make(map[string]*latencyHistogram),
 	}
+	if h != nil {
+		s.handle.Store(h)
+	}
 	s.mux.HandleFunc("GET /search", s.instrument("/search", s.handleSearch))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /queries", s.instrument("/queries", s.handleQueries))
 	s.mux.HandleFunc("POST /ingest", s.instrument("/ingest", s.handleIngest))
@@ -119,6 +139,26 @@ func New(h *repro.ServeHandle, cfg Config) *Server {
 	s.mux.HandleFunc("POST /flush", s.instrument("/flush", s.handleFlush))
 	s.mux.HandleFunc("POST /compact", s.instrument("/compact", s.handleCompact))
 	return s
+}
+
+// Publish installs the serving handle and flips the server ready: from
+// this point /readyz reports 200 and the pipeline-backed endpoints
+// serve. Publishing is an atomic pointer store — requests racing it see
+// either the warming-up 503 or the full pipeline, never a torn state.
+func (s *Server) Publish(h *repro.ServeHandle) { s.handle.Store(h) }
+
+// Ready reports whether the pipeline handle has been published.
+func (s *Server) Ready() bool { return s.handle.Load() != nil }
+
+// ready returns the handle, or sheds the request with 503 and reports
+// false — every pipeline-backed handler gates on it first.
+func (s *Server) ready(w http.ResponseWriter) (*repro.ServeHandle, bool) {
+	h := s.handle.Load()
+	if h == nil {
+		s.fail(w, http.StatusServiceUnavailable, "warming up: index still loading")
+		return nil, false
+	}
+	return h, true
 }
 
 // instrument wraps a handler with the endpoint's latency histogram. The
@@ -165,13 +205,26 @@ type SearchResponse struct {
 	Results         []SearchResult       `json:"results"`
 }
 
-// HealthResponse is the JSON body of GET /healthz.
+// HealthResponse is the JSON body of GET /healthz (liveness: always 200
+// while the process answers; Ready mirrors /readyz for convenience).
 type HealthResponse struct {
 	Status        string `json:"status"`
+	Ready         bool   `json:"ready"`
 	UptimeSeconds int64  `json:"uptime_s"`
 	Docs          int    `json:"docs"`
 	LogRecords    int    `json:"log_records"`
 	Topics        int    `json:"topics"`
+}
+
+// ReadyResponse is the JSON body of GET /readyz: 200 with Ready=true
+// once the pipeline handle is published, 503 with a reason before that.
+// Health probes (the distributed router's, an orchestrator's) should
+// watch this, not /healthz — a worker mid-build is alive but must not
+// receive traffic.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+	Docs   int    `json:"docs,omitempty"`
 }
 
 // CacheStats is the cache section of a stats response.
@@ -258,7 +311,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "missing required parameter q")
 		return
 	}
-	p := s.handle.Pipeline
+	h, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	p := h.Pipeline
 
 	k := p.Config.K
 	if raw := r.URL.Query().Get("k"); raw != "" {
@@ -315,17 +372,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.inFlight.Add(-1)
 			<-s.sem
 		}()
+		if s.holdSearch != nil {
+			s.holdSearch()
+		}
 		// The request context rides into the retrieval fan-out: when the
 		// client disconnects mid-search, the shard workers stop instead
 		// of finishing a SERP nobody will read.
-		selected, specs, hit, err = s.handle.DiversifyCachedKCtx(r.Context(), q, alg, k)
+		selected, specs, hit, err = h.DiversifyCachedKCtx(r.Context(), q, alg, k)
 	}()
 	took := time.Since(began)
 	if err != nil {
-		// Only a canceled/expired request context reaches here; the
-		// client is gone, but account for the aborted search.
+		// A canceled/expired request context (the client is gone), or —
+		// behind a distributed Searcher — a scatter failure: some shard
+		// had no reachable replica within the retry budget. Either way
+		// the search did not complete; shed it.
 		s.rejected.Add(1)
-		s.fail(w, http.StatusServiceUnavailable, "request canceled during retrieval")
+		s.fail(w, http.StatusServiceUnavailable, "retrieval aborted: "+err.Error())
 		return
 	}
 
@@ -358,18 +420,55 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	p := s.handle.Pipeline
-	s.writeJSON(w, http.StatusOK, HealthResponse{
+	// Liveness only: 200 as long as the process answers, even while the
+	// index is still building. Readiness is /readyz's job.
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
-		Docs:          p.Engine.NumDocs(),
-		LogRecords:    p.Log.Len(),
-		Topics:        len(p.Testbed.Topics),
+	}
+	if h := s.handle.Load(); h != nil {
+		p := h.Pipeline
+		resp.Ready = true
+		resp.Docs = p.Engine.NumDocs()
+		resp.LogRecords = p.Log.Len()
+		resp.Topics = len(p.Testbed.Topics)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.handle.Load()
+	if h == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{
+			Ready:  false,
+			Reason: "index still loading",
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReadyResponse{
+		Ready: true,
+		Docs:  h.Pipeline.Engine.NumDocs(),
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	cs := s.handle.CacheStats()
+	st, ok := s.StatsSnapshot()
+	if !ok {
+		s.fail(w, http.StatusServiceUnavailable, "warming up: index still loading")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// StatsSnapshot assembles the /stats payload; ok is false while the
+// server is not ready. Exported so the distributed router can embed the
+// serving-layer stats inside its own /stats document.
+func (s *Server) StatsSnapshot() (StatsResponse, bool) {
+	h := s.handle.Load()
+	if h == nil {
+		return StatsResponse{}, false
+	}
+	cs := h.CacheStats()
 	searches := s.searches.Load()
 	avgMs := 0.0
 	if searches > 0 {
@@ -379,10 +478,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for endpoint, hist := range s.latency {
 		latency[endpoint] = hist.snapshot()
 	}
-	seg := s.handle.Pipeline.Engine.Segments()
+	seg := h.Pipeline.Engine.Segments()
 	storage := seg.Index().Storage()
 	decoded, skipped := index.BlockIOStats()
-	s.writeJSON(w, http.StatusOK, StatsResponse{
+	return StatsResponse{
 		UptimeSeconds:  int64(time.Since(s.start).Seconds()),
 		Workers:        s.cfg.Workers,
 		Requests:       s.requests.Load(),
@@ -398,7 +497,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Index: IndexStats{
 			Shards:          seg.NumShards(),
 			DocsPerShard:    seg.ShardSizes(),
-			Pruning:         s.handle.Pipeline.Engine.PruningEnabled(),
+			Pruning:         h.Pipeline.Engine.PruningEnabled(),
 			MaxScoreModels:  seg.Index().MaxScoreKeys(),
 			BlockSize:       storage.BlockSize,
 			Postings:        storage.Postings,
@@ -407,7 +506,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BlocksDecoded:   decoded,
 			BlocksSkipped:   skipped,
 		},
-		Live:    s.handle.Pipeline.Engine.Live(),
+		Live:    h.Pipeline.Engine.Live(),
 		Latency: latency,
 		Cache: CacheStats{
 			Hits:      cs.Hits,
@@ -417,7 +516,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Capacity:  cs.Capacity,
 			HitRate:   cs.HitRate(),
 		},
-	})
+	}, true
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -430,7 +529,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "missing required field id")
 		return
 	}
-	epoch, err := s.handle.Pipeline.Engine.Ingest(engine.Document{ID: req.ID, Title: req.Title, Body: req.Body})
+	h, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	epoch, err := h.Pipeline.Engine.Ingest(engine.Document{ID: req.ID, Title: req.Title, Body: req.Body})
 	if err != nil {
 		// The document is buffered and searchable; only sealing it durably
 		// failed. Surface that as a server-side error.
@@ -451,7 +554,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "missing required field id")
 		return
 	}
-	epoch, deleted := s.handle.Pipeline.Engine.Delete(req.ID)
+	h, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	epoch, deleted := h.Pipeline.Engine.Delete(req.ID)
 	if deleted {
 		s.deletes.Add(1)
 	}
@@ -459,7 +566,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	epoch, err := s.handle.Pipeline.Engine.Flush()
+	h, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	epoch, err := h.Pipeline.Engine.Flush()
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "flush failed: "+err.Error())
 		return
@@ -468,7 +579,11 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	epoch, err := s.handle.Pipeline.Engine.Compact()
+	h, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	epoch, err := h.Pipeline.Engine.Compact()
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "compaction failed: "+err.Error())
 		return
@@ -477,7 +592,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
-	p := s.handle.Pipeline
+	h, ok := s.ready(w)
+	if !ok {
+		return
+	}
+	p := h.Pipeline
 	var qs []string
 	for _, topic := range p.Testbed.Topics {
 		qs = append(qs, topic.Query)

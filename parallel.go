@@ -36,7 +36,7 @@ func (p *Pipeline) BuildProblemBatched(ctx context.Context, query string, specs 
 	for i, s := range specs {
 		queries[1+i], ks[1+i] = s.Query, p.Config.PerSpec
 	}
-	lists, err := p.Engine.SearchBatch(ctx, queries, ks)
+	lists, err := p.searcher().SearchBatch(ctx, queries, ks)
 	if err != nil {
 		return nil, err
 	}
@@ -219,9 +219,17 @@ func (h *ServeHandle) buildOrJoin(key, norm string) *queryArtifacts {
 		h.mu.Unlock()
 		close(c.done)
 	}()
-	c.art = h.buildArtifacts(norm)
-	h.cache.Put(key, c.art)
-	return c.art
+	art, err := h.buildArtifacts(norm)
+	c.art = art
+	if err == nil {
+		h.cache.Put(key, art)
+	}
+	// On error (only a distributed Searcher can fail under Background —
+	// a shard with every replica unreachable) the degraded artifact is
+	// handed to this request's leader and followers but never cached, so
+	// one scatter failure cannot pin a wrong "unambiguous" verdict for
+	// the epoch's lifetime.
+	return art
 }
 
 // buildArtifacts runs Algorithm 1 and fetches the R_q′ lists: all |S_q|
@@ -229,7 +237,7 @@ func (h *ServeHandle) buildOrJoin(key, norm string) *queryArtifacts {
 // round over the index segments (one pass per shard scores every spec's
 // query vector), as in BuildProblemBatched. The build runs under
 // context.Background() on purpose — see DiversifyCachedKCtx.
-func (h *ServeHandle) buildArtifacts(norm string) *queryArtifacts {
+func (h *ServeHandle) buildArtifacts(norm string) (*queryArtifacts, error) {
 	p := h.Pipeline
 	specs := p.DetectSpecializations(norm)
 	art := &queryArtifacts{
@@ -237,16 +245,21 @@ func (h *ServeHandle) buildArtifacts(norm string) *queryArtifacts {
 		SpecLists: make([]core.Specialization, len(specs)),
 	}
 	if len(specs) == 0 {
-		return art
+		return art, nil
 	}
 	queries := make([]string, len(specs))
 	ks := make([]int, len(specs))
 	for i, s := range specs {
 		queries[i], ks[i] = s.Query, p.Config.PerSpec
 	}
-	lists, _ := p.Engine.SearchBatch(context.Background(), queries, ks) // Background never cancels
+	lists, err := p.searcher().SearchBatch(context.Background(), queries, ks)
+	if err != nil {
+		// Degrade to an empty (baseline-serving) artifact; buildOrJoin
+		// will not cache it.
+		return &queryArtifacts{}, err
+	}
 	for i := range specs {
 		art.SpecLists[i] = p.specFromResults(specs[i], lists[i])
 	}
-	return art
+	return art, nil
 }

@@ -86,6 +86,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Searcher is the document-scoring dependency of the Pipeline: the
+// retrieval fan-out behind R_q and every R_q′ list. A freshly Built
+// pipeline scores against its own Engine; the distributed serving tier
+// (internal/router) swaps in a scatter-gatherer over remote shard-worker
+// processes. Any implementation must return output bit-identical to the
+// local engine over the same deterministic world — the deterministic
+// k-way merge makes that achievable across process boundaries, and the
+// router's differential tests enforce it.
+//
+// SearchBatch answers queries[i] with its top-ks[i] results (ks[i] <= 0
+// means all matches); the only error a conforming implementation may
+// return for local serving is ctx.Err(), but distributed searchers also
+// surface scatter failures (every replica of some shard unreachable).
+type Searcher interface {
+	SearchBatch(ctx context.Context, queries []string, ks []int) ([][]engine.Result, error)
+}
+
 // Pipeline is a fully assembled diversification system.
 type Pipeline struct {
 	Config      Config
@@ -95,6 +112,31 @@ type Pipeline struct {
 	Sessions    []qfg.Session
 	Graph       *qfg.Graph
 	Recommender *suggest.Recommender
+
+	// Searcher overrides where the document scoring phase runs. Nil means
+	// the local Engine. The distributed router sets this to its
+	// scatter-gatherer over shard-worker pools; everything else about the
+	// pipeline (Algorithm 1, utilities, selection) stays local.
+	Searcher Searcher
+}
+
+// searcher resolves the active scoring backend.
+func (p *Pipeline) searcher() Searcher {
+	if p.Searcher != nil {
+		return p.Searcher
+	}
+	return p.Engine
+}
+
+// searchOne retrieves one query's top-k through the active scoring
+// backend (a one-element batch; for the local engine this is exactly
+// Engine.SearchCtx).
+func (p *Pipeline) searchOne(ctx context.Context, query string, k int) ([]engine.Result, error) {
+	lists, err := p.searcher().SearchBatch(ctx, []string{query}, []int{k})
+	if err != nil {
+		return nil, err
+	}
+	return lists[0], nil
 }
 
 // Build generates the testbed, indexes the corpus, generates and mines the
@@ -135,14 +177,16 @@ func (p *Pipeline) DetectSpecializations(query string) []suggest.Specialization 
 // Vector field stays empty, so a candidate costs int32 term IDs instead
 // of term strings.
 func (p *Pipeline) candidateDocs(query string) []core.Doc {
-	return p.candidatesFromResults(p.Engine.Search(query, p.Config.NumCandidates))
+	docs, _ := p.candidateDocsCtx(context.Background(), query) // Background never cancels
+	return docs
 }
 
 // candidateDocsCtx is candidateDocs with request-scoped cancellation
-// threaded into the retrieval fan-out; the only possible error is
-// ctx.Err().
+// threaded into the retrieval fan-out; against the local engine the only
+// possible error is ctx.Err(), while a distributed Searcher can also
+// surface scatter failures.
 func (p *Pipeline) candidateDocsCtx(ctx context.Context, query string) ([]core.Doc, error) {
-	results, err := p.Engine.SearchCtx(ctx, query, p.Config.NumCandidates)
+	results, err := p.searchOne(ctx, query, p.Config.NumCandidates)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +254,8 @@ func (p *Pipeline) candidatesFromResults(results []engine.Result) []core.Doc {
 // which is what makes the cached artifact lists compact: a cached R_q′
 // entry holds int32 IDs, not strings.
 func (p *Pipeline) specList(s suggest.Specialization) core.Specialization {
-	return p.specFromResults(s, p.Engine.Search(s.Query, p.Config.PerSpec))
+	results, _ := p.searchOne(context.Background(), s.Query, p.Config.PerSpec) // Background never cancels locally
+	return p.specFromResults(s, results)
 }
 
 // specFromResults converts a retrieved R_q′ into the core representation.

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# End-to-end failover gate for the distributed serving tier.
+#
+# Topology: one router over two shards — shard 0 with TWO replicas,
+# shard 1 with one — plus a single-process serve as the byte-identity
+# reference. The gate has three parts:
+#
+#   1. Differential: router /search must be byte-identical (modulo the
+#      timing field took_us) to single-process /search across
+#      algorithms x k over real queries.
+#   2. Chaos: kill -9 one shard-0 replica while loadgen drives traffic
+#      with -fail-on-error; the run must finish with ZERO failed
+#      requests (the surviving replica absorbs the failover).
+#   3. Re-admission: restart the killed replica and require the
+#      router's breaker to re-admit it (state closed + healthy in
+#      /stats) within the probe/cooldown budget.
+#
+# Exit status is nonzero on any violation. Needs: go, curl, bash.
+set -euo pipefail
+
+WORLD="-seed 1 -topics 8 -sessions 3000 -candidates 200"
+SINGLE=127.0.0.1:19100
+W1=127.0.0.1:19101 # shard pool 0, replica a (the one we kill)
+W2=127.0.0.1:19102 # shard pool 0, replica b
+W3=127.0.0.1:19103 # shard pool 1
+ROUTER=127.0.0.1:19200
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  kill "${pids[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/serve" ./cmd/serve
+go build -o "$workdir/router" ./cmd/router
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+start_worker() { # $1=addr ; echoes pid
+  "$workdir/serve" -worker -shards 2 $WORLD -addr "$1" >>"$workdir/log.$1" 2>&1 &
+  echo $!
+}
+
+echo "== starting 3 workers, 1 single-process reference, 1 router"
+w1_pid=$(start_worker "$W1"); pids+=("$w1_pid")
+pids+=("$(start_worker "$W2")")
+pids+=("$(start_worker "$W3")")
+"$workdir/serve" $WORLD -shards 2 -addr "$SINGLE" >>"$workdir/log.single" 2>&1 &
+pids+=($!)
+"$workdir/router" $WORLD -addr "$ROUTER" \
+  -shard "http://$W1,http://$W2" -shard "http://$W3" \
+  -fail-threshold 1 -cooldown 200ms -cooldown-max 2s -probe-interval 250ms \
+  >>"$workdir/log.router" 2>&1 &
+pids+=($!)
+
+wait_ready() { # $1=host:port $2=name
+  for _ in $(seq 1 240); do
+    if curl -sf "http://$1/readyz" >/dev/null 2>&1; then
+      echo "   $2 ready"
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: $2 never became ready" >&2
+  tail -50 "$workdir"/log.* >&2 || true
+  exit 1
+}
+wait_ready "$SINGLE" "single-process serve"
+wait_ready "$ROUTER" "router"
+
+echo "== differential: router vs single-process, algorithms x k"
+mapfile -t queries < <(curl -sf "http://$SINGLE/queries" |
+  sed 's/.*\[//; s/\].*//' | tr ',' '\n' | tr -d '"' | head -5)
+[ "${#queries[@]}" -ge 3 ] || { echo "FAIL: could not fetch queries" >&2; exit 1; }
+normalize() { sed 's/"took_us":[0-9]*/"took_us":0/'; }
+checked=0
+for q in "${queries[@]}"; do
+  for alg in baseline optselect xquad iaselect mmr; do
+    for k in 5 10; do
+      a=$(curl -sf --get "http://$SINGLE/search" --data-urlencode "q=$q" --data "alg=$alg&k=$k" | normalize)
+      b=$(curl -sf --get "http://$ROUTER/search" --data-urlencode "q=$q" --data "alg=$alg&k=$k" | normalize)
+      if [ "$a" != "$b" ]; then
+        echo "FAIL: diverged on q='$q' alg=$alg k=$k" >&2
+        echo "single: $a" >&2
+        echo "router: $b" >&2
+        exit 1
+      fi
+      checked=$((checked + 1))
+    done
+  done
+done
+echo "   $checked request pairs byte-identical"
+
+echo "== chaos: kill -9 a shard-0 replica under load, require zero failed requests"
+"$workdir/loadgen" -addr "http://$ROUTER" -n 600 -c 8 -fail-on-error >"$workdir/loadgen.out" 2>&1 &
+lg_pid=$!
+sleep 2
+kill -9 "$w1_pid"
+echo "   replica $W1 killed mid-run"
+if ! wait "$lg_pid"; then
+  echo "FAIL: loadgen saw failed requests during failover" >&2
+  cat "$workdir/loadgen.out" >&2
+  exit 1
+fi
+grep -E 'requests|errors' "$workdir/loadgen.out" | sed 's/^/   /'
+
+echo "== re-admission: restart the replica, breaker must close again"
+w1_pid=$(start_worker "$W1"); pids+=("$w1_pid")
+readmitted=""
+for _ in $(seq 1 240); do
+  if curl -sf "http://$ROUTER/stats" |
+    grep -q "\"url\":\"http://$W1\",\"weight\":1,\"state\":\"closed\",\"healthy\":true"; then
+    readmitted=yes
+    break
+  fi
+  sleep 0.5
+done
+if [ -z "$readmitted" ]; then
+  echo "FAIL: restarted replica was not re-admitted (router /stats):" >&2
+  curl -s "http://$ROUTER/stats" >&2 || true
+  exit 1
+fi
+echo "   replica re-admitted (breaker closed, healthy)"
+
+echo "== post-recovery differential spot check"
+q=${queries[0]}
+a=$(curl -sf --get "http://$SINGLE/search" --data-urlencode "q=$q" --data "alg=optselect&k=10" | normalize)
+b=$(curl -sf --get "http://$ROUTER/search" --data-urlencode "q=$q" --data "alg=optselect&k=10" | normalize)
+[ "$a" = "$b" ] || { echo "FAIL: diverged after recovery" >&2; exit 1; }
+
+echo "PASS: differential + failover + re-admission all green"
