@@ -7,6 +7,7 @@
 //	bench -bench 'Table2' -count 3   # any benchmark regex, best-of-3
 //	bench -cpu 1,2                   # sweep GOMAXPROCS (shard fan-out scaling)
 //	bench -out /dev/stdout           # print instead of committing a file
+//	bench -merge points.jsonl        # fold loadgen -json points into the snapshot
 //
 // The default -bench pattern covers the serving hot paths (utility matrix,
 // DAAT retrieval incl. the sharded fan-out and the block-vs-flat posting
@@ -58,12 +59,18 @@ type Snapshot struct {
 	Points    []Point `json:"benchmarks"`
 }
 
-const defaultPattern = "ComputeUtilities|Retrieve|DiversifyFull|SpecRetrieval|Table2$"
+const defaultPattern = "ComputeUtilities|Retrieve|DiversifyFull|SpecRetrieval|Table2$|OpenIndex"
 
 // sizeUnit is the custom metric the storage sub-benchmarks report
 // (BenchmarkRetrieveLayout's b.ReportMetric) — the posting-storage
 // footprint the delta table tracks next to ns/op.
 const sizeUnit = "bytes/posting"
+
+// openUnit is the custom metric BenchmarkOpenIndex reports: wall-clock
+// milliseconds to open a persisted index (heap decode vs mmap-in-place),
+// tracked in the delta table so startup-latency regressions are as
+// visible as throughput ones.
+const openUnit = "open_ms"
 
 func main() {
 	pattern := flag.String("bench", defaultPattern, "benchmark regex passed to go test -bench")
@@ -73,7 +80,16 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json in the working directory)")
 	baseline := flag.String("baseline", "", "snapshot to diff against (default: newest BENCH_*.json in the working directory); \"none\" disables the delta")
+	merge := flag.String("merge", "", "JSONL file of externally measured points (loadgen -json output) to fold into the snapshot at -out instead of running go test; same-name points are replaced")
 	flag.Parse()
+
+	if *merge != "" {
+		if err := mergePoints(*merge, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *pattern, "-benchmem", "-count", strconv.Itoa(*count)}
 	if *benchtime != "" {
@@ -133,6 +149,78 @@ func main() {
 	printDelta(*baseline, path, snap)
 }
 
+// mergePoints folds externally measured benchmark points — one JSON
+// object per line, the shape loadgen -json writes — into the snapshot at
+// outPath, creating it if absent. A point with the same (name,
+// gomaxprocs) as an existing one replaces it, so re-running an
+// experiment updates the curve instead of duplicating it. This is how
+// scripts/scale.sh lands its QPS/p99 replica-scaling points next to the
+// go-test benchmarks in the committed BENCH_<date>.json.
+func mergePoints(src, outPath string) error {
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	var incoming []Point
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var p Point
+		if err := dec.Decode(&p); err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		if p.Name == "" {
+			return fmt.Errorf("%s: point without a name", src)
+		}
+		incoming = append(incoming, p)
+	}
+	if len(incoming) == 0 {
+		return fmt.Errorf("%s: no points to merge", src)
+	}
+
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	snap := Snapshot{
+		Schema:    1,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	if existing, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(existing, &snap); err != nil {
+			return fmt.Errorf("%s: %w", outPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	replaced := 0
+	for _, p := range incoming {
+		found := false
+		for i := range snap.Points {
+			if snap.Points[i].Name == p.Name && snap.Points[i].Gomaxprocs == p.Gomaxprocs {
+				snap.Points[i] = p
+				found = true
+				replaced++
+				break
+			}
+		}
+		if !found {
+			snap.Points = append(snap.Points, p)
+		}
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: merged %d points (%d replaced) -> %s\n", len(incoming), replaced, outPath)
+	return nil
+}
+
 // printDelta diffs the fresh snapshot against the most recent committed
 // BENCH_*.json (or an explicit -baseline) and prints a ns/op delta table
 // to stderr. Strictly non-gating: any problem — no baseline, unreadable
@@ -176,12 +264,16 @@ func printDelta(baseline, freshPath string, fresh Snapshot) {
 	}
 	baseNs := make(map[key]float64, len(base.Points))
 	baseSize := make(map[key]float64)
+	baseOpen := make(map[key]float64)
 	for _, p := range base.Points {
 		if v, ok := p.Metrics["ns/op"]; ok {
 			baseNs[key{p.Name, p.Gomaxprocs}] = v
 		}
 		if v, ok := p.Metrics[sizeUnit]; ok {
 			baseSize[key{p.Name, p.Gomaxprocs}] = v
+		}
+		if v, ok := p.Metrics[openUnit]; ok {
+			baseOpen[key{p.Name, p.Gomaxprocs}] = v
 		}
 	}
 	fmt.Fprintf(os.Stderr, "bench: delta vs %s (negative = faster; non-gating)\n", baseline)
@@ -217,6 +309,21 @@ func printDelta(baseline, freshPath string, fresh Snapshot) {
 		} else {
 			fmt.Fprintf(os.Stderr, "  index size: %-43s %27.2f %s  (no baseline)\n",
 				fmt.Sprintf("%s-%d", p.Name, p.Gomaxprocs), v, sizeUnit)
+		}
+	}
+	// Startup-latency trajectory: benchmarks reporting open_ms (the
+	// BenchmarkOpenIndex heap-vs-mmap pair) get their own delta line.
+	for _, p := range fresh.Points {
+		v, ok := p.Metrics[openUnit]
+		if !ok {
+			continue
+		}
+		if old, ok := baseOpen[key{p.Name, p.Gomaxprocs}]; ok && old != 0 {
+			fmt.Fprintf(os.Stderr, "  open time:  %-43s %12.3f -> %12.3f %s  %+6.1f%%\n",
+				fmt.Sprintf("%s-%d", p.Name, p.Gomaxprocs), old, v, openUnit, 100*(v-old)/old)
+		} else {
+			fmt.Fprintf(os.Stderr, "  open time:  %-43s %27.3f %s  (no baseline)\n",
+				fmt.Sprintf("%s-%d", p.Name, p.Gomaxprocs), v, openUnit)
 		}
 	}
 }

@@ -10,6 +10,14 @@
 //	buildindex -o engine.bin -no-maxscore   # skip the max-score/block-max tables
 //	buildindex -o engine.bin -block-size 256  # tune the posting-block capacity
 //	buildindex -o engine.bin -no-compress   # flat []Posting layout (no block compression)
+//	buildindex -o index.ridx7 -format mmap  # page-aligned RIDX7 image, mmap-servable in place
+//
+// -format engine (the default) writes an RENG2 engine stream that Load
+// decodes onto the heap. -format mmap writes the RIDX7 mapped layout —
+// postings, shard partition, max-score tables and raw bodies in wire
+// shape with aligned offsets — which `serve -index ... -mmap` (and the
+// shard workers behind scripts/failover.sh) serve straight off the page
+// cache: no posting decode at startup.
 package main
 
 import (
@@ -32,7 +40,16 @@ func main() {
 	noMaxScore := flag.Bool("no-maxscore", false, "skip computing/persisting max-score and block-max tables (loaders rebuild them unless they too disable pruning)")
 	blockSize := flag.Int("block-size", 0, "postings per compressed block (0 = default 128)")
 	noCompress := flag.Bool("no-compress", false, "store postings flat instead of block-compressed")
+	format := flag.String("format", "engine", "output format: engine (RENG2 stream, heap-decoded at load) or mmap (RIDX7 page-aligned image, served in place)")
 	flag.Parse()
+	if *format != "engine" && *format != "mmap" {
+		fmt.Fprintf(os.Stderr, "buildindex: unknown -format %q (engine|mmap)\n", *format)
+		os.Exit(2)
+	}
+	if *format == "mmap" && *noCompress {
+		fmt.Fprintln(os.Stderr, "buildindex: -format mmap requires the block-compressed layout (drop -no-compress)")
+		os.Exit(2)
+	}
 
 	var docs []engine.Document
 	if *corpus == "" {
@@ -83,7 +100,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	if err := eng.SaveTo(f); err != nil {
+	if *format == "mmap" {
+		if _, err := eng.WriteMappedTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "buildindex:", err)
+			os.Exit(1)
+		}
+	} else if err := eng.SaveTo(f); err != nil {
 		fmt.Fprintln(os.Stderr, "buildindex:", err)
 		os.Exit(1)
 	}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -59,6 +60,24 @@ func main() {
 	fmt.Printf("postings:                           %d\n", st.Postings)
 	fmt.Printf("posting bytes:                      %d (%.2f MiB, %.2f B/posting; flat layout costs 8 B/posting)\n",
 		st.Bytes, float64(st.Bytes)/(1<<20), st.BytesPerPosting)
+	fmt.Println()
+
+	// Mapped-vs-heap: size of the page-aligned RIDX7 image this engine
+	// would serve in place, next to what the heap representation holds.
+	// The mapped image bounds the resident set (pages fault in on
+	// demand), and opening it decodes zero postings — the §4.1 estimate
+	// sits beside both so the surrogate store can be budgeted against
+	// either deployment.
+	mappedBytes, err := pipe.Engine.WriteMappedTo(io.Discard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "footprint: sizing mapped image:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== mapped-vs-heap index footprint ==")
+	fmt.Printf("heap posting bytes:                 %d (%.2f MiB, decoded structures owned by the process)\n",
+		st.Bytes, float64(st.Bytes)/(1<<20))
+	fmt.Printf("mapped image bytes (RIDX7):         %d (%.2f MiB: postings + dictionary + doc store + score tables, page-aligned, served in place)\n",
+		mappedBytes, float64(mappedBytes)/(1<<20))
 	fmt.Println()
 
 	f := store.ComputeFootprint()

@@ -24,6 +24,12 @@
 //	loadgen -addr http://localhost:9090 -alg xquad -k 20
 //	loadgen -ingest 200                      # mutate the live index mid-run
 //	loadgen -fail-on-error                   # exit 1 unless every request succeeded
+//	loadgen -json point.json -name QPSScale/workers=2   # machine-readable summary
+//
+// -json writes the client-observed QPS and latency percentiles as one
+// benchmark point; cmd/bench -merge folds such points into the committed
+// BENCH_<date>.json snapshot, which is how scripts/scale.sh records its
+// replica-scaling curve.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"runtime"
 	"sort"
 	"syscall"
 	"time"
@@ -57,6 +64,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	ingestN := flag.Int("ingest", 0, "live-index mutations to interleave with the search load (ingests with periodic updates, deletes, flushes and compactions; 0 = read-only run)")
 	failOnError := flag.Bool("fail-on-error", false, "exit nonzero if any search request fails (the failover gate: chaos runs must lose zero requests)")
+	jsonOut := flag.String("json", "", "also write the run summary to this file as one benchmark point (the shape cmd/bench -merge folds into a BENCH_<date>.json snapshot)")
+	pointName := flag.String("name", "Loadgen", "point name recorded with -json (scripts/scale.sh uses QPSScale/workers=N)")
 	flag.Parse()
 
 	client := &http.Client{
@@ -242,6 +251,41 @@ func main() {
 			100*st.Cache.HitRate, st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries, st.Cache.Capacity)
 		fmt.Printf("server live   epoch %d, %d segments, %d mem docs, %d tombstones, %d live docs (%d flushes, %d compactions)\n",
 			st.Live.Epoch, st.Live.Segments, st.Live.MemDocs, st.Live.Tombstones, st.Live.LiveDocs, st.Live.Flushes, st.Live.Compactions)
+	}
+
+	if *jsonOut != "" {
+		// One point in the shape cmd/bench snapshots use, so a scaling
+		// experiment (scripts/scale.sh) can fold client-observed QPS and
+		// tail latency into the committed BENCH_<date>.json next to the
+		// go-test benchmarks.
+		point := struct {
+			Name       string             `json:"name"`
+			Gomaxprocs int                `json:"gomaxprocs"`
+			Iters      int64              `json:"iters"`
+			Metrics    map[string]float64 `json:"metrics"`
+		}{
+			Name:       *pointName,
+			Gomaxprocs: runtime.GOMAXPROCS(0),
+			Iters:      int64(okCount),
+			Metrics: map[string]float64{
+				"qps":    float64(okCount) / wall.Seconds(),
+				"p50_ms": float64(percentile(latencies, 0.50).Microseconds()) / 1e3,
+				"p90_ms": float64(percentile(latencies, 0.90).Microseconds()) / 1e3,
+				"p95_ms": float64(percentile(latencies, 0.95).Microseconds()) / 1e3,
+				"p99_ms": float64(percentile(latencies, 0.99).Microseconds()) / 1e3,
+				"max_ms": float64(latencies[len(latencies)-1].Microseconds()) / 1e3,
+				"failed": float64(*n - okCount),
+			},
+		}
+		buf, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *failOnError && okCount < *n {

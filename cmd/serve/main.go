@@ -16,6 +16,16 @@
 //	serve -memtable 512 -merge-every 30s    # live-index tuning
 //	serve -pprof                            # expose /debug/pprof/ too
 //	serve -worker -shards 2 -addr :9101     # shard worker for the distributed tier
+//	serve -worker -index index.ridx7 -mmap  # worker over a persisted index, mmap-served
+//	serve -index index.ridx7 -mmap          # full service over a persisted index
+//
+// With -index the engine comes from a persisted file (buildindex output:
+// an RENG2 engine stream or an RIDX7 mapped image) instead of being
+// rebuilt from the synthetic corpus; -mmap additionally serves an RIDX7
+// file in place off the page cache — no posting decode at startup, which
+// is what makes worker (re)starts effectively instant. The file must
+// have been built over the same deterministic world (-seed/-topics) the
+// rest of the pipeline generates.
 //
 // The listener binds before the pipeline builds: /healthz answers 200
 // (liveness) immediately, /readyz answers 503 until the index is
@@ -79,6 +89,8 @@ func main() {
 	mergeEvery := flag.Duration("merge-every", time.Minute, "background compaction interval for the live index (0 = never; compaction folds segments and tombstones back into one base segment)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	workerMode := flag.Bool("worker", false, "run as a shard worker of the distributed tier: build only the index and serve POST /shard/search (see cmd/router)")
+	indexPath := flag.String("index", "", "persisted index/engine file to serve (buildindex output) instead of rebuilding from the synthetic corpus")
+	mmapOn := flag.Bool("mmap", false, "with -index: serve an RIDX7 file in place via mmap (instant startup, page-cache-shared memory)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: max time to read a full request (0 = unlimited)")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout: max time to write a full response (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout: max keep-alive idle time per connection (0 = unlimited)")
@@ -100,6 +112,7 @@ func main() {
 			DisableCompression: *noCompress,
 			MemtableCap:        *memtableCap,
 			WALDir:             *walDir,
+			Mmap:               *mmapOn,
 		},
 		NumCandidates: *candidates,
 		PerSpec:       *perSpec,
@@ -119,8 +132,16 @@ func main() {
 	defer stop()
 
 	if *workerMode {
-		runWorker(ctx, httpSrv, cfg)
+		runWorker(ctx, httpSrv, cfg, *indexPath)
 		return
+	}
+	if *indexPath != "" {
+		eng, err := engine.OpenIndexFile(*indexPath, cfg.Engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		cfg.PrebuiltEngine = eng
 	}
 
 	// The server starts not-ready and the listener binds immediately:
@@ -206,8 +227,11 @@ func main() {
 // recommender — workers run only the document scoring phase) behind the
 // distributed tier's per-shard retrieval endpoint. The listener binds
 // before the build so the router's probes see a live but not-ready
-// replica instead of connection refused.
-func runWorker(ctx context.Context, httpSrv *http.Server, cfg repro.Config) {
+// replica instead of connection refused. With indexPath the index comes
+// from a persisted file instead of a fresh build — combined with -mmap
+// the worker is ready as soon as the file is mapped, which is what makes
+// failover respawns effectively instant.
+func runWorker(ctx context.Context, httpSrv *http.Server, cfg repro.Config, indexPath string) {
 	w := router.NewWorker(nil)
 	httpSrv.Handler = w.Handler()
 
@@ -216,15 +240,28 @@ func runWorker(ctx context.Context, httpSrv *http.Server, cfg repro.Config) {
 	fmt.Fprintf(os.Stderr, "worker listening on %s (not ready: building index)\n", httpSrv.Addr)
 
 	began := time.Now()
-	tb := synth.GenerateTestbed(cfg.Corpus)
-	eng, err := engine.Build(tb.Docs, cfg.Engine)
+	var eng *engine.Engine
+	var err error
+	if indexPath != "" {
+		eng, err = engine.OpenIndexFile(indexPath, cfg.Engine)
+	} else {
+		tb := synth.GenerateTestbed(cfg.Corpus)
+		eng, err = engine.Build(tb.Docs, cfg.Engine)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve: worker build:", err)
 		os.Exit(1)
 	}
 	w.Publish(eng)
-	fmt.Fprintf(os.Stderr, "worker ready in %v: %d docs over %d shards (epoch %d)\n",
-		time.Since(began).Round(time.Millisecond), eng.NumDocs(), eng.Segments().NumShards(), eng.Epoch())
+	backing := "built"
+	if indexPath != "" {
+		backing = "loaded"
+		if eng.Index().Mapped() {
+			backing = "mapped"
+		}
+	}
+	fmt.Fprintf(os.Stderr, "worker ready in %v: %d docs over %d shards (epoch %d, %s index)\n",
+		time.Since(began).Round(time.Millisecond), eng.NumDocs(), eng.Segments().NumShards(), eng.Epoch(), backing)
 
 	waitAndShutdown(ctx, httpSrv, errc)
 }

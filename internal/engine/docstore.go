@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/index"
+)
+
+// docStore is the raw-body side of a sealed segment: the store snippets
+// are extracted from and compaction replays. Two implementations exist —
+// an owned map (the batch/ingest path) and a view over an index's
+// payload section (the mapped path, where bodies live in the mapped file
+// and are served in place).
+type docStore interface {
+	// Has reports whether the store holds a document with this ID.
+	Has(id string) bool
+	// Body returns the raw body of the document. For a mapped store the
+	// string aliases the mapped region: it is valid only while the
+	// backing mapping is retained (a pinned state or live iterator), and
+	// anything that outlives the pin must copy it (see Mapped).
+	Body(id string) (string, bool)
+	// Len returns the number of documents in the store.
+	Len() int
+	// Mapped reports whether Body strings alias a mapped region and must
+	// be cloned before escaping the current state pin.
+	Mapped() bool
+}
+
+// heapDocs is the owned docID → raw body map every build, load and flush
+// produces. Strings are garbage-collected Go heap data; nothing to clone.
+type heapDocs map[string]string
+
+func (h heapDocs) Has(id string) bool            { _, ok := h[id]; return ok }
+func (h heapDocs) Body(id string) (string, bool) { b, ok := h[id]; return b, ok }
+func (h heapDocs) Len() int                      { return len(h) }
+func (h heapDocs) Mapped() bool                  { return false }
+
+// mappedDocs serves bodies straight out of an index's payload section —
+// the zero-copy document store of an engine opened over an index file.
+// The docID → ordinal map is built lazily on the first by-ID access, so
+// opening stays O(1) in the corpus and a pure serving workload (which
+// looks bodies up by ordinal through the index) never pays for it.
+//
+// An index without payloads still answers Has (liveness is an index
+// property) but serves empty bodies — searches work, snippets are empty.
+type mappedDocs struct {
+	idx  *index.Index
+	once sync.Once
+	byID map[string]int32
+}
+
+func (m *mappedDocs) ordinal(id string) (int32, bool) {
+	m.once.Do(func() {
+		m.byID = make(map[string]int32, m.idx.NumDocs())
+		for d := int32(0); d < int32(m.idx.NumDocs()); d++ {
+			m.byID[m.idx.DocID(d)] = d
+		}
+	})
+	d, ok := m.byID[id]
+	return d, ok
+}
+
+func (m *mappedDocs) Has(id string) bool { _, ok := m.ordinal(id); return ok }
+
+func (m *mappedDocs) Body(id string) (string, bool) {
+	d, ok := m.ordinal(id)
+	if !ok {
+		return "", false
+	}
+	p, _ := m.idx.Payload(d) // empty when the file carries no payloads
+	return p, true
+}
+
+func (m *mappedDocs) Len() int { return m.idx.NumDocs() }
+
+func (m *mappedDocs) Mapped() bool { return m.idx.Mapped() }

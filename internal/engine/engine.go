@@ -79,6 +79,12 @@ type Config struct {
 	// immutable segment automatically. 0 means 1024; negative disables
 	// auto-flush (explicit Flush/Compact only).
 	MemtableCap int
+	// Mmap makes OpenIndexFile serve RIDX7 index files in place from a
+	// read-only file mapping instead of decoding them onto the heap:
+	// instant startup (no posting decode, no copy of the block region)
+	// and page-cache-shared memory across processes serving the same
+	// file. Ignored by Build/Load (they own their heap state).
+	Mmap bool
 	// WALDir, when non-empty, makes flushes and compactions durable: each
 	// sealed epoch is persisted to an engine stream in this directory
 	// (written to a temp file, fsynced, atomically renamed) BEFORE the
@@ -131,6 +137,10 @@ type Engine struct {
 	// reaches disk.
 	durable uint64
 
+	// closed latches Close: the current state's reference has been
+	// dropped and no further searches may start.
+	closed atomic.Bool
+
 	flushes     atomic.Uint64
 	compactions atomic.Uint64
 }
@@ -144,7 +154,9 @@ type segment struct {
 	// statistics — and therefore scores — stay collection-global within
 	// the segment.
 	seg *index.Segmented
-	raw map[string]string // docID → raw body
+	// docs serves raw bodies by docID — an owned map for built/loaded
+	// segments, a payload view for mapped ones (see docStore).
+	docs docStore
 }
 
 // state is one consistent snapshot of the engine: the sealed segments
@@ -174,6 +186,67 @@ type state struct {
 	// of out-of-collection text (including memtable-only terms) land in
 	// the dynamic overflow region.
 	lex *textsim.Lexicon
+	// refs counts holders of this state: 1 for being the engine's
+	// current state, plus 1 per in-flight pinned search. Each state also
+	// holds one reference on every mapped segment index it contains
+	// (taken at construction/clone); the last unpin releases them, so an
+	// epoch swap retiring a mapped segment never unmaps under a reader.
+	// Plain int32 + atomic ops (not atomic.Int32) so clone's struct copy
+	// stays legal; the copy is overwritten before the clone is shared.
+	refs int32
+}
+
+// pin takes a read reference on the state. It fails once refs hit zero —
+// the state was retired and its mapped segments may already be unmapped —
+// in which case the caller must reload the current state and retry.
+func (st *state) pin() bool {
+	for {
+		r := atomic.LoadInt32(&st.refs)
+		if r <= 0 {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&st.refs, r, r+1) {
+			return true
+		}
+	}
+}
+
+// unpin drops a reference; the last one releases the state's hold on its
+// mapped segments (the matching Retain was taken at construction).
+func (st *state) unpin() {
+	if atomic.AddInt32(&st.refs, -1) != 0 {
+		return
+	}
+	for _, sg := range st.segs {
+		sg.seg.Index().Release()
+	}
+}
+
+// retainMapped takes this state's reference on every mapped segment it
+// holds (no-ops for heap segments). Called once per state, at
+// construction — the matching Release runs at the final unpin.
+func (st *state) retainMapped() {
+	for _, sg := range st.segs {
+		sg.seg.Index().Retain()
+	}
+}
+
+// snapshot loads and pins the current state. Searches run entirely
+// against the returned snapshot and must unpin it when done. The retry
+// loop covers the race where a mutator retires the loaded state between
+// Load and pin; if the engine is Closed the drained state is returned
+// unpinned (searching a closed engine is a documented bug — this only
+// keeps the failure mode tame).
+func (e *Engine) snapshot() *state {
+	for {
+		st := e.cur.Load()
+		if st.pin() {
+			return st
+		}
+		if e.cur.Load() == st {
+			return st
+		}
+	}
 }
 
 // clone returns a mutable copy of the state sharing the immutable pieces:
@@ -182,17 +255,19 @@ type state struct {
 // segment. The dead set is deep-copied.
 func (st *state) clone() *state {
 	ns := *st
+	ns.refs = 1
 	ns.dead = make(map[string]bool, len(st.dead))
 	for k, v := range st.dead {
 		ns.dead[k] = v
 	}
+	ns.retainMapped()
 	return &ns
 }
 
 // sealedHas returns the newest segment holding a copy of id.
 func (st *state) sealedHas(id string) (int, bool) {
 	for j := len(st.segs) - 1; j >= 0; j-- {
-		if _, ok := st.segs[j].raw[id]; ok {
+		if st.segs[j].docs.Has(id) {
 			return j, true
 		}
 	}
@@ -206,7 +281,7 @@ func (st *state) sealedLive(si int, id string, mv *index.MemView) bool {
 		return false
 	}
 	for j := si + 1; j < len(st.segs); j++ {
-		if _, ok := st.segs[j].raw[id]; ok {
+		if st.segs[j].docs.Has(id) {
 			return false
 		}
 	}
@@ -222,17 +297,19 @@ func (st *state) isLive(id string, mv *index.MemView) bool {
 	return ok && !st.dead[id]
 }
 
-// body returns the raw body of id's newest copy.
-func (st *state) body(id string, mv *index.MemView) (string, bool) {
+// body returns the raw body of id's newest copy, plus whether that body
+// aliases a mapped region (and so must be cloned before escaping the
+// caller's state pin).
+func (st *state) body(id string, mv *index.MemView) (body string, mapped, ok bool) {
 	if p, ok := mv.Payload(id); ok {
-		return p, true
+		return p, false, true
 	}
 	for j := len(st.segs) - 1; j >= 0; j-- {
-		if p, ok := st.segs[j].raw[id]; ok {
-			return p, true
+		if p, ok := st.segs[j].docs.Body(id); ok {
+			return p, st.segs[j].docs.Mapped(), true
 		}
 	}
-	return "", false
+	return "", false, false
 }
 
 // quiet reports whether the snapshot degenerates to a single immutable
@@ -261,7 +338,7 @@ func Build(docs []Document, cfg Config) (*Engine, error) {
 		shards = 1
 	}
 	seg := b.BuildSegmented(shards)
-	e := newEngine(cfg, seg, raw)
+	e := newEngine(cfg, seg, heapDocs(raw))
 	if err := e.openWAL(); err != nil {
 		return nil, err
 	}
@@ -276,9 +353,9 @@ func Build(docs []Document, cfg Config) (*Engine, error) {
 // here, while the index is still privately owned: fresh builds compute
 // them, v4 streams arrive with them, and older streams get them rebuilt
 // — so pruning works identically whichever way the engine came to be.
-func newEngine(cfg Config, seg *index.Segmented, raw map[string]string) *Engine {
+func newEngine(cfg Config, seg *index.Segmented, docs docStore) *Engine {
 	e := &Engine{cfg: cfg}
-	e.cur.Store(freshState(cfg, seg, raw, 0))
+	e.cur.Store(freshState(cfg, seg, docs, 0))
 	return e
 }
 
@@ -286,19 +363,22 @@ func newEngine(cfg Config, seg *index.Segmented, raw map[string]string) *Engine 
 // every compaction ends) in: max-score tables installed while the index
 // is still privately owned, lexicon wrapped around the dictionary, IDF
 // table derived from it, empty tombstones, empty memtable.
-func freshState(cfg Config, seg *index.Segmented, raw map[string]string, epoch uint64) *state {
+func freshState(cfg Config, seg *index.Segmented, docs docStore, epoch uint64) *state {
 	idx := seg.Index()
 	installTables(cfg, idx)
 	lex := textsim.WrapSortedTerms(idx.Terms())
-	return &state{
+	st := &state{
 		epoch: epoch,
-		segs:  []*segment{{seg: seg, raw: raw}},
+		segs:  []*segment{{seg: seg, docs: docs}},
 		dead:  make(map[string]bool),
 		mem:   index.NewMemtable(cfg.blockLayout()),
 		live:  idx.NumDocs(),
 		idf:   textsim.ComputeIDFFromIndex(idx, lex),
 		lex:   lex,
+		refs:  1,
 	}
+	st.retainMapped()
+	return st
 }
 
 // installTables installs max-score tables for the registered boundable
@@ -366,7 +446,8 @@ func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, 
 // extraction — uses one atomically loaded state, so the stamp certifies
 // which mutations the results reflect.
 func (e *Engine) SearchStamped(ctx context.Context, query string, k int) ([]Result, uint64, error) {
-	st := e.cur.Load()
+	st := e.snapshot()
+	defer st.unpin()
 	out, err := e.searchBatchState(ctx, st, []string{query}, []int{k})
 	if err != nil {
 		return nil, st.epoch, err
@@ -404,7 +485,8 @@ type ShardResult struct {
 // is the snapshot epoch, so a router can detect replicas that have
 // diverged from the common world.
 func (e *Engine) SearchShardBatch(ctx context.Context, si int, queries []string, ks []int) ([][]ShardResult, uint64, error) {
-	st := e.cur.Load()
+	st := e.snapshot()
+	defer st.unpin()
 	mv := st.mem.View()
 	if !st.quiet(mv) {
 		return nil, st.epoch, errors.New("engine: shard search requires a quiescent index (no pending mutations)")
@@ -444,7 +526,9 @@ func (e *Engine) SearchShardBatch(ctx context.Context, si int, queries []string,
 // Search(queries[i], ks[i]) — the serving pipeline batches the main query
 // with all its specialization retrievals through here.
 func (e *Engine) SearchBatch(ctx context.Context, queries []string, ks []int) ([][]Result, error) {
-	return e.searchBatchState(ctx, e.cur.Load(), queries, ks)
+	st := e.snapshot()
+	defer st.unpin()
+	return e.searchBatchState(ctx, st, queries, ks)
 }
 
 // searchBatchState answers a query batch against one loaded snapshot.
@@ -540,7 +624,8 @@ func (e *Engine) resultsFor(st *state, mv *index.MemView, hits []ranking.Hit, qT
 // document yields the empty string; a document with no match yields its
 // leading window.
 func (e *Engine) Snippet(docID, query string) string {
-	st := e.cur.Load()
+	st := e.snapshot()
+	defer st.unpin()
 	mv := st.mem.View()
 	if !st.isLive(docID, mv) {
 		return ""
@@ -549,7 +634,7 @@ func (e *Engine) Snippet(docID, query string) string {
 }
 
 func (e *Engine) snippetFor(st *state, mv *index.MemView, docID string, qTokens []string) string {
-	body, ok := st.body(docID, mv)
+	body, mapped, ok := st.body(docID, mv)
 	if !ok {
 		return ""
 	}
@@ -559,7 +644,7 @@ func (e *Engine) snippetFor(st *state, mv *index.MemView, docID string, qTokens 
 	}
 	w := e.cfg.SnippetWindow
 	if len(raw) <= w {
-		return strings.Join(raw, " ")
+		return cloneIfMapped(mapped, strings.Join(raw, " "))
 	}
 	qset := make(map[string]bool, len(qTokens))
 	for _, t := range qTokens {
@@ -589,7 +674,20 @@ func (e *Engine) snippetFor(st *state, mv *index.MemView, docID string, qTokens 
 			bestAt = i - w + 1
 		}
 	}
-	return strings.Join(raw[bestAt:bestAt+w], " ")
+	return cloneIfMapped(mapped, strings.Join(raw[bestAt:bestAt+w], " "))
+}
+
+// cloneIfMapped copies a snippet off a mapped region. strings.Fields
+// substrings alias their input (and strings.Join degenerates to an alias
+// for single-element input), and snippets outlive the search's state pin
+// — the serving layer caches them in artifacts that survive a compaction
+// unmapping the source segment — so mapped-backed snippets are always
+// copied onto the heap.
+func cloneIfMapped(mapped bool, s string) string {
+	if mapped {
+		return strings.Clone(s)
+	}
+	return s
 }
 
 // SurrogateVector returns the IDF-weighted term vector of the document's

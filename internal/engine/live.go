@@ -102,6 +102,7 @@ func (e *Engine) Ingest(doc Document) (uint64, error) {
 	}
 	ns.epoch = st.epoch + 1
 	e.cur.Store(ns)
+	st.unpin()
 	if ns.mem.Len() >= e.memCap() {
 		if err := e.flushLocked(); err != nil {
 			return ns.epoch, err
@@ -136,6 +137,7 @@ func (e *Engine) Delete(id string) (uint64, bool) {
 	ns.live--
 	ns.epoch = st.epoch + 1
 	e.cur.Store(ns)
+	st.unpin()
 	return ns.epoch, true
 }
 
@@ -176,16 +178,18 @@ func (e *Engine) flushLocked() error {
 	seg := b.BuildSegmented(1)
 	installTables(e.cfg, seg.Index())
 	ns := st.clone()
-	ns.segs = append(append(make([]*segment, 0, len(st.segs)+1), st.segs...), &segment{seg: seg, raw: raw})
+	ns.segs = append(append(make([]*segment, 0, len(st.segs)+1), st.segs...), &segment{seg: seg, docs: heapDocs(raw)})
 	ns.mem = index.NewMemtable(e.cfg.blockLayout())
 	ns.epoch = st.epoch + 1
 	// Counters carry over: every buffered doc became a sealed doc in the
 	// newest segment, preserving exactly the supersession relationships
 	// (and the dead set is disjoint from the memtable by invariant).
 	if err := e.persistLocked(ns); err != nil {
+		ns.unpin() // discard the unpublished state
 		return err // no swap: the memtable stays searchable and mutable
 	}
 	e.cur.Store(ns)
+	st.unpin()
 	e.flushes.Add(1)
 	return nil
 }
@@ -217,7 +221,13 @@ func (e *Engine) Compact() (uint64, error) {
 			if !st.sealedLive(si, id, mv) {
 				continue
 			}
-			body := sg.raw[id]
+			body, _ := sg.docs.Body(id)
+			if sg.docs.Mapped() {
+				// The compacted state outlives the mapped segment it
+				// replaces (the swap below unmaps it once readers drain),
+				// so bodies must move onto the heap.
+				body = strings.Clone(body)
+			}
 			if err := b.Add(id, e.cfg.Analyzer.Tokens(body)); err != nil {
 				return st.epoch, err
 			}
@@ -234,11 +244,12 @@ func (e *Engine) Compact() (uint64, error) {
 	if shards < 1 {
 		shards = 1
 	}
-	ns := freshState(e.cfg, b.BuildSegmented(shards), raw, st.epoch+1)
+	ns := freshState(e.cfg, b.BuildSegmented(shards), heapDocs(raw), st.epoch+1)
 	if err := e.persistLocked(ns); err != nil {
 		return st.epoch, err
 	}
 	e.cur.Store(ns)
+	st.unpin()
 	e.compactions.Add(1)
 	return ns.epoch, nil
 }

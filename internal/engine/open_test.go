@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// writeMappedEngine exports e's base segment as a RIDX7 file.
+func writeMappedEngine(t testing.TB, e *Engine) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "engine.ridx7")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WriteMappedTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sameResults(t *testing.T, want, got []Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: results diverge\nwant %+v\ngot  %+v", label, want, got)
+	}
+}
+
+// TestOpenIndexFileMapped: Build → WriteMappedTo → OpenIndexFile(Mmap)
+// must reproduce searches (scores, ranks, snippets) bit for bit, without
+// decoding a single posting block at open, and Close must unmap.
+func TestOpenIndexFileMapped(t *testing.T) {
+	base := index.ActiveMappings()
+	src, err := Build(smallCorpus(), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeMappedEngine(t, src)
+
+	before, _ := index.BlockIOStats()
+	e, err := OpenIndexFile(path, Config{Shards: 2, Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := index.BlockIOStats(); after != before {
+		t.Fatalf("mapped open decoded %d posting blocks, want 0", after-before)
+	}
+	if index.ActiveMappings() != base+1 {
+		t.Fatalf("ActiveMappings = %d, want %d", index.ActiveMappings(), base+1)
+	}
+	if !e.Index().Mapped() {
+		t.Fatal("engine index not mapped")
+	}
+	if e.NumDocs() != src.NumDocs() {
+		t.Fatalf("NumDocs = %d, want %d", e.NumDocs(), src.NumDocs())
+	}
+	for _, q := range []string{"leopard tank army", "apple pie recipe", "mac os"} {
+		sameResults(t, src.Search(q, 10), e.Search(q, 10), q)
+	}
+	// Shard-level parity too (the worker serving path).
+	ctx := context.Background()
+	for si := 0; si < 2; si++ {
+		want, _, err := src.SearchShardBatch(ctx, si, []string{"leopard"}, []int{5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := e.SearchShardBatch(ctx, si, []string{"leopard"}, []int{5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shard %d diverges", si)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if index.ActiveMappings() != base {
+		t.Fatalf("ActiveMappings = %d after Close, want %d", index.ActiveMappings(), base)
+	}
+}
+
+// TestOpenIndexFileHeap: the same RIDX7 file without Config.Mmap decodes
+// onto the heap — identical results, no mapping.
+func TestOpenIndexFileHeap(t *testing.T) {
+	src, err := Build(smallCorpus(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := OpenIndexFile(writeMappedEngine(t, src), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Index().Mapped() {
+		t.Fatal("heap open produced a mapped index")
+	}
+	sameResults(t, src.Search("leopard", 10), e.Search("leopard", 10), "heap v7")
+}
+
+// TestOpenIndexFileEngineStream: OpenIndexFile dispatches RENG2 streams
+// through Load.
+func TestOpenIndexFileEngineStream(t *testing.T) {
+	src, err := Build(smallCorpus(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "engine.eng")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	e, err := OpenIndexFile(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sameResults(t, src.Search("apple", 10), e.Search("apple", 10), "RENG2")
+}
+
+// TestMappedMutationLifecycle: a mapped engine accepts the full mutation
+// lifecycle. Ingest/Delete/Flush work against the mapped base, and
+// Compact folds everything onto the heap and unmaps the retired segment.
+func TestMappedMutationLifecycle(t *testing.T) {
+	base := index.ActiveMappings()
+	src, err := Build(smallCorpus(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeMappedEngine(t, src)
+	e, err := OpenIndexFile(path, Config{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(Document{ID: "snow", Title: "Snow leopard", Body: "The snow leopard lives in high mountain ranges of central Asia"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Delete("pie"); !ok {
+		t.Fatal("Delete(pie) missed: mapped doc store not consulted for liveness")
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if index.ActiveMappings() != base+1 {
+		t.Fatal("flush must keep the mapped base segment")
+	}
+	// Compaction recomputes collection statistics over the merged corpus,
+	// so scores (and with them order) may legitimately shift — the stable
+	// invariant is the live result SET.
+	ids := func() map[string]bool {
+		out := make(map[string]bool)
+		for _, r := range e.Search("leopard", 0) {
+			out[r.DocID] = true
+		}
+		return out
+	}
+	pre := ids()
+	if _, err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if index.ActiveMappings() != base {
+		t.Fatalf("ActiveMappings = %d after compaction, want %d (mapped base retired)", index.ActiveMappings(), base)
+	}
+	if e.Index().Mapped() {
+		t.Fatal("compacted base still claims to be mapped")
+	}
+	if !reflect.DeepEqual(pre, ids()) {
+		t.Fatal("result set changed across compaction")
+	}
+	// Bodies replayed through compaction must have been cloned off the
+	// mapping: snippets still work after the unmap.
+	if s := e.Snippet("cat", "leopard"); s == "" {
+		t.Fatal("post-compaction snippet empty: body lost with the mapping")
+	}
+	e.Close()
+}
+
+// TestMappedUnmapRace: searches hammer a mapped engine while a mutator
+// compacts it (retiring the mapped segment). The state pin plus iterator
+// refcounts must hold the mapping until every in-flight reader drains —
+// under -race this doubles as the memory-safety proof.
+func TestMappedUnmapRace(t *testing.T) {
+	base := index.ActiveMappings()
+	src, err := Build(smallCorpus(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeMappedEngine(t, src)
+	e, err := OpenIndexFile(path, Config{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]bool)
+	for _, r := range e.Search("leopard", 0) {
+		want[r.DocID] = true
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				got := e.Search("leopard", 0)
+				// Scores shift when the ingest lands (collection stats
+				// change), so assert set membership, not order.
+				if len(got) != len(want) {
+					t.Errorf("mid-swap search returned %d hits, want %d", len(got), len(want))
+					return
+				}
+				for _, r := range got {
+					if !want[r.DocID] || r.Snippet == "" {
+						t.Errorf("mid-swap hit %q (snippet %d bytes)", r.DocID, len(r.Snippet))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		// No query term in the extra doc: the leopard result set stays
+		// fixed across every epoch the searchers can observe.
+		if _, err := e.Ingest(Document{ID: "extra", Body: "unrelated filler content about gardening"}); err != nil {
+			t.Error(err)
+		}
+		if _, err := e.Compact(); err != nil {
+			t.Error(err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	e.Close()
+	if index.ActiveMappings() != base {
+		t.Fatalf("ActiveMappings = %d after drain, want %d", index.ActiveMappings(), base)
+	}
+}

@@ -83,7 +83,8 @@ func saveState(st *state, w io.Writer) error {
 	for _, sg := range st.segs {
 		idx := sg.seg.Index()
 		for d := int32(0); d < int32(idx.NumDocs()); d++ {
-			if err := writeString(sg.raw[idx.DocID(d)]); err != nil {
+			body, _ := sg.docs.Body(idx.DocID(d))
+			if err := writeString(body); err != nil {
 				return err
 			}
 		}
@@ -185,7 +186,7 @@ func loadStateV1(br *bufio.Reader, cfg Config) (*state, error) {
 		}
 		raw[id] = body
 	}
-	return freshState(cfg, seg, raw, 0), nil
+	return freshState(cfg, seg, heapDocs(raw), 0), nil
 }
 
 func loadStateV2(br *bufio.Reader, cfg Config) (*state, error) {
@@ -214,7 +215,7 @@ func loadStateV2(br *bufio.Reader, cfg Config) (*state, error) {
 			}
 			raw[idx.DocID(d)] = body
 		}
-		segs[si] = &segment{seg: sg, raw: raw}
+		segs[si] = &segment{seg: sg, docs: heapDocs(raw)}
 	}
 	memN, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -246,14 +247,17 @@ func loadStateV2(br *bufio.Reader, cfg Config) (*state, error) {
 		segs:  segs,
 		dead:  dead,
 		mem:   mem,
+		refs:  1,
 	}
+	st.retainMapped()
 	// Recount liveness: a sealed copy is shadowed when deleted or
 	// superseded by a newer source; everything else is live.
 	st.live = mem.Len()
 	mv := mem.View()
 	for si, sg := range segs {
-		for id := range sg.raw {
-			if st.sealedLive(si, id, mv) {
+		idx := sg.seg.Index()
+		for d := int32(0); d < int32(idx.NumDocs()); d++ {
+			if st.sealedLive(si, idx.DocID(d), mv) {
 				st.live++
 			} else {
 				st.shadowed++

@@ -39,7 +39,9 @@ func (e *Engine) openWAL() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if st, ok := recoverNewest(e.cfg); ok {
+		old := e.cur.Load()
 		e.cur.Store(st)
+		old.unpin()
 		e.durable = st.epoch
 		return nil
 	}

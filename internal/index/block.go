@@ -133,10 +133,53 @@ func decodeBlock(dst []Posting, data []byte, h blockHeader, base int32) []Postin
 	return dst
 }
 
+// decodeBlockSafe decodes block h from an UNVERIFIED byte region —
+// mapped storage is served in place, so its posting bytes were never
+// validation-decoded at load the way the v5 stream reader does. end is
+// the block's end offset within data (the next header's off, or the
+// term's data length for the last block). Every structural property the
+// branch-lean decoder trusts is checked here instead: terminating
+// varints inside the block's byte range, positive in-range deltas, an
+// exact posting count, and a final document matching the header's
+// maxDoc (which open-time validation bounded by numDocs). ok=false
+// means the block is corrupt; dst then holds garbage to discard.
+func decodeBlockSafe(dst []Posting, data []byte, h blockHeader, base int32, end uint64) ([]Posting, bool) {
+	if uint64(h.off) > end || end > uint64(len(data)) {
+		return dst, false
+	}
+	b := data[h.off:end]
+	at := 0
+	prev := base
+	for i := int32(0); i < h.n; i++ {
+		d, n := binary.Uvarint(b[at:])
+		if n <= 0 || d == 0 || d > uint64(math.MaxInt32) {
+			return dst, false
+		}
+		at += n
+		doc := int64(prev) + int64(d)
+		if doc > int64(math.MaxInt32) {
+			return dst, false
+		}
+		tf, n2 := binary.Uvarint(b[at:])
+		if n2 <= 0 || tf > uint64(math.MaxInt32) {
+			return dst, false
+		}
+		at += n2
+		prev = int32(doc)
+		dst = append(dst, Posting{Doc: prev, TF: int32(tf)})
+	}
+	if at != len(b) || prev != h.maxDoc {
+		return dst, false
+	}
+	return dst, true
+}
+
 // materialize returns the full posting list as a flat slice. Flat lists
 // come back shared (zero copy); compressed lists decode into a fresh
-// allocation — use iterators on hot paths.
-func (pl *postingList) materialize() []Posting {
+// allocation — use iterators on hot paths. unverified selects the
+// defensive decoder (mapped storage); a corrupt mapped block truncates
+// the materialized list at the corruption point.
+func (pl *postingList) materialize(unverified bool) []Posting {
 	if pl.flat != nil || pl.n == 0 {
 		return pl.flat
 	}
@@ -145,6 +188,18 @@ func (pl *postingList) materialize() []Posting {
 	for i, h := range pl.blocks {
 		if i > 0 {
 			base = pl.blocks[i-1].maxDoc
+		}
+		if unverified {
+			end := uint64(len(pl.data))
+			if i+1 < len(pl.blocks) {
+				end = uint64(pl.blocks[i+1].off)
+			}
+			dec, ok := decodeBlockSafe(out, pl.data, h, base, end)
+			if !ok {
+				return out
+			}
+			out = dec
+			continue
 		}
 		out = decodeBlock(out, pl.data, h, base)
 	}
@@ -249,9 +304,15 @@ type PostingIterator struct {
 	cb    int  // block whose postings cur holds (or will, once decoded)
 	curOK bool // cur is decoded and clipped
 	done  bool
+	safe  bool // data is unverified (mapped): decode defensively
 	cur   []Posting
 	pos   int
 	buf   *[]Posting // pooled scratch backing cur in compressed mode
+
+	// m, when non-nil, is the mapping retained on the iterator's behalf:
+	// the pages behind data stay addressable until Release even if the
+	// index is Closed or its engine epoch is retired mid-traversal.
+	m *Mapping
 
 	nDecoded int32
 	nSkipped int32
@@ -328,7 +389,26 @@ func (it *PostingIterator) decodeCur() {
 		if it.buf == nil {
 			it.buf = blockScratch.Get().(*[]Posting)
 		}
-		buf := decodeBlock((*it.buf)[:0], it.data, h, it.base())
+		var buf []Posting
+		if it.safe {
+			end := uint64(len(it.data))
+			if it.cb+1 < len(it.blocks) {
+				end = uint64(it.blocks[it.cb+1].off)
+			}
+			dec, ok := decodeBlockSafe((*it.buf)[:0], it.data, h, it.base(), end)
+			if !ok {
+				// Corrupt mapped block: end the list here rather than
+				// serve garbage. Structurally impossible for owned
+				// storage, whose bytes were validated at build/load.
+				*it.buf = dec[:0]
+				it.nDecoded++
+				it.done = true
+				return
+			}
+			buf = dec
+		} else {
+			buf = decodeBlock((*it.buf)[:0], it.data, h, it.base())
+		}
 		*it.buf = buf[:0]
 		it.nDecoded++
 		s := buf
@@ -525,18 +605,27 @@ func (it *PostingIterator) BlockUpperBound(d int32) (float64, bool) {
 	return math.Inf(1), true
 }
 
-// Release returns the iterator's scratch buffer to the pool and flushes
-// its block I/O tallies. The iterator must not be used afterwards.
-// Releasing an iterator that never decoded (or twice, as long as the
-// struct was not copied in between) is a no-op.
+// Release returns the iterator's scratch buffer to the pool, flushes
+// its block I/O tallies, and drops the iterator's reference on the
+// backing mapping (mapped indexes only — the reference that keeps an
+// epoch swap from unmapping pages mid-traversal). The iterator must not
+// be used afterwards. Releasing an iterator that never decoded (or
+// twice, as long as the struct was not copied in between) is a no-op;
+// on mapped indexes Release is mandatory, since a leaked reference
+// keeps the file mapped.
 func (it *PostingIterator) Release() {
 	if it.buf != nil {
 		blockScratch.Put(it.buf)
 		it.buf = nil
 	}
 	it.cur = nil
+	it.data = nil
 	it.curOK = false
 	it.done = true
+	if it.m != nil {
+		it.m.release()
+		it.m = nil
+	}
 	if it.nDecoded != 0 {
 		blocksDecodedTotal.Add(int64(it.nDecoded))
 		it.nDecoded = 0
@@ -557,7 +646,7 @@ func (it *PostingIterator) Release() {
 func Reblock(x *Index, blockSize int) *Index {
 	flat := make([][]Posting, len(x.plists))
 	for id := range x.plists {
-		flat[id] = x.plists[id].materialize()
+		flat[id] = x.plists[id].materialize(x.unverified)
 	}
 	plists, nBlocks := assemblePostings(flat, normBlockSize(blockSize))
 	out := &Index{
@@ -571,9 +660,19 @@ func Reblock(x *Index, blockSize int) *Index {
 		cf:       x.cf,
 		total:    x.total,
 	}
+	if x.mapping != nil {
+		// The reblocked index is owned and outlives the mapping: clone
+		// every numeric slice that is a view into the mapped region.
+		// (docIDs/termList strings were heap-copied at open already.)
+		out.docLens = append([]int32(nil), x.docLens...)
+		out.cf = append([]int64(nil), x.cf...)
+	}
 	if x.maxScores != nil {
 		out.maxScores = make(map[string][]float64, len(x.maxScores))
 		for k, v := range x.maxScores {
+			if x.mapping != nil {
+				v = append([]float64(nil), v...)
+			}
 			out.maxScores[k] = v
 		}
 	}

@@ -249,6 +249,21 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 	}
 	version := 0
 	switch string(head) {
+	case magicV7:
+		// The mapped layout arriving through the streaming entry point:
+		// slurp the remaining bytes and parse them as an owned slab —
+		// same in-place views, no refcounted mapping, GC-managed
+		// lifetime. (OpenMapped is the zero-copy path; this one exists
+		// so every RIDX version loads through Read/ReadSegmented/
+		// ReadManifest alike.)
+		rest, err := io.ReadAll(io.LimitReader(br, 1<<33))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		buf := make([]byte, 0, len(head)+len(rest))
+		buf = append(buf, head...)
+		buf = append(buf, rest...)
+		return parseV7(buf, nil)
 	case magicV5:
 		version = 5
 	case magicV4:
@@ -411,7 +426,7 @@ func readStream(r io.Reader) (*Index, []int64, error) {
 		x.blockCap = 0
 		for id := range x.plists {
 			pl := &x.plists[id]
-			*pl = postingList{n: pl.n, flat: pl.materialize()}
+			*pl = postingList{n: pl.n, flat: pl.materialize(false)}
 		}
 	} else {
 		x.blockCap = int(blockCap)

@@ -69,6 +69,20 @@ func fuzzSeedManifest(tb testing.TB) []byte {
 	return buf.Bytes()
 }
 
+// fuzzSeedMapped builds a small valid RIDX7 mapped-layout file image for
+// the fuzzer to mutate.
+func fuzzSeedMapped(tb testing.TB, payload func(int32) string) []byte {
+	seg, err := ReadSegmented(bytes.NewReader(fuzzSeedStream(tb, 2)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := seg.WriteMapped(&buf, payload); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzReadIndex drives both codec entry points with arbitrary bytes: any
 // input may be rejected with an error, but none may panic or hang —
 // truncated or corrupt streams (including mangled RIDX5 block headers —
@@ -100,6 +114,26 @@ func FuzzReadIndex(f *testing.F) {
 	// RIDX6 manifests: a valid two-segment manifest with tombstones, the
 	// legacy lift of a bare v5 stream, and hostile segment/tombstone
 	// counts (huge varints where the counts go).
+	// RIDX7 mapped layouts: a valid file (with and without payloads), its
+	// truncations at the header / section table / block region, a bare
+	// header, and hostile section offsets. Read() parses v7 through the
+	// same validator as OpenMapped, so heap fuzzing covers the mapped
+	// open path's structural checks too.
+	v7 := fuzzSeedMapped(f, nil)
+	f.Add(v7)
+	f.Add(fuzzSeedMapped(f, func(d int32) string { return strings.Repeat("x", int(d)+1) }))
+	for _, cut := range []int{7, 95, v7HeaderSize - 1, v7HeaderSize, v7HeaderSize + 64, len(v7) / 2, len(v7) - 1} {
+		if cut > 0 && cut < len(v7) {
+			f.Add(v7[:cut])
+		}
+	}
+	f.Add([]byte(magicV7))
+	f.Add(append([]byte(magicV7), make([]byte, v7HeaderSize)...)) // zeroed header
+	hostile := append([]byte(nil), v7...)
+	for i := 104; i < v7HeaderSize; i += 8 {
+		hostile[i] = 0xff // section offsets/lengths far past EOF
+	}
+	f.Add(hostile)
 	f.Add(fuzzSeedManifest(f))
 	f.Add([]byte("RIDX6\n"))
 	f.Add([]byte("RIDX6\n\x01\x00"))                                     // zero segments

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Posting records one (document, term frequency) pair. Doc is the internal
@@ -196,6 +197,33 @@ type Index struct {
 	// (postingList.blk0). Only meaningful for the compressed layout; the
 	// v5 codec persists it.
 	blockMax map[string][]float64
+
+	// Mapped-storage state (RIDX7, see mapped.go / codec_v7.go). An
+	// owned index leaves all of this zero. mapping refcounts the backing
+	// byte region; unverified marks posting bytes that were never
+	// validation-decoded at load, switching iterators to the defensive
+	// block decoder; terms is nil in this layout (termID binary-searches
+	// the sorted termList instead); payOffs/payBlob are the optional
+	// per-document payload sections.
+	mapping    *Mapping
+	closed     atomic.Bool
+	unverified bool
+	payOffs    []uint64
+	payBlob    []byte
+}
+
+// iterRange builds a posting iterator over [lo, hi) of the term's list,
+// wiring the index's storage contract into it: mapped indexes are
+// retained for the iterator's lifetime (Release drops the reference)
+// and decode blocks defensively.
+func (x *Index) iterRange(id, lo, hi int32) PostingIterator {
+	it := x.plists[id].iter(lo, hi)
+	it.safe = x.unverified
+	if x.mapping != nil {
+		x.mapping.retain()
+		it.m = x.mapping
+	}
+	return it
 }
 
 // NumDocs returns the number of indexed documents.
@@ -232,7 +260,7 @@ func (x *Index) Stats() CollectionStats {
 
 // Lookup returns the statistics of term, if indexed.
 func (x *Index) Lookup(term string) (TermStats, bool) {
-	id, ok := x.terms[term]
+	id, ok := x.termID(term)
 	if !ok {
 		return TermStats{}, false
 	}
@@ -243,18 +271,18 @@ func (x *Index) Lookup(term string) (TermStats, bool) {
 // ONE dictionary probe — the hot-path entry every evaluator uses. The
 // iterator must be Released when traversal ends.
 func (x *Index) LookupIter(term string) (TermStats, PostingIterator, bool) {
-	id, ok := x.terms[term]
+	id, ok := x.termID(term)
 	if !ok {
 		return TermStats{}, PostingIterator{done: true}, false
 	}
 	pl := &x.plists[id]
-	return TermStats{ID: id, DF: int64(pl.n), CF: x.cf[id]}, pl.iter(0, math.MaxInt32), true
+	return TermStats{ID: id, DF: int64(pl.n), CF: x.cf[id]}, x.iterRange(id, 0, math.MaxInt32), true
 }
 
 // PostingIter returns an iterator over the full posting list of an
 // internal term number. Release it when done.
 func (x *Index) PostingIter(id int32) PostingIterator {
-	return x.plists[id].iter(0, math.MaxInt32)
+	return x.iterRange(id, 0, math.MaxInt32)
 }
 
 // LookupPostings returns the statistics and postings of term in one
@@ -263,28 +291,28 @@ func (x *Index) PostingIter(id int32) PostingIterator {
 // fresh allocation per call — evaluators use LookupIter instead and
 // stream block at a time.
 func (x *Index) LookupPostings(term string) (TermStats, []Posting, bool) {
-	id, ok := x.terms[term]
+	id, ok := x.termID(term)
 	if !ok {
 		return TermStats{}, nil, false
 	}
 	pl := &x.plists[id]
-	return TermStats{ID: id, DF: int64(pl.n), CF: x.cf[id]}, pl.materialize(), true
+	return TermStats{ID: id, DF: int64(pl.n), CF: x.cf[id]}, pl.materialize(x.unverified), true
 }
 
 // Postings returns the postings of term (nil if absent), materializing
 // under the compressed layout — see LookupPostings. The flat layout's
 // slice is shared and must not be modified.
 func (x *Index) Postings(term string) []Posting {
-	id, ok := x.terms[term]
+	id, ok := x.termID(term)
 	if !ok {
 		return nil
 	}
-	return x.plists[id].materialize()
+	return x.plists[id].materialize(x.unverified)
 }
 
 // PostingsByID returns the postings for an internal term number,
 // materializing under the compressed layout.
-func (x *Index) PostingsByID(id int32) []Posting { return x.plists[id].materialize() }
+func (x *Index) PostingsByID(id int32) []Posting { return x.plists[id].materialize(x.unverified) }
 
 // Term returns the term string for an internal term number.
 func (x *Index) Term(id int32) string { return x.termList[id] }
@@ -411,7 +439,7 @@ func (x *Index) ComputeMaxScores(score func(tf, docLen float64, t TermStats, c C
 		pl := &x.plists[id]
 		t := TermStats{ID: int32(id), DF: int64(pl.n), CF: x.cf[id]}
 		max := 0.0
-		it := pl.iter(0, math.MaxInt32)
+		it := x.iterRange(int32(id), 0, math.MaxInt32)
 		for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
 			for _, p := range blk {
 				if s := score(float64(p.TF), float64(x.docLens[p.Doc]), t, c); s > max {
@@ -447,7 +475,24 @@ func (x *Index) ComputeBlockMaxScores(score func(tf, docLen float64, t TermStats
 			if bi > 0 {
 				base = pl.blocks[bi-1].maxDoc
 			}
-			blk := decodeBlock((*scratch)[:0], pl.data, h, base)
+			var blk []Posting
+			if x.unverified {
+				end := uint64(len(pl.data))
+				if bi+1 < len(pl.blocks) {
+					end = uint64(pl.blocks[bi+1].off)
+				}
+				dec, ok := decodeBlockSafe((*scratch)[:0], pl.data, h, base, end)
+				if !ok {
+					// Corrupt mapped block: the iterator path ends the
+					// list at this block, so no posting of it is ever
+					// served and a 0 bound stays sound.
+					*scratch = dec[:0]
+					continue
+				}
+				blk = dec
+			} else {
+				blk = decodeBlock((*scratch)[:0], pl.data, h, base)
+			}
 			*scratch = blk[:0]
 			max := 0.0
 			for _, p := range blk {

@@ -1,0 +1,39 @@
+//go:build linux || darwin
+
+package index
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared (one page-cache
+// copy across every worker process mapping the same file). Returns the
+// region and true; the caller owns the munmap.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }
+
+// madviseBytes applies the access-pattern hint to the region. The base
+// address must be page-aligned, which mmap regions are by construction.
+func madviseBytes(b []byte, a Advice) error {
+	if len(b) == 0 {
+		return nil
+	}
+	adv := syscall.MADV_NORMAL
+	switch a {
+	case AdviseRandom:
+		adv = syscall.MADV_RANDOM
+	case AdviseSequential:
+		adv = syscall.MADV_SEQUENTIAL
+	case AdviseWillNeed:
+		adv = syscall.MADV_WILLNEED
+	}
+	return syscall.Madvise(b, adv)
+}

@@ -117,7 +117,7 @@ func (sh Shard) NumDocs() int { return int(sh.hi - sh.lo) }
 // straddling a shard boundary is handled by clipping, never by byte-level
 // offsets into the compressed stream. Release the iterator when done.
 func (sh Shard) Iter(id int32) PostingIterator {
-	return sh.idx.plists[id].iter(sh.lo, sh.hi)
+	return sh.idx.iterRange(id, sh.lo, sh.hi)
 }
 
 // Postings returns the portion of the term's posting list whose documents
@@ -133,7 +133,7 @@ func (sh Shard) Postings(id int32) []Posting {
 		return f[:seekPostings(f, 0, sh.hi)]
 	}
 	var out []Posting
-	it := pl.iter(sh.lo, sh.hi)
+	it := sh.idx.iterRange(id, sh.lo, sh.hi)
 	for blk := it.NextBlock(); blk != nil; blk = it.NextBlock() {
 		out = append(out, blk...)
 	}

@@ -40,6 +40,15 @@ type Config struct {
 	Log synth.LogSpec
 	// Engine configures analysis and the weighting model (default DPH).
 	Engine engine.Config
+	// PrebuiltEngine, when non-nil, is used as the pipeline's engine
+	// instead of building one from the synthetic corpus — the path
+	// cmd/serve takes when pointed at a persisted index file (-index,
+	// optionally mmap-served). The caller must have built or loaded it
+	// over the same deterministic world Config.Corpus describes: the
+	// testbed and query log are still generated from Corpus/Log, and the
+	// recommender mines queries that must resolve against this engine's
+	// collection.
+	PrebuiltEngine *engine.Engine
 	// Session configures query-flow-graph session splitting.
 	Session qfg.Options
 	// Detect configures Algorithm 1 (ambiguity detection).
@@ -145,9 +154,13 @@ func (p *Pipeline) searchOne(ctx context.Context, query string, k int) ([]engine
 func Build(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
 	tb := synth.GenerateTestbed(cfg.Corpus)
-	eng, err := engine.Build(tb.Docs, cfg.Engine)
-	if err != nil {
-		return nil, fmt.Errorf("repro: building engine: %w", err)
+	eng := cfg.PrebuiltEngine
+	if eng == nil {
+		var err error
+		eng, err = engine.Build(tb.Docs, cfg.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("repro: building engine: %w", err)
+		}
 	}
 	log := synth.GenerateLog(tb, cfg.Log)
 	sessions := qfg.ExtractSessions(log, cfg.Session)

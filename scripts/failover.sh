@@ -3,7 +3,11 @@
 #
 # Topology: one router over two shards — shard 0 with TWO replicas,
 # shard 1 with one — plus a single-process serve as the byte-identity
-# reference. The gate has three parts:
+# reference. All three workers serve ONE shared RIDX7 image built by
+# `buildindex -format mmap` and opened with `serve -worker -index ...
+# -mmap`: no per-worker index build, the mapping is shared through the
+# page cache, and the re-admission phase measures a realistic respawn
+# (open the image, not rebuild the world). The gate has three parts:
 #
 #   1. Differential: router /search must be byte-identical (modulo the
 #      timing field took_us) to single-process /search across
@@ -38,9 +42,15 @@ echo "== building binaries"
 go build -o "$workdir/serve" ./cmd/serve
 go build -o "$workdir/router" ./cmd/router
 go build -o "$workdir/loadgen" ./cmd/loadgen
+go build -o "$workdir/buildindex" ./cmd/buildindex
+
+echo "== building the shared mapped index image"
+"$workdir/buildindex" -format mmap -seed 1 -topics 8 -shards 2 \
+  -o "$workdir/index.ridx7" 2>&1 | sed 's/^/   /'
 
 start_worker() { # $1=addr ; echoes pid
-  "$workdir/serve" -worker -shards 2 $WORLD -addr "$1" >>"$workdir/log.$1" 2>&1 &
+  "$workdir/serve" -worker -shards 2 -index "$workdir/index.ridx7" -mmap \
+    -addr "$1" >>"$workdir/log.$1" 2>&1 &
   echo $!
 }
 
