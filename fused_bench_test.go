@@ -1,0 +1,86 @@
+package repro_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/suggest"
+	"repro/internal/synth"
+)
+
+var (
+	fusedBenchOnce sync.Once
+	fusedBenchPipe *repro.Pipeline
+	fusedBenchErr  error
+)
+
+// buildFusedBenchPipeline memoizes a collection-scale pipeline for the
+// fused-vs-staged comparison: ~20k documents (a Zipf-popular topic core
+// plus a large background-noise tail) — big enough that the candidate
+// retrieval heap threshold actually forms and the single-scan fusion has
+// real per-document work (materialization, utility scoring) to absorb.
+func buildFusedBenchPipeline(b *testing.B) *repro.Pipeline {
+	b.Helper()
+	fusedBenchOnce.Do(func() {
+		fusedBenchPipe, fusedBenchErr = repro.Build(repro.Config{
+			Corpus: synth.CorpusSpec{
+				Seed: 29, NumTopics: 10, MinSubtopics: 2, MaxSubtopics: 5,
+				DocsPerSubtopic: 20, GenericDocsPerTopic: 10, NoiseDocs: 19000, DocLength: 50,
+				BackgroundVocab: 2000, TopicVocab: 12, SubtopicVocab: 8,
+			},
+			Log:           synth.AOLLike(30, 5000),
+			NumCandidates: 500,
+			PerSpec:       20,
+			K:             20,
+			Threshold:     0.2,
+			Fused:         true,
+		})
+	})
+	if fusedBenchErr != nil {
+		b.Fatal(fusedBenchErr)
+	}
+	return fusedBenchPipe
+}
+
+var (
+	fusedBenchSel   []core.Selected
+	fusedBenchSpecs []suggest.Specialization
+)
+
+// BenchmarkFusedDiversify answers the same ambiguous query end to end on
+// both execution plans: staged (retrieve R_q as []Result with snippets,
+// re-tokenize, build the problem, then select) vs fused (one Block-Max
+// MaxScore scan streaming candidates straight into the utility scorer
+// and per-specialization heaps). Output is bit-identical by the fused
+// differential sweep; this measures the latency delta the fusion buys.
+func BenchmarkFusedDiversify(b *testing.B) {
+	pipe := buildFusedBenchPipeline(b)
+	var q string
+	for _, topic := range pipe.Testbed.Topics {
+		if len(pipe.DetectSpecializations(topic.Query)) > 0 {
+			q = topic.Query
+			break
+		}
+	}
+	if q == "" {
+		b.Fatal("no ambiguous topic query in the bench corpus")
+	}
+	// A fresh build is quiescent, so the fused plan must actually run —
+	// an ErrNotFusable fallback would silently benchmark staged twice.
+	if _, _, err := pipe.DiversifyFusedK(context.Background(), q, core.AlgOptSelect, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("staged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fusedBenchSel, fusedBenchSpecs = pipe.Diversify(q, core.AlgOptSelect)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fusedBenchSel, fusedBenchSpecs = pipe.DiversifyFused(q, core.AlgOptSelect)
+		}
+	})
+}

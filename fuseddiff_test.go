@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ranking"
+)
+
+// stagedReference computes the staged-plan SERP with a per-query k
+// override — the ground truth every fused cell is byte-compared against.
+func stagedReference(p *Pipeline, problem *core.Problem, alg core.Algorithm, k int, ambiguous bool) []core.Selected {
+	problem.K = k
+	if !ambiguous {
+		return core.Baseline(problem)
+	}
+	return core.Diversify(alg, problem)
+}
+
+// TestFusedDifferentialSweep is the fused-plan acceptance gate: across
+// weighting models × algorithms × k × shard counts × storage layouts, the
+// fused execution plan (one Block-Max MaxScore scan carrying the
+// per-specialization heaps) must produce output bit-identical to the
+// staged plan — same IDs, ranks, normalized relevances, interned
+// surrogate vectors, and selection scores, via reflect.DeepEqual. CI runs
+// it as its own named step, like the mutation and mapped sweeps.
+func TestFusedDifferentialSweep(t *testing.T) {
+	models := []ranking.Model{ranking.DPH{}, ranking.BM25{}, ranking.TFIDF{}, ranking.LMDirichlet{}}
+	algs := []core.Algorithm{core.AlgOptSelect, core.AlgXQuAD, core.AlgIASelect, core.AlgMMR}
+	ksweep := []int{10, 100}
+
+	for _, m := range models {
+		for _, shards := range []int{1, 4} {
+			heapCfg := tinyConfig(42)
+			heapCfg.Engine = engine.Config{Model: m, Shards: shards}
+			heapCfg.Fused = true
+			heapPipe, err := Build(heapCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The mapped twin serves the very same logical index from a
+			// RIDX7 file mapping (the serve -index -mmap shape).
+			path := writeMappedPipeline(t, heapPipe)
+			mapped, err := engine.OpenIndexFile(path, engine.Config{Model: m, Shards: shards, Mmap: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { mapped.Close() })
+			mapCfg := heapCfg
+			mapCfg.PrebuiltEngine = mapped
+			mapPipe, err := Build(mapCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, tc := range []struct {
+				storage string
+				pipe    *Pipeline
+			}{{"heap", heapPipe}, {"mapped", mapPipe}} {
+				tc := tc
+				name := fmt.Sprintf("%s/shards=%d/%s", m.Name(), shards, tc.storage)
+				t.Run(name, func(t *testing.T) {
+					sweepPipeline(t, tc.pipe, algs, ksweep)
+				})
+			}
+		}
+	}
+}
+
+// sweepPipeline byte-compares fused vs staged over every testbed topic
+// query (ambiguous ones exercise the fused operator; unambiguous ones
+// check the baseline degenerates identically).
+func sweepPipeline(t *testing.T, pipe *Pipeline, algs []core.Algorithm, ksweep []int) {
+	ctx := context.Background()
+	ambiguous := 0
+	for _, topic := range pipe.Testbed.Topics {
+		q := topic.Query
+		specs := pipe.DetectSpecializations(q)
+		if len(specs) > 0 {
+			ambiguous++
+		}
+		problem := pipe.BuildProblem(q, specs)
+		for _, alg := range algs {
+			for _, k := range ksweep {
+				want := stagedReference(pipe, problem, alg, k, len(specs) > 0)
+				got, _, err := pipe.DiversifyFusedK(ctx, q, alg, k)
+				if err != nil {
+					t.Fatalf("%s q=%q alg=%s k=%d: %v", t.Name(), q, alg, k, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("fused diverges from staged: q=%q alg=%s k=%d\nwant %+v\ngot  %+v",
+						q, alg, k, want, got)
+				}
+			}
+		}
+	}
+	if ambiguous == 0 {
+		t.Fatal("no ambiguous topic queries — the sweep exercised nothing fused")
+	}
+}

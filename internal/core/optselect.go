@@ -34,7 +34,83 @@ func OptSelect(p *Problem, u *Utilities) []Selected {
 	if len(p.Specs) == 0 {
 		return Baseline(p)
 	}
+	h := NewOptSelectHeaps(p, k)
+	for i := range p.Candidates {
+		h.Offer(i, u.U[i], u.Overall[i], p.Candidates[i].Rank)
+	}
+	return OptSelectFrom(p, u, h)
+}
+
+// OptSelectHeaps is the heap state of Algorithm 2, split out so it can be
+// populated incrementally: the staged path fills it in one loop over a
+// completed Utilities matrix (OptSelect above), while the fused execution
+// plan offers each candidate as the retrieval scan materializes it —
+// M_q′ per specialization (size ⌊k·P(q′|q)⌋+1) and the global reservoir M
+// (size k). Heap keys are the overall score Ũ(d|q) of Equation (9); ties
+// break toward the better original rank. Offer order must be candidate
+// order (ascending index), which both paths produce.
+type OptSelectHeaps struct {
+	k     int
+	quota []int
+	specs []*topk.Bounded[int]
+	m     *topk.Bounded[int]
+}
+
+// NewOptSelectHeaps sizes the heaps of Algorithm 2 for result size k
+// (already clamped to the candidate count).
+func NewOptSelectHeaps(p *Problem, k int) *OptSelectHeaps {
+	h := &OptSelectHeaps{
+		k:     k,
+		quota: make([]int, len(p.Specs)),
+		specs: make([]*topk.Bounded[int], len(p.Specs)),
+	}
+	for j := range p.Specs {
+		h.quota[j] = int(float64(k) * p.Specs[j].Prob)
+		h.specs[j] = topk.NewBounded[int](h.quota[j] + 1)
+	}
+	h.m = topk.NewBounded[int](k)
+	return h
+}
+
+// Offer is line 05–06 of Algorithm 2 for one candidate: push i onto M_q′
+// for every specialization with Ũ(i|R_q′_j) > 0, and onto M. We strengthen
+// M slightly: every document is offered to M exactly once, making M the
+// global top-k reservoir by overall score. This keeps the O(log k)
+// per-push cost but guarantees the fill phase always sees the best
+// unselected candidates (a document useful for every specialization can be
+// evicted from all bounded spec heaps; under the literal "else" rule it
+// would vanish from the selectable pool).
+func (h *OptSelectHeaps) Offer(i int, row []float64, overall float64, rank int) {
+	for j, uj := range row {
+		if uj > 0 {
+			h.specs[j].Push(i, overall, int64(rank))
+		}
+	}
+	h.m.Push(i, overall, int64(rank))
+}
+
+// SpecEvictions reports the total full-heap evictions across the
+// per-specialization heaps — the fused-path /stats counter showing how
+// contended the aspect heaps were.
+func (h *OptSelectHeaps) SpecEvictions() uint64 {
+	var n uint64
+	for _, sh := range h.specs {
+		n += sh.Evictions()
+	}
+	return n
+}
+
+// OptSelectFrom runs the selection phases of Algorithm 2 over prebuilt
+// heaps: proportional coverage first, then fill from the leftovers and M.
+// Every candidate must have been Offered exactly once, in candidate order;
+// h must have been sized with k = p.clampK().
+func OptSelectFrom(p *Problem, u *Utilities, h *OptSelectHeaps) []Selected {
+	k := h.k
+	if k == 0 {
+		return nil
+	}
 	n := len(p.Candidates)
+	quota, specHeaps, global := h.quota, h.specs, h.m
 
 	// Specialization processing order: descending probability, matching
 	// "the more popular a specialization, the greater the number of
@@ -46,35 +122,6 @@ func OptSelect(p *Problem, u *Utilities) []Selected {
 	sort.SliceStable(order, func(a, b int) bool {
 		return p.Specs[order[a]].Prob > p.Specs[order[b]].Prob
 	})
-
-	// Build the heaps: M_q′ per specialization (size ⌊k·P⌋+1), M for
-	// documents useful to no specialization (size k). Heap keys are the
-	// overall score Ũ(d|q) of Equation (9); ties break toward the better
-	// original rank.
-	quota := make([]int, len(p.Specs))
-	specHeaps := make([]*topk.Bounded[int], len(p.Specs))
-	for j := range p.Specs {
-		quota[j] = int(float64(k) * p.Specs[j].Prob)
-		specHeaps[j] = topk.NewBounded[int](quota[j] + 1)
-	}
-	global := topk.NewBounded[int](k)
-
-	// Line 05–06 of Algorithm 2: for each q′ and each d, push d onto M_q′
-	// when Ũ(d|R_q′) > 0 and onto M otherwise. We strengthen M slightly:
-	// every document is offered to M exactly once, making M the global
-	// top-k reservoir by overall score. This keeps the O(log k) per-push
-	// cost but guarantees the fill phase always sees the best unselected
-	// candidates (a document useful for every specialization can be
-	// evicted from all bounded spec heaps; under the literal "else" rule
-	// it would vanish from the selectable pool).
-	for i := 0; i < n; i++ {
-		for j := range p.Specs {
-			if u.U[i][j] > 0 {
-				specHeaps[j].Push(i, u.Overall[i], int64(p.Candidates[i].Rank))
-			}
-		}
-		global.Push(i, u.Overall[i], int64(p.Candidates[i].Rank))
-	}
 
 	selected := make([]bool, n)
 	cover := make([]int, len(p.Specs)) // |S ⋈ q′_j| so far

@@ -150,6 +150,117 @@ func (sc *utilScratch) prepare(p *Problem) {
 	}
 }
 
+// UtilityScorer evaluates Definition 2 one candidate at a time — the
+// streaming form of ComputeUtilities the fused execution plan uses to
+// score candidates as the retrieval scan materializes them, instead of in
+// a separate pass over a completed candidate list. The per-specialization
+// inverted indexes are built once at construction; ScoreInto then runs
+// exactly the inner loop of the batch path, so a matrix assembled row by
+// row through a scorer is bit-identical to ComputeUtilities output.
+//
+// A scorer borrows pooled scratch; Close returns it. The scorer reads only
+// p.Specs (which must not change while it is alive) — candidates may be
+// appended to p.Candidates between ScoreInto calls, which is precisely how
+// the fused operator streams them in.
+type UtilityScorer struct {
+	p  *Problem
+	sc *utilScratch
+}
+
+// NewUtilityScorer prepares a streaming scorer for the problem's
+// specializations. The problem must be interned first (EnsureInterned is
+// called here; problems built by the engine pipeline carry Lex and this is
+// a no-op).
+func NewUtilityScorer(p *Problem) *UtilityScorer {
+	p.EnsureInterned()
+	sc := utilScratchPool.Get().(*utilScratch)
+	sc.prepare(p)
+	return &UtilityScorer{p: p, sc: sc}
+}
+
+// ScoreInto fills row (length |S_q|) with the thresholded utilities
+// Ũ(d|R_q′_j) of one candidate and returns its overall score (Equation
+// (9)). d.IVec must be interned under the same lexicon as the
+// specialization results.
+func (us *UtilityScorer) ScoreInto(d *Doc, row []float64) float64 {
+	p, sc := us.p, us.sc
+	cids := d.IVec.IDs
+	cw := d.IVec.Weights
+	dn := d.IVec.Norm()
+	for j := range p.Specs {
+		spec := &p.Specs[j]
+		if len(spec.Results) == 0 || sc.norm[j] == 0 {
+			row[j] = 0
+			continue
+		}
+		si := &sc.specs[j]
+		acc := sc.acc[:len(spec.Results)]
+		for r := range acc {
+			acc[r] = 0
+		}
+		// One merge of the candidate's terms against the spec index
+		// scores the candidate against every result of R_q′ at once.
+		ci, ti := 0, 0
+		for ci < len(cids) && ti < len(si.termIDs) {
+			switch {
+			case cids[ci] == si.termIDs[ti]:
+				w := cw[ci]
+				for pi := si.starts[ti]; pi < si.starts[ti+1]; pi++ {
+					acc[si.postRes[pi]] += w * si.postW[pi]
+				}
+				ci++
+				ti++
+			case cids[ci] < si.termIDs[ti]:
+				ci++
+			default:
+				ti++
+			}
+		}
+		sum := 0.0
+		for r := range spec.Results {
+			dr := &spec.Results[r]
+			var sim float64
+			if dr.ID == d.ID {
+				sim = 1 // δ(d,d) = 0
+			} else if dn != 0 && dr.IVec.Norm() != 0 {
+				// Same operation order as textsim cosine: merged dot,
+				// then one division by the norm product, then clamp.
+				c := acc[r] / (dn * dr.IVec.Norm())
+				if c > 1 {
+					c = 1
+				}
+				if c < -1 {
+					c = -1
+				}
+				sim = c
+			}
+			if sim <= 0 {
+				continue
+			}
+			rank := dr.Rank
+			if rank <= 0 {
+				rank = r + 1
+			}
+			sum += sim / float64(rank)
+		}
+		util := sum / sc.norm[j]
+		if util < p.Threshold {
+			util = 0
+		}
+		row[j] = util
+	}
+	return overallScore(p, row, d.Rel)
+}
+
+// Close returns the scorer's scratch to the pool. The scorer must not be
+// used afterwards.
+func (us *UtilityScorer) Close() {
+	if us.sc != nil {
+		utilScratchPool.Put(us.sc)
+		us.sc = nil
+	}
+}
+
 func computeUtilitiesInto(p *Problem, u *Utilities) {
 	p.EnsureInterned()
 	n := len(p.Candidates)
@@ -159,80 +270,13 @@ func computeUtilitiesInto(p *Problem, u *Utilities) {
 	u.U = resizeRows(u.U, n)
 	u.Overall = resizeFloats(u.Overall, n)
 
-	sc := utilScratchPool.Get().(*utilScratch)
-	defer utilScratchPool.Put(sc)
-	sc.prepare(p)
+	us := NewUtilityScorer(p)
+	defer us.Close()
 
 	for i := range p.Candidates {
 		row := u.flat[i*s : (i+1)*s : (i+1)*s]
-		d := &p.Candidates[i]
-		cids := d.IVec.IDs
-		cw := d.IVec.Weights
-		dn := d.IVec.Norm()
-		for j := range p.Specs {
-			spec := &p.Specs[j]
-			if len(spec.Results) == 0 || sc.norm[j] == 0 {
-				row[j] = 0
-				continue
-			}
-			si := &sc.specs[j]
-			acc := sc.acc[:len(spec.Results)]
-			for r := range acc {
-				acc[r] = 0
-			}
-			// One merge of the candidate's terms against the spec index
-			// scores the candidate against every result of R_q′ at once.
-			ci, ti := 0, 0
-			for ci < len(cids) && ti < len(si.termIDs) {
-				switch {
-				case cids[ci] == si.termIDs[ti]:
-					w := cw[ci]
-					for pi := si.starts[ti]; pi < si.starts[ti+1]; pi++ {
-						acc[si.postRes[pi]] += w * si.postW[pi]
-					}
-					ci++
-					ti++
-				case cids[ci] < si.termIDs[ti]:
-					ci++
-				default:
-					ti++
-				}
-			}
-			sum := 0.0
-			for r := range spec.Results {
-				dr := &spec.Results[r]
-				var sim float64
-				if dr.ID == d.ID {
-					sim = 1 // δ(d,d) = 0
-				} else if dn != 0 && dr.IVec.Norm() != 0 {
-					// Same operation order as textsim cosine: merged dot,
-					// then one division by the norm product, then clamp.
-					c := acc[r] / (dn * dr.IVec.Norm())
-					if c > 1 {
-						c = 1
-					}
-					if c < -1 {
-						c = -1
-					}
-					sim = c
-				}
-				if sim <= 0 {
-					continue
-				}
-				rank := dr.Rank
-				if rank <= 0 {
-					rank = r + 1
-				}
-				sum += sim / float64(rank)
-			}
-			util := sum / sc.norm[j]
-			if util < p.Threshold {
-				util = 0
-			}
-			row[j] = util
-		}
 		u.U[i] = row
-		u.Overall[i] = overallScore(p, row, d.Rel)
+		u.Overall[i] = us.ScoreInto(&p.Candidates[i], row)
 	}
 }
 

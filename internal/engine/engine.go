@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/ranking"
 	"repro/internal/text"
@@ -85,6 +86,15 @@ type Config struct {
 	// and page-cache-shared memory across processes serving the same
 	// file. Ignored by Build/Load (they own their heap state).
 	Mmap bool
+	// DisableMadvise turns off the access-pattern hints (madvise) the
+	// engine issues for mapped index regions: MADV_RANDOM while serving
+	// (posting blocks are reached by block-max skipping, so readahead is
+	// wasted I/O) and MADV_SEQUENTIAL bracketing the one-pass scans —
+	// compaction body replay and mapped export. Hints are advisory,
+	// errors are ignored, and on heap-backed indexes or platforms
+	// without madvise they are no-ops either way; the toggle exists for
+	// benchmarking and as an escape hatch (serve -madvise=false).
+	DisableMadvise bool
 	// WALDir, when non-empty, makes flushes and compactions durable: each
 	// sealed epoch is persisted to an engine stream in this directory
 	// (written to a temp file, fsynced, atomically renamed) BEFORE the
@@ -166,6 +176,23 @@ type segment struct {
 // Older copies are superseded structurally (a newer source holds the ID);
 // dead holds only fully deleted IDs, so re-ingesting clears the tombstone.
 type state struct {
+	// stateData is embedded, not inlined, so clone can copy the logical
+	// snapshot wholesale WITHOUT touching refs: a plain struct copy of
+	// the whole state would read refs non-atomically while a concurrent
+	// search's pin CASes it — a data race (mixed atomic/non-atomic
+	// access to one word), even though the copied value is discarded.
+	stateData
+	// refs counts holders of this state: 1 for being the engine's
+	// current state, plus 1 per in-flight pinned search. Each state also
+	// holds one reference on every mapped segment index it contains
+	// (taken at construction/clone); the last unpin releases them, so an
+	// epoch swap retiring a mapped segment never unmaps under a reader.
+	refs int32
+}
+
+// stateData is the logical snapshot content — everything immutable once
+// the state is published, safe to copy with a struct assignment.
+type stateData struct {
 	epoch uint64
 	segs  []*segment
 	// dead is the tombstone set: IDs whose sealed copies are all deleted.
@@ -186,14 +213,6 @@ type state struct {
 	// of out-of-collection text (including memtable-only terms) land in
 	// the dynamic overflow region.
 	lex *textsim.Lexicon
-	// refs counts holders of this state: 1 for being the engine's
-	// current state, plus 1 per in-flight pinned search. Each state also
-	// holds one reference on every mapped segment index it contains
-	// (taken at construction/clone); the last unpin releases them, so an
-	// epoch swap retiring a mapped segment never unmaps under a reader.
-	// Plain int32 + atomic ops (not atomic.Int32) so clone's struct copy
-	// stays legal; the copy is overwritten before the clone is shared.
-	refs int32
 }
 
 // pin takes a read reference on the state. It fails once refs hit zero —
@@ -252,16 +271,16 @@ func (e *Engine) snapshot() *state {
 // clone returns a mutable copy of the state sharing the immutable pieces:
 // the segments slice (copied before append), the memtable pointer (the
 // shared live tail between flushes), and the lexicon/IDF of the base
-// segment. The dead set is deep-copied.
+// segment. The dead set is deep-copied. Only stateData is copied — refs
+// belongs to the old state's readers and is CASed concurrently.
 func (st *state) clone() *state {
-	ns := *st
-	ns.refs = 1
+	ns := &state{stateData: st.stateData, refs: 1}
 	ns.dead = make(map[string]bool, len(st.dead))
 	for k, v := range st.dead {
 		ns.dead[k] = v
 	}
 	ns.retainMapped()
-	return &ns
+	return ns
 }
 
 // sealedHas returns the newest segment holding a copy of id.
@@ -368,14 +387,16 @@ func freshState(cfg Config, seg *index.Segmented, docs docStore, epoch uint64) *
 	installTables(cfg, idx)
 	lex := textsim.WrapSortedTerms(idx.Terms())
 	st := &state{
-		epoch: epoch,
-		segs:  []*segment{{seg: seg, docs: docs}},
-		dead:  make(map[string]bool),
-		mem:   index.NewMemtable(cfg.blockLayout()),
-		live:  idx.NumDocs(),
-		idf:   textsim.ComputeIDFFromIndex(idx, lex),
-		lex:   lex,
-		refs:  1,
+		stateData: stateData{
+			epoch: epoch,
+			segs:  []*segment{{seg: seg, docs: docs}},
+			dead:  make(map[string]bool),
+			mem:   index.NewMemtable(cfg.blockLayout()),
+			live:  idx.NumDocs(),
+			idf:   textsim.ComputeIDFFromIndex(idx, lex),
+			lex:   lex,
+		},
+		refs: 1,
 	}
 	st.retainMapped()
 	return st
@@ -437,7 +458,7 @@ func (e *Engine) Search(query string, k int) []Result {
 // disconnected request stops consuming shard workers instead of running
 // to completion. The only possible error is ctx.Err().
 func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, error) {
-	res, _, err := e.SearchStamped(ctx, query, k)
+	res, _, err := e.SearchStamped(ctx, query, k, nil)
 	return res, err
 }
 
@@ -445,7 +466,31 @@ func (e *Engine) SearchCtx(ctx context.Context, query string, k int) ([]Result, 
 // ran against: the whole search — retrieval, filtering, merging, snippet
 // extraction — uses one atomically loaded state, so the stamp certifies
 // which mutations the results reflect.
-func (e *Engine) SearchStamped(ctx context.Context, query string, k int) ([]Result, uint64, error) {
+//
+// plan selects the execution plan; nil (or a staged plan) runs the
+// default staged path. A fused plan routes through SearchFusedStamped —
+// the query and k arguments override the plan's — and renders the
+// diversified selection as Results: DocID/Rank/Score carry the SERP
+// order and the selection score, while Snippet stays empty (the fused
+// operator consumes surrogates internally and does not build display
+// strings; callers wanting both run the staged plan).
+func (e *Engine) SearchStamped(ctx context.Context, query string, k int, plan *exec.Plan) ([]Result, uint64, error) {
+	if plan.Fused() {
+		pl := *plan
+		pl.Query = query
+		if k > 0 {
+			pl.K = k
+		}
+		sel, epoch, err := e.SearchFusedStamped(ctx, &pl)
+		if err != nil {
+			return nil, epoch, err
+		}
+		out := make([]Result, len(sel))
+		for i, s := range sel {
+			out[i] = Result{DocID: s.ID, Rank: i + 1, Score: s.Score}
+		}
+		return out, epoch, nil
+	}
 	st := e.snapshot()
 	defer st.unpin()
 	out, err := e.searchBatchState(ctx, st, []string{query}, []int{k})
@@ -484,9 +529,18 @@ type ShardResult struct {
 // an error rather than silently approximate results. The second return
 // is the snapshot epoch, so a router can detect replicas that have
 // diverged from the common world.
-func (e *Engine) SearchShardBatch(ctx context.Context, si int, queries []string, ks []int) ([][]ShardResult, uint64, error) {
+//
+// plan must be nil or staged: diversification fusion is a post-merge
+// global operator (the per-aspect heaps consume the deterministically
+// merged hit stream of ALL shards), so a single shard cannot run it —
+// distributed deployments diversify router-side over staged shard
+// results, and a fused plan here is a caller bug, reported as an error.
+func (e *Engine) SearchShardBatch(ctx context.Context, si int, queries []string, ks []int, plan *exec.Plan) ([][]ShardResult, uint64, error) {
 	st := e.snapshot()
 	defer st.unpin()
+	if plan.Fused() {
+		return nil, st.epoch, errors.New("engine: fused plans are post-merge operators; shard workers serve staged plans only")
+	}
 	mv := st.mem.View()
 	if !st.quiet(mv) {
 		return nil, st.epoch, errors.New("engine: shard search requires a quiescent index (no pending mutations)")

@@ -216,6 +216,11 @@ func (e *Engine) Compact() (uint64, error) {
 	raw := make(map[string]string, st.live)
 	for si, sg := range st.segs {
 		idx := sg.seg.Index()
+		// Body replay is one sequential pass over the segment in docID
+		// order: hint readahead for the scan and restore the serving
+		// pattern after (the segment keeps answering searches until the
+		// swap below lands).
+		e.advise(idx, index.AdviseSequential)
 		for d := int32(0); d < int32(idx.NumDocs()); d++ {
 			id := idx.DocID(d)
 			if !st.sealedLive(si, id, mv) {
@@ -229,10 +234,12 @@ func (e *Engine) Compact() (uint64, error) {
 				body = strings.Clone(body)
 			}
 			if err := b.Add(id, e.cfg.Analyzer.Tokens(body)); err != nil {
+				e.advise(idx, index.AdviseRandom)
 				return st.epoch, err
 			}
 			raw[id] = body
 		}
+		e.advise(idx, index.AdviseRandom)
 	}
 	for _, d := range st.mem.LiveDocs() {
 		if err := b.Add(d.ID, d.Tokens); err != nil {

@@ -64,6 +64,17 @@ func OpenIndexFile(path string, cfg Config) (*Engine, error) {
 	return engineAroundIndex(cfg, seg)
 }
 
+// advise applies a madvise access-pattern hint to idx's backing mapping
+// unless the engine was configured with DisableMadvise. Hints are
+// advisory — errors are ignored — and on owned (heap) indexes or
+// platforms without madvise the call is a no-op.
+func (e *Engine) advise(idx *index.Index, a index.Advice) {
+	if e.cfg.DisableMadvise {
+		return
+	}
+	_ = idx.Advise(a)
+}
+
 // engineAroundIndex wraps a loaded (possibly mapped) segmented index in a
 // quiet single-segment engine whose document store is the index's payload
 // section.
@@ -74,6 +85,11 @@ func engineAroundIndex(cfg Config, seg *index.Segmented) (*Engine, error) {
 		seg = seg.Resegment(cfg.Shards)
 	}
 	installTables(cfg, seg.Index())
+	if cfg.DisableMadvise {
+		// OpenMapped defaults the region to MADV_RANDOM (the serving
+		// pattern); an engine opting out restores normal readahead.
+		_ = seg.Index().Advise(index.AdviseNormal)
+	}
 	e := &Engine{cfg: cfg}
 	e.cur.Store(freshState(cfg, seg, &mappedDocs{idx: seg.Index()}, 0))
 	// The state took its own reference on the mapping; drop the open one
@@ -100,6 +116,11 @@ func (e *Engine) WriteMappedTo(w io.Writer) (int64, error) {
 	}
 	sg := st.segs[0]
 	idx := sg.seg.Index()
+	// The export is one sequential pass over postings and payload: hint
+	// readahead for the scan, then restore the serving pattern (the
+	// segment keeps answering searches throughout).
+	e.advise(idx, index.AdviseSequential)
+	defer e.advise(idx, index.AdviseRandom)
 	return sg.seg.WriteMapped(w, func(d int32) string {
 		body, _ := sg.docs.Body(idx.DocID(d))
 		return body

@@ -69,11 +69,11 @@ func TestOpenIndexFileMapped(t *testing.T) {
 	// Shard-level parity too (the worker serving path).
 	ctx := context.Background()
 	for si := 0; si < 2; si++ {
-		want, _, err := src.SearchShardBatch(ctx, si, []string{"leopard"}, []int{5})
+		want, _, err := src.SearchShardBatch(ctx, si, []string{"leopard"}, []int{5}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := e.SearchShardBatch(ctx, si, []string{"leopard"}, []int{5})
+		got, _, err := e.SearchShardBatch(ctx, si, []string{"leopard"}, []int{5}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -243,11 +243,13 @@ func loadStateV2(br *bufio.Reader, cfg Config) (*state, error) {
 		}
 	}
 	st := &state{
-		epoch: man.Epoch,
-		segs:  segs,
-		dead:  dead,
-		mem:   mem,
-		refs:  1,
+		stateData: stateData{
+			epoch: man.Epoch,
+			segs:  segs,
+			dead:  dead,
+			mem:   mem,
+		},
+		refs: 1,
 	}
 	st.retainMapped()
 	// Recount liveness: a sealed copy is shadowed when deleted or

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"repro/internal/core"
+)
+
+// FusedState is the shared cursor/heap state of the fused plan: the
+// diversification problem under construction, the streaming utility
+// scorer over the cached aspect vectors, the utility matrix filled row by
+// row, and — for OptSelect — the per-specialization bounded heaps of
+// Algorithm 2, populated as candidates arrive instead of in a separate
+// pass.
+//
+// Protocol: the engine's scan calls NewFusedState once the hit count of
+// the main retrieval is known, Pushes exactly that many candidates in
+// retrieval (rank) order, then calls Finish. Push order equals the staged
+// candidate order, the scorer runs the identical float kernel, and the
+// heaps see the identical (score, rank) stream — which is why Finish's
+// output is bit-identical to the staged plan's.
+type FusedState struct {
+	plan   *Plan
+	prob   *core.Problem
+	scorer *core.UtilityScorer
+	u      *core.Utilities
+	heaps  *core.OptSelectHeaps
+	flat   []float64
+	k      int // plan.K clamped to the candidate count
+	n      int // candidates promised to Push
+	i      int // candidates pushed so far
+}
+
+// NewFusedState prepares the operator state for a scan that will push
+// exactly n candidates. The plan's aspect lists must be pre-interned
+// under plan.Lex.
+func NewFusedState(plan *Plan, n int) *FusedState {
+	prob := &core.Problem{
+		Query:      plan.Query,
+		Candidates: make([]core.Doc, 0, n),
+		Specs:      plan.Aspects,
+		K:          plan.K,
+		Lambda:     plan.Lambda,
+		Threshold:  plan.Threshold,
+		Lex:        plan.Lex,
+	}
+	fs := &FusedState{plan: plan, prob: prob, n: n}
+	// Clamp k exactly like Problem.clampK will once all n candidates are
+	// in — the heap sizes of Algorithm 2 depend on it.
+	fs.k = plan.K
+	if fs.k < 0 {
+		fs.k = 0
+	}
+	if fs.k > n {
+		fs.k = n
+	}
+	s := len(plan.Aspects)
+	if s == 0 {
+		return fs // Baseline-only: no utilities, no heaps
+	}
+	switch plan.Alg {
+	case core.AlgBaseline, core.AlgMMR:
+		// Baseline ignores utilities; MMR is pairwise over the candidates
+		// themselves. Neither consumes the matrix, so skip the scorer.
+	default:
+		fs.scorer = core.NewUtilityScorer(prob)
+		fs.flat = make([]float64, n*s)
+		fs.u = &core.Utilities{
+			U:       make([][]float64, 0, n),
+			Overall: make([]float64, 0, n),
+		}
+		if plan.Alg == core.AlgOptSelect && fs.k > 0 {
+			fs.heaps = core.NewOptSelectHeaps(prob, fs.k)
+		}
+	}
+	return fs
+}
+
+// Push appends one materialized candidate (in retrieval order) and runs
+// the scoring stage over it: its utility row, its overall score, and —
+// for OptSelect — its heap offers.
+func (fs *FusedState) Push(d core.Doc) {
+	fs.prob.Candidates = append(fs.prob.Candidates, d)
+	i := fs.i
+	fs.i++
+	if fs.scorer == nil {
+		return
+	}
+	s := len(fs.prob.Specs)
+	row := fs.flat[i*s : (i+1)*s : (i+1)*s]
+	overall := fs.scorer.ScoreInto(&fs.prob.Candidates[i], row)
+	fs.u.U = append(fs.u.U, row)
+	fs.u.Overall = append(fs.u.Overall, overall)
+	if fs.heaps != nil {
+		fs.heaps.Offer(i, row, overall, d.Rank)
+	}
+}
+
+// Problem exposes the problem under construction (read-only use; the
+// engine reads the candidate list when rendering results).
+func (fs *FusedState) Problem() *core.Problem { return fs.prob }
+
+// Finish runs the selection stage and releases the scorer's scratch. The
+// dispatch mirrors core.Diversify exactly: Baseline/MMR bypass utilities,
+// OptSelect consumes the prebuilt heaps, xQuAD/IASelect consume the
+// streamed matrix, and an empty aspect set degrades to the baseline.
+func (fs *FusedState) Finish() []core.Selected {
+	defer fs.Close()
+	p := fs.prob
+	if len(p.Specs) == 0 {
+		return core.Baseline(p)
+	}
+	switch fs.plan.Alg {
+	case core.AlgBaseline:
+		return core.Baseline(p)
+	case core.AlgMMR:
+		return core.MMR(p)
+	case core.AlgOptSelect:
+		if fs.k == 0 {
+			return nil
+		}
+		addAspectHeapEvictions(fs.heaps.SpecEvictions())
+		return core.OptSelectFrom(p, fs.u, fs.heaps)
+	case core.AlgXQuAD:
+		return core.XQuAD(p, fs.u)
+	case core.AlgIASelect:
+		return core.IASelect(p, fs.u)
+	default:
+		return core.Baseline(p)
+	}
+}
+
+// Close releases the scorer's pooled scratch. Finish calls it; an aborted
+// scan (context cancellation) must call it directly.
+func (fs *FusedState) Close() {
+	if fs.scorer != nil {
+		fs.scorer.Close()
+		fs.scorer = nil
+	}
+}

@@ -1,0 +1,66 @@
+package exec
+
+import "sync/atomic"
+
+// Process-wide fused-path counters, mirroring the index package's block
+// I/O counters: cheap atomics the serving layer snapshots into /stats.
+var (
+	fusedQueries        atomic.Uint64
+	stagedQueries       atomic.Uint64
+	aspectHeapEvictions atomic.Uint64
+	aspectBlocksSkipped atomic.Uint64
+)
+
+// CountQuery records which plan served a query.
+func CountQuery(m Mode) {
+	if m == ModeFused {
+		fusedQueries.Add(1)
+	} else {
+		stagedQueries.Add(1)
+	}
+}
+
+// addAspectHeapEvictions folds one fused scan's per-aspect heap evictions
+// into the process counter.
+func addAspectHeapEvictions(n uint64) {
+	if n != 0 {
+		aspectHeapEvictions.Add(n)
+	}
+}
+
+// AddAspectBlocksSkipped credits posting blocks skipped during the aspect
+// (R_q′) retrievals — the small-k scans whose heap thresholds form fast
+// enough for Block-Max skipping to bite. The caller attributes them by
+// snapshotting index.BlockIOStats around the aspect retrieval batch, so
+// under concurrent traffic the attribution is approximate (other scans'
+// skips in the same window are counted too); the totals remain exact in
+// the index counters.
+func AddAspectBlocksSkipped(n uint64) {
+	if n != 0 {
+		aspectBlocksSkipped.Add(n)
+	}
+}
+
+// Counters is a point-in-time snapshot of the fused-path counters.
+type Counters struct {
+	// FusedQueries and StagedQueries count queries by the plan that
+	// served them.
+	FusedQueries  uint64
+	StagedQueries uint64
+	// AspectHeapEvictions counts full-heap displacements across the
+	// per-specialization bounded heaps of fused OptSelect scans.
+	AspectHeapEvictions uint64
+	// AspectBlocksSkipped counts posting blocks skipped via the heap
+	// thresholds of the aspect retrievals (see AddAspectBlocksSkipped).
+	AspectBlocksSkipped uint64
+}
+
+// Stats snapshots the fused-path counters.
+func Stats() Counters {
+	return Counters{
+		FusedQueries:        fusedQueries.Load(),
+		StagedQueries:       stagedQueries.Load(),
+		AspectHeapEvictions: aspectHeapEvictions.Load(),
+		AspectBlocksSkipped: aspectBlocksSkipped.Load(),
+	}
+}

@@ -88,7 +88,7 @@ func (w *Worker) handleShardSearch(wr http.ResponseWriter, r *http.Request) {
 		writeJSON(wr, http.StatusBadRequest, errorBody{Error: "queries and ks length mismatch"})
 		return
 	}
-	lists, epoch, err := e.SearchShardBatch(r.Context(), req.Shard, req.Queries, req.Ks)
+	lists, epoch, err := e.SearchShardBatch(r.Context(), req.Shard, req.Queries, req.Ks, nil)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if r.Context().Err() != nil {

@@ -36,6 +36,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/suggest"
 	"repro/internal/synth"
@@ -257,6 +258,19 @@ type IndexStats struct {
 	BlocksSkipped   int64    `json:"blocks_skipped"`
 }
 
+// FusedStats mirrors the exec package's process-wide fused-plan
+// counters: how often queries ran the fused single-scan plan vs the
+// staged one, how many per-aspect heap entries were displaced by better
+// candidates, and how many posting blocks the aspect retrievals skipped
+// via their (small-k, fast-forming) thresholds. The skip counter is
+// attribution-approximate under concurrency — see exec.Counters.
+type FusedStats struct {
+	FusedQueries        uint64 `json:"fused_queries"`
+	StagedQueries       uint64 `json:"staged_queries"`
+	AspectHeapEvictions uint64 `json:"aspect_heap_evictions"`
+	AspectBlocksSkipped uint64 `json:"aspect_blocks_skipped"`
+}
+
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
 	UptimeSeconds  int64                   `json:"uptime_s"`
@@ -272,6 +286,7 @@ type StatsResponse struct {
 	Deletes        int64                   `json:"deletes"`
 	AvgLatencyMsec float64                 `json:"avg_latency_ms"`
 	Index          IndexStats              `json:"index"`
+	Fused          FusedStats              `json:"fused"`
 	Live           engine.LiveStats        `json:"live"`
 	Cache          CacheStats              `json:"cache"`
 	Latency        map[string]LatencyStats `json:"latency"`
@@ -481,6 +496,7 @@ func (s *Server) StatsSnapshot() (StatsResponse, bool) {
 	seg := h.Pipeline.Engine.Segments()
 	storage := seg.Index().Storage()
 	decoded, skipped := index.BlockIOStats()
+	fused := exec.Stats()
 	return StatsResponse{
 		UptimeSeconds:  int64(time.Since(s.start).Seconds()),
 		Workers:        s.cfg.Workers,
@@ -505,6 +521,12 @@ func (s *Server) StatsSnapshot() (StatsResponse, bool) {
 			BytesPerPosting: storage.BytesPerPosting,
 			BlocksDecoded:   decoded,
 			BlocksSkipped:   skipped,
+		},
+		Fused: FusedStats{
+			FusedQueries:        fused.FusedQueries,
+			StagedQueries:       fused.StagedQueries,
+			AspectHeapEvictions: fused.AspectHeapEvictions,
+			AspectBlocksSkipped: fused.AspectBlocksSkipped,
 		},
 		Live:    h.Pipeline.Engine.Live(),
 		Latency: latency,

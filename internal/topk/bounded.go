@@ -12,8 +12,9 @@ import (
 // per-specialization heaps of size floor(k*P(q'|q))+1: each insertion costs
 // O(log B), which is the source of the algorithm's O(n log k) bound.
 type Bounded[T any] struct {
-	bound int
-	items []Item[T]
+	bound     int
+	items     []Item[T]
+	evictions uint64
 }
 
 // NewBounded returns a collector keeping the best b items. b must be >= 0;
@@ -57,8 +58,15 @@ func (h *Bounded[T]) PushItem(it Item[T]) bool {
 	}
 	h.items[0] = it
 	h.down(0)
+	h.evictions++
 	return true
 }
+
+// Evictions reports how many retained items were displaced by better ones
+// (full-heap replace-root pushes). It is a measure of how contended the
+// heap was: a spec heap with many evictions saw far more useful candidates
+// than its quota could hold. Serving surfaces the aggregate in /stats.
+func (h *Bounded[T]) Evictions() uint64 { return h.evictions }
 
 // Threshold returns the score a new item must beat to be retained: the
 // worst retained score once the collector is full. Until then no score is

@@ -2,14 +2,33 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/index"
 	"repro/internal/suggest"
 	"repro/internal/text"
 )
+
+// countAspectSkips runs one aspect (R_q′) retrieval batch and credits the
+// posting blocks it skipped via Block-Max thresholds to the fused-path
+// stats. The attribution is a BlockIOStats delta around the batch, so
+// under concurrent traffic it is approximate (other scans' skips in the
+// window are counted too); the index counters stay exact.
+func countAspectSkips(f func() error) error {
+	_, s0 := index.BlockIOStats()
+	err := f()
+	_, s1 := index.BlockIOStats()
+	if d := s1 - s0; d > 0 {
+		exec.AddAspectBlocksSkipped(uint64(d))
+	}
+	return err
+}
 
 // BuildProblemParallel is the §6 future-work architecture the paper
 // sketches — "a search architecture performing the diversification task
@@ -55,6 +74,15 @@ func (p *Pipeline) DiversifyParallel(query string, alg core.Algorithm) ([]core.S
 		return core.Baseline(problem), nil
 	}
 	return core.Diversify(alg, problem), specs
+}
+
+// fusedEligible reports whether a request with these cached artifacts can
+// run the fused plan: the config enables it, the engine is local (fusion
+// is a post-merge operator a distributed Searcher cannot host), and the
+// query is ambiguous (an unambiguous query has no aspect heaps to fuse —
+// its baseline is a plain retrieval either way).
+func (p *Pipeline) fusedEligible(art *queryArtifacts) bool {
+	return p.Config.Fused && p.Engine != nil && p.Searcher == nil && len(art.Specs) > 0
 }
 
 // queryArtifacts is what the serving cache stores per normalized query:
@@ -154,6 +182,27 @@ func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg
 	// with the artifact build (the §6 parallel architecture); on a hit it
 	// is the only retrieval left.
 	art, hit := h.cache.Get(key)
+
+	// Plan selection: a cache hit on an ambiguous query under a fused
+	// config runs the whole request as ONE scan — the cached aspect lists
+	// seed the per-specialization heaps inside the retrieval pass. Misses
+	// keep the staged plan (its artifact build overlaps the scan, which
+	// fusion cannot), as do unambiguous queries (nothing to fuse) and
+	// distributed Searchers (fusion is a local, post-merge operator).
+	if hit && p.fusedEligible(art) {
+		sel, err := p.fusedScan(ctx, norm, alg, k, art.SpecLists)
+		switch {
+		case err == nil:
+			exec.CountQuery(exec.ModeFused)
+			return sel, art.Specs, true, nil
+		case !errors.Is(err, exec.ErrNotFusable):
+			// Request-scoped failure (cancellation); the cached artifacts
+			// are untouched — only this request fails.
+			return nil, nil, true, err
+		}
+		// Not fusable (pending mutations): fall through to the staged plan.
+	}
+
 	var candidates []core.Doc
 	var candErr error
 	if hit {
@@ -171,6 +220,7 @@ func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg
 	if candErr != nil {
 		return nil, nil, hit, candErr
 	}
+	exec.CountQuery(exec.ModeStaged)
 
 	problem := p.newProblem(norm, candidates, art.SpecLists)
 	if k > 0 {
@@ -252,7 +302,12 @@ func (h *ServeHandle) buildArtifacts(norm string) (*queryArtifacts, error) {
 	for i, s := range specs {
 		queries[i], ks[i] = s.Query, p.Config.PerSpec
 	}
-	lists, err := p.searcher().SearchBatch(context.Background(), queries, ks)
+	var lists [][]engine.Result
+	err := countAspectSkips(func() error {
+		var err error
+		lists, err = p.searcher().SearchBatch(context.Background(), queries, ks)
+		return err
+	})
 	if err != nil {
 		// Degrade to an empty (baseline-serving) artifact; buildOrJoin
 		// will not cache it.

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/qfg"
 	"repro/internal/querylog"
 	"repro/internal/suggest"
@@ -68,6 +69,18 @@ type Config struct {
 	// MaxSpecs caps |S_q| (the paper selects the k most probable when
 	// |S_q| > k; a small cap keeps SERPs sane). Default 10.
 	MaxSpecs int
+
+	// Fused enables the fused execution plan on the serving path: cache
+	// hits for ambiguous queries run retrieval, candidate
+	// materialization, utility scoring and diversification as ONE
+	// Block-Max MaxScore scan (engine.SearchFusedStamped) instead of
+	// staged passes. Results are bit-identical to the staged plan (the
+	// fused differential sweep enforces it); only latency changes. The
+	// staged plan remains in use for cache misses (where the artifact
+	// build overlaps the scan), for unambiguous queries, for distributed
+	// Searchers, and whenever the engine reports the snapshot not
+	// fusable (pending mutations).
+	Fused bool
 }
 
 func (c Config) withDefaults() Config {
@@ -215,46 +228,24 @@ func (p *Pipeline) candidateDocsCtx(ctx context.Context, query string) ([]core.D
 // (1-λ)·P(d|q) term of Equations (5)/(9) microscopic and collapses
 // every method into pure utility ordering; max-normalization keeps the
 // two terms on the comparable footing the paper's λ = 0.15 implies.)
-//
-// Models whose totals can go negative — LMDirichlet log-likelihoods,
-// whose per-document adjustment is qLen·log(μ/(μ+l)) < 0 — are shifted
-// by the minimum score before normalizing, so Rel lands in [0,1] with
-// rank order preserved. (An earlier version max-normalized against a
-// floor of 0, which zeroed — or sign-flipped — every candidate under
-// the language model and silently collapsed Equations (5)/(9) into pure
-// utility ordering for that ablation.) For the nonnegative models
-// (DPH/BM25/TFIDF) the shift is zero and the output is unchanged.
+// The mapping — including the minimum-score shift that keeps
+// negative-total models like LMDirichlet in [0,1] — lives in
+// exec.RelNormalizer, shared with the engine's fused scan so both plans
+// normalize through the same code.
 func (p *Pipeline) candidatesFromResults(results []engine.Result) []core.Doc {
 	candidates := make([]core.Doc, len(results))
 	if len(results) == 0 {
 		return candidates
 	}
-	minScore, maxScore := results[0].Score, results[0].Score
-	for _, r := range results[1:] {
-		if r.Score > maxScore {
-			maxScore = r.Score
-		}
-		if r.Score < minScore {
-			minScore = r.Score
-		}
+	var rn exec.RelNormalizer
+	for i := range results {
+		rn.Observe(results[i].Score)
 	}
 	for i, r := range results {
-		rel := 0.0
-		switch {
-		case minScore >= 0:
-			if maxScore > 0 {
-				rel = r.Score / maxScore
-			}
-		case maxScore > minScore:
-			rel = (r.Score - minScore) / (maxScore - minScore)
-		default:
-			// Every score equal and negative: equally relevant.
-			rel = 1
-		}
 		candidates[i] = core.Doc{
 			ID:   r.DocID,
 			Rank: r.Rank,
-			Rel:  rel,
+			Rel:  rn.Rel(r.Score),
 			IVec: p.Engine.IVectorOfText(r.Snippet),
 		}
 	}
@@ -322,4 +313,120 @@ func (p *Pipeline) Diversify(query string, alg core.Algorithm) ([]core.Selected,
 		return core.Baseline(problem), nil
 	}
 	return core.Diversify(alg, problem), specs
+}
+
+// fusedPlan assembles the execution plan of one fused query from the
+// pipeline configuration and the (cached or freshly staged) aspect lists.
+// k <= 0 means the configured K.
+func (p *Pipeline) fusedPlan(query string, alg core.Algorithm, k int, specLists []core.Specialization) *exec.Plan {
+	if k <= 0 {
+		k = p.Config.K
+	}
+	return &exec.Plan{
+		Mode:          exec.ModeFused,
+		Query:         query,
+		Alg:           alg,
+		K:             k,
+		NumCandidates: p.Config.NumCandidates,
+		Lambda:        p.Config.Lambda,
+		Threshold:     p.Config.Threshold,
+		Aspects:       specLists,
+		Lex:           p.Engine.Lexicon(),
+	}
+}
+
+// fusedScan runs the fused plan on the local engine. The only errors are
+// ctx.Err() and exec.ErrNotFusable (pending mutations — callers fall back
+// to the staged plan).
+func (p *Pipeline) fusedScan(ctx context.Context, query string, alg core.Algorithm, k int, specLists []core.Specialization) ([]core.Selected, error) {
+	sel, _, err := p.Engine.SearchFusedStamped(ctx, p.fusedPlan(query, alg, k, specLists))
+	return sel, err
+}
+
+// DiversifyFused is Diversify running the fused execution plan: for an
+// ambiguous query the R_q′ aspect retrievals are staged first (one
+// batched fan-out, as in DiversifyParallel), then retrieval, candidate
+// materialization, utility scoring and selection run as ONE Block-Max
+// MaxScore scan over shared cursor/heap state. Output is bit-identical
+// to Diversify — the fused differential sweep enforces it; only latency
+// changes. Unambiguous queries, pipelines without a local engine
+// (distributed Searcher), and non-quiescent engines fall back to the
+// staged plan.
+func (p *Pipeline) DiversifyFused(query string, alg core.Algorithm) ([]core.Selected, []suggest.Specialization) {
+	sel, specs, _ := p.DiversifyFusedK(context.Background(), query, alg, 0) // Background never cancels locally
+	return sel, specs
+}
+
+// DiversifyFusedK is DiversifyFused with request-scoped cancellation and
+// a per-request result size k (k <= 0 means the configured K).
+func (p *Pipeline) DiversifyFusedK(ctx context.Context, query string, alg core.Algorithm, k int) ([]core.Selected, []suggest.Specialization, error) {
+	specs := p.DetectSpecializations(query)
+	if len(specs) == 0 || p.Engine == nil || p.Searcher != nil {
+		return p.diversifyStagedK(ctx, query, alg, k, specs)
+	}
+	// Stage the aspect retrievals: |S_q| small-k scans whose heap
+	// thresholds form fast enough for Block-Max skipping to bite (the
+	// per-aspect-threshold half of the fused design; see
+	// docs/ARCHITECTURE.md).
+	queries := make([]string, len(specs))
+	ks := make([]int, len(specs))
+	for i, s := range specs {
+		queries[i], ks[i] = s.Query, p.Config.PerSpec
+	}
+	var lists [][]engine.Result
+	err := countAspectSkips(func() error {
+		var err error
+		lists, err = p.searcher().SearchBatch(ctx, queries, ks)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	specLists := make([]core.Specialization, len(specs))
+	for i := range specs {
+		specLists[i] = p.specFromResults(specs[i], lists[i])
+	}
+	sel, err := p.fusedScan(ctx, query, alg, k, specLists)
+	if err == nil {
+		return sel, specs, nil
+	}
+	if err != exec.ErrNotFusable {
+		return nil, nil, err
+	}
+	// Pending mutations: finish on the staged plan with the aspect lists
+	// already in hand.
+	candidates, err := p.candidateDocsCtx(ctx, query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.finishStaged(query, alg, k, specs, candidates, specLists)
+}
+
+// diversifyStagedK is the staged twin of DiversifyFusedK: one batched
+// fan-out for R_q plus the aspect lists, then the selection stage.
+func (p *Pipeline) diversifyStagedK(ctx context.Context, query string, alg core.Algorithm, k int, specs []suggest.Specialization) ([]core.Selected, []suggest.Specialization, error) {
+	problem, err := p.BuildProblemBatched(ctx, query, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k > 0 {
+		problem.K = k
+	}
+	if len(specs) == 0 {
+		return core.Baseline(problem), nil, nil
+	}
+	return core.Diversify(alg, problem), specs, nil
+}
+
+// finishStaged runs the selection stage of the staged plan over
+// already-materialized parts.
+func (p *Pipeline) finishStaged(query string, alg core.Algorithm, k int, specs []suggest.Specialization, candidates []core.Doc, specLists []core.Specialization) ([]core.Selected, []suggest.Specialization, error) {
+	problem := p.newProblem(query, candidates, specLists)
+	if k > 0 {
+		problem.K = k
+	}
+	if len(specs) == 0 {
+		return core.Baseline(problem), nil, nil
+	}
+	return core.Diversify(alg, problem), specs, nil
 }
