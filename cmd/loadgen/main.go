@@ -19,6 +19,12 @@
 // the CI failover gate runs: kill a replica mid-run, require zero
 // failed requests.
 //
+// Tail-tolerance probes: -budget stamps every request with an
+// X-Search-Budget deadline header, and hedged / degraded responses are
+// counted as their own result classes. Degraded responses (partial
+// candidate set) count as failures — and trip -fail-on-error — unless
+// -allow-degraded says the run expects them.
+//
 //	loadgen                                  # 2000 queries, 8 connections
 //	loadgen -n 10000 -c 32 -zipf 1.2
 //	loadgen -addr http://localhost:9090 -alg xquad -k 20
@@ -62,6 +68,8 @@ func main() {
 	alg := flag.String("alg", "", "algorithm override (empty = server default)")
 	k := flag.Int("k", 0, "per-request k override (0 = server default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	budget := flag.Duration("budget", 0, "per-request X-Search-Budget deadline header sent with every search (0 = none)")
+	allowDegraded := flag.Bool("allow-degraded", false, "count degraded (partial-result) responses as successes; without this they are failures and trip -fail-on-error")
 	ingestN := flag.Int("ingest", 0, "live-index mutations to interleave with the search load (ingests with periodic updates, deletes, flushes and compactions; 0 = read-only run)")
 	failOnError := flag.Bool("fail-on-error", false, "exit nonzero if any search request fails (the failover gate: chaos runs must lose zero requests)")
 	jsonOut := flag.String("json", "", "also write the run summary to this file as one benchmark point (the shape cmd/bench -merge folds into a BENCH_<date>.json snapshot)")
@@ -97,10 +105,12 @@ func main() {
 	}
 
 	type result struct {
-		latency time.Duration
-		hit     bool
-		diverse bool
-		class   string // empty = success; otherwise the error class
+		latency  time.Duration
+		hit      bool
+		diverse  bool
+		degraded bool
+		hedged   bool
+		class    string // empty = success; otherwise the error class
 	}
 	jobs := make(chan string)
 	results := make(chan result, *n)
@@ -116,12 +126,14 @@ func main() {
 				}
 				began := time.Now()
 				var sr server.SearchResponse
-				code, err := getJSON(client, *addr+"/search?"+v.Encode(), &sr)
+				code, hdr, err := getJSONBudget(client, *addr+"/search?"+v.Encode(), *budget, &sr)
 				results <- result{
-					latency: time.Since(began),
-					hit:     sr.CacheHit,
-					diverse: sr.Ambiguous,
-					class:   classify(code, err),
+					latency:  time.Since(began),
+					hit:      sr.CacheHit,
+					diverse:  sr.Ambiguous,
+					degraded: sr.Degraded,
+					hedged:   hdr.Get(server.HeaderHedged) == "true",
+					class:    classify(code, err),
 				}
 			}
 		}()
@@ -192,12 +204,25 @@ func main() {
 
 	latencies := make([]time.Duration, 0, *n)
 	okCount, hitCount, diverseCount := 0, 0, 0
+	degradedCount, hedgedCount := 0, 0
 	errClasses := map[string]int{}
 	for i := 0; i < *n; i++ {
 		r := <-results
 		if r.class != "" {
 			errClasses[r.class]++
 			continue
+		}
+		if r.hedged {
+			hedgedCount++ // latency salvage, not an error: always a success
+		}
+		if r.degraded {
+			degradedCount++
+			if !*allowDegraded {
+				// A partial SERP the run did not opt into is a failure
+				// (and trips -fail-on-error), even though it came back 200.
+				errClasses["degraded"]++
+				continue
+			}
 		}
 		okCount++
 		latencies = append(latencies, r.latency)
@@ -239,6 +264,10 @@ func main() {
 	fmt.Printf("latency max   %v\n", latencies[len(latencies)-1].Round(time.Microsecond))
 	fmt.Printf("cache hits    %d/%d (%.1f%% client-observed)\n", hitCount, okCount, 100*float64(hitCount)/float64(okCount))
 	fmt.Printf("diversified   %d/%d ambiguous SERPs\n", diverseCount, okCount)
+	if hedgedCount > 0 || degradedCount > 0 || *budget > 0 {
+		fmt.Printf("hedged        %d responses\n", hedgedCount)
+		fmt.Printf("degraded      %d responses (allowed=%v)\n", degradedCount, *allowDegraded)
+	}
 	if *ingestN > 0 {
 		fmt.Printf("mutations     %d ok, %d failed\n", mut[0], mut[1])
 	}
@@ -268,13 +297,15 @@ func main() {
 			Gomaxprocs: runtime.GOMAXPROCS(0),
 			Iters:      int64(okCount),
 			Metrics: map[string]float64{
-				"qps":    float64(okCount) / wall.Seconds(),
-				"p50_ms": float64(percentile(latencies, 0.50).Microseconds()) / 1e3,
-				"p90_ms": float64(percentile(latencies, 0.90).Microseconds()) / 1e3,
-				"p95_ms": float64(percentile(latencies, 0.95).Microseconds()) / 1e3,
-				"p99_ms": float64(percentile(latencies, 0.99).Microseconds()) / 1e3,
-				"max_ms": float64(latencies[len(latencies)-1].Microseconds()) / 1e3,
-				"failed": float64(*n - okCount),
+				"qps":      float64(okCount) / wall.Seconds(),
+				"p50_ms":   float64(percentile(latencies, 0.50).Microseconds()) / 1e3,
+				"p90_ms":   float64(percentile(latencies, 0.90).Microseconds()) / 1e3,
+				"p95_ms":   float64(percentile(latencies, 0.95).Microseconds()) / 1e3,
+				"p99_ms":   float64(percentile(latencies, 0.99).Microseconds()) / 1e3,
+				"max_ms":   float64(latencies[len(latencies)-1].Microseconds()) / 1e3,
+				"failed":   float64(*n - okCount),
+				"hedged":   float64(hedgedCount),
+				"degraded": float64(degradedCount),
 			},
 		}
 		buf, err := json.MarshalIndent(point, "", "  ")
@@ -341,9 +372,25 @@ func fetchQueries(client *http.Client, addr string) ([]string, error) {
 }
 
 func getJSON(client *http.Client, url string, out any) (int, error) {
-	resp, err := client.Get(url)
+	code, _, err := getJSONBudget(client, url, 0, out)
+	return code, err
+}
+
+// getJSONBudget is getJSON with an optional X-Search-Budget deadline
+// header (0 sends none). It also returns the response headers: hedging
+// is reported out-of-band via X-Hedged so response bodies stay
+// byte-identical to a single-process server's.
+func getJSONBudget(client *http.Client, url string, budget time.Duration, out any) (int, http.Header, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
+	}
+	if budget > 0 {
+		req.Header.Set(server.HeaderSearchBudget, budget.String())
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	err = json.NewDecoder(resp.Body).Decode(out)
@@ -352,9 +399,9 @@ func getJSON(client *http.Client, url string, out any) (int, error) {
 	// every benchmarked request pay TCP setup.
 	io.Copy(io.Discard, resp.Body)
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, resp.Header, err
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header, nil
 }
 
 // percentile returns the q-quantile by nearest-rank on a sorted slice.

@@ -19,9 +19,21 @@
 // Fault tolerance: replicas are health-checked every -probe-interval
 // and circuit-broken after -fail-threshold consecutive failures, with
 // an exponentially growing re-admission cooldown (-cooldown up to
-// -cooldown-max). Each scatter attempt is bounded by -attempt-timeout
-// and fails over to the next healthy replica; a request fails only when
-// some shard has no reachable replica left.
+// -cooldown-max, decorrelated across a fleet by -cooldown-jitter). Each
+// scatter attempt is bounded by -attempt-timeout and fails over to the
+// next healthy replica; a request fails only when some shard has no
+// reachable replica left — unless -partial is set, in which case the
+// surviving shards are merged and the response marked degraded.
+//
+// Tail tolerance: -hedge-after races a slow attempt against a second
+// replica (first success wins, the loser is canceled without breaker
+// penalty), refined online by the pool's -hedge-quantile latency once
+// warm. Extra attempts — hedges and failover retries — draw from a
+// global token bucket (-extra-ratio, -extra-burst) so a brownout cannot
+// amplify into a retry storm. -budget gives every /search a default
+// end-to-end deadline (per-request X-Search-Budget overrides); the
+// scatter stage gets -scatter-fraction of whatever remains and workers
+// see their slice via X-Budget-Ms.
 //
 // Endpoints are the same as cmd/serve, with /readyz additionally
 // gating on every shard having a healthy replica and /stats growing a
@@ -114,6 +126,15 @@ func main() {
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures that open a replica's circuit breaker")
 	cooldown := flag.Duration("cooldown", 500*time.Millisecond, "first breaker cooldown; doubles per consecutive open cycle")
 	cooldownMax := flag.Duration("cooldown-max", 30*time.Second, "breaker cooldown cap")
+	cooldownJitter := flag.Float64("cooldown-jitter", 0.2, "random extra cooldown fraction added after capping, decorrelating fleet re-probes (0 = deterministic schedule)")
+	jitterSeed := flag.Int64("jitter-seed", 0, "cooldown-jitter RNG seed (0 = from the clock)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge a shard attempt outliving this at a second replica, first success wins (0 = hedging off)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.95, "once warmed up, hedge at this online per-shard latency quantile instead of the fixed -hedge-after (0 = always fixed)")
+	extraRatio := flag.Float64("extra-ratio", 0.2, "retry/hedge token budget earned per primary attempt")
+	extraBurst := flag.Float64("extra-burst", 10, "retry/hedge token budget capacity (exhausted = single-attempt behavior)")
+	scatterFraction := flag.Float64("scatter-fraction", 0.65, "fraction of the remaining request budget given to the scatter stage (>= 1 disables sub-budgeting)")
+	partial := flag.Bool("partial", false, "on whole-shard outage or spent sub-budget, merge surviving shards and answer degraded:true instead of 503")
+	budget := flag.Duration("budget", 0, "default end-to-end /search budget (0 = none; per-request X-Search-Budget overrides)")
 	probeInterval := flag.Duration("probe-interval", time.Second, "health-check period per replica")
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "health-check request timeout")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0 = unlimited)")
@@ -132,14 +153,22 @@ func main() {
 	}
 
 	searcher, err := router.NewSearcher(router.Config{
-		Shards:         shards,
-		AttemptTimeout: *attemptTimeout,
-		MaxAttempts:    *maxAttempts,
-		FailThreshold:  *failThreshold,
-		CooldownBase:   *cooldown,
-		CooldownMax:    *cooldownMax,
-		ProbeInterval:  *probeInterval,
-		ProbeTimeout:   *probeTimeout,
+		Shards:          shards,
+		AttemptTimeout:  *attemptTimeout,
+		MaxAttempts:     *maxAttempts,
+		HedgeAfter:      *hedgeAfter,
+		HedgeQuantile:   *hedgeQuantile,
+		ExtraRatio:      *extraRatio,
+		ExtraBurst:      *extraBurst,
+		AllowPartial:    *partial,
+		ScatterFraction: *scatterFraction,
+		FailThreshold:   *failThreshold,
+		CooldownBase:    *cooldown,
+		CooldownMax:     *cooldownMax,
+		CooldownJitter:  *cooldownJitter,
+		JitterSeed:      *jitterSeed,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "router:", err)
@@ -151,10 +180,11 @@ func main() {
 	// Listener up first: probes, /healthz and a 503 /readyz work while
 	// the local pipeline builds.
 	inner := server.New(nil, server.Config{
-		Workers:      *workers,
-		QueueTimeout: *queueTimeout,
-		DefaultAlg:   defaultAlg,
-		MaxK:         *maxK,
+		Workers:       *workers,
+		QueueTimeout:  *queueTimeout,
+		DefaultAlg:    defaultAlg,
+		MaxK:          *maxK,
+		DefaultBudget: *budget,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

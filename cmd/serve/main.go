@@ -86,6 +86,7 @@ func main() {
 	noCompress := flag.Bool("no-compress", false, "store postings as flat structs instead of compressed blocks (~3-4x the memory, no block skipping; results are identical)")
 	alg := flag.String("alg", string(core.AlgOptSelect), "default algorithm (baseline|optselect|xquad|iaselect|mmr)")
 	maxK := flag.Int("maxk", 100, "cap on per-request k")
+	budget := flag.Duration("budget", 0, "default end-to-end /search budget (0 = none; per-request X-Search-Budget overrides)")
 	walDir := flag.String("wal-dir", "", "directory for durable epoch files; flushes/compactions persist there and a restart recovers the newest epoch (empty = in-memory only)")
 	memtableCap := flag.Int("memtable", 0, "live-index write-buffer capacity before auto-flush (0 = default 1024, negative = never auto-flush)")
 	mergeEvery := flag.Duration("merge-every", time.Minute, "background compaction interval for the live index (0 = never; compaction folds segments and tombstones back into one base segment)")
@@ -154,10 +155,11 @@ func main() {
 	// /healthz (liveness) answers during the build, /readyz flips to 200
 	// only once the pipeline is published.
 	srv := server.New(nil, server.Config{
-		Workers:      *workers,
-		QueueTimeout: *queueTimeout,
-		DefaultAlg:   defaultAlg,
-		MaxK:         *maxK,
+		Workers:       *workers,
+		QueueTimeout:  *queueTimeout,
+		DefaultAlg:    defaultAlg,
+		MaxK:          *maxK,
+		DefaultBudget: *budget,
 	})
 
 	handler := srv.Handler()

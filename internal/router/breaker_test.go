@@ -1,6 +1,7 @@
 package router
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -17,10 +18,14 @@ func TestBreakerBackoffSchedule(t *testing.T) {
 	)
 	now := time.Unix(0, 0)
 	r := &replica{url: "x", weight: 1}
-	p := &pool{shard: 0, replicas: []*replica{r}}
+	p := &pool{
+		shard:    0,
+		bcfg:     breakerConfig{threshold: threshold, base: base, max: max},
+		replicas: []*replica{r},
+	}
 
-	fail := func() { p.onResult(r, false, now, threshold, base, max) }
-	succeed := func() { p.onResult(r, true, now, threshold, base, max) }
+	fail := func() { p.onResult(r, false, now) }
+	succeed := func() { p.onResult(r, true, now) }
 
 	fail()
 	if r.state != breakerClosed {
@@ -69,6 +74,66 @@ func TestBreakerBackoffSchedule(t *testing.T) {
 	fail()
 	if r.cooldown != base {
 		t.Fatalf("open after recovery: cooldown=%v, want %v (backoff reset)", r.cooldown, base)
+	}
+}
+
+// TestBreakerCooldownJitter pins the jittered re-admission schedule on
+// the same fake clock: with a seeded RNG the exact cooldowns replay
+// deterministically, and structurally every cooldown lands in
+// [d, d*(1+jitter)] where d is the CAPPED deterministic backoff — the
+// jitter is added after capping, so even max-cooldown replicas get
+// decorrelated re-probe times across a fleet.
+func TestBreakerCooldownJitter(t *testing.T) {
+	const (
+		base   = 100 * time.Millisecond
+		max    = 400 * time.Millisecond
+		jitter = 0.5
+		seed   = 7
+	)
+	now := time.Unix(0, 0)
+	r := &replica{url: "x", weight: 1}
+	p := &pool{
+		shard:    0,
+		bcfg:     breakerConfig{threshold: 1, base: base, max: max, jitter: jitter},
+		rng:      rand.New(rand.NewSource(seed)),
+		replicas: []*replica{r},
+	}
+
+	// Replay the schedule with an independent RNG seeded identically:
+	// the pool must consume exactly one Float64 per open cycle.
+	ref := rand.New(rand.NewSource(seed))
+	for cycle := 1; cycle <= 5; cycle++ {
+		p.onResult(r, false, now)
+		d := base << (cycle - 1)
+		if d > max {
+			d = max
+		}
+		want := d + time.Duration(jitter*ref.Float64()*float64(d))
+		if r.cooldown != want {
+			t.Fatalf("cycle %d: cooldown = %v, want %v (seeded replay)", cycle, r.cooldown, want)
+		}
+		if r.cooldown < d || r.cooldown > d+time.Duration(jitter*float64(d)) {
+			t.Fatalf("cycle %d: cooldown %v outside [%v, %v]", cycle, r.cooldown, d, d+time.Duration(jitter*float64(d)))
+		}
+		// Sit out the jittered cooldown so the next failure reopens from
+		// half-open probation with a doubled (then capped) backoff.
+		now = now.Add(r.cooldown)
+		if !r.selectable(now) {
+			t.Fatalf("cycle %d: not selectable after its full jittered cooldown", cycle)
+		}
+	}
+
+	// Jitter 0 (the library default) stays exactly deterministic even
+	// with an RNG wired up — nothing is drawn from it.
+	r2 := &replica{url: "y", weight: 1}
+	p2 := &pool{
+		bcfg:     breakerConfig{threshold: 1, base: base, max: max},
+		rng:      rand.New(rand.NewSource(seed)),
+		replicas: []*replica{r2},
+	}
+	p2.onResult(r2, false, now)
+	if r2.cooldown != base {
+		t.Fatalf("jitter-0 cooldown = %v, want exactly %v", r2.cooldown, base)
 	}
 }
 

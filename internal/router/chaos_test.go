@@ -9,12 +9,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ranking"
 	"repro/internal/server"
 )
 
@@ -28,6 +30,7 @@ const (
 	faultHang              // accepts, never answers: hung process / black-holed network
 	fault500               // answers HTTP 500: sick but alive
 	faultSlow              // answers after a delay: degraded but correct
+	fault504               // answers HTTP 504: the propagated budget expired worker-side
 )
 
 // fakeNet is an in-memory transport: requests route to registered
@@ -85,6 +88,13 @@ func (f *fakeNet) RoundTrip(req *http.Request) (*http.Response, error) {
 		case <-req.Context().Done():
 			return nil, req.Context().Err()
 		}
+	case fault504:
+		return &http.Response{
+			StatusCode: http.StatusGatewayTimeout,
+			Header:     http.Header{"Content-Type": {"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(`{"error":"search budget expired"}`)),
+			Request:    req,
+		}, nil
 	}
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -342,6 +352,205 @@ func TestChaosClientCancelNotPenalized(t *testing.T) {
 		for _, rs := range ps.Replicas {
 			if rs.State != "closed" {
 				t.Errorf("replica %s breaker %s after client cancel, want closed", rs.URL, rs.State)
+			}
+		}
+	}
+}
+
+// TestChaosSlowReplicaHedged is the tail-tolerance gate: one replica
+// hangs (the SIGSTOP scenario — TCP accepts, nothing answers) while the
+// attempt timeout is far too long to save the request. Every request
+// must still succeed bit-identically and fast, because the hedge fires
+// at the trigger and the healthy peer answers; and the hung replica —
+// which never *failed*, it just lost races — must show ZERO breaker
+// failures and zero open cycles.
+func TestChaosSlowReplicaHedged(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: 5 * time.Second, // never the rescuer: only hedging can keep requests fast
+		HedgeAfter:     30 * time.Millisecond,
+		HedgeQuantile:  0, // fixed trigger: deterministic test
+		ExtraBurst:     64,
+		FailThreshold:  2,
+		ProbeInterval:  time.Hour,
+	})
+	p := testPipeline(t)
+	queries := []string{p.Testbed.TopicQuery(1), p.Testbed.TopicQuery(3)}
+	for _, q := range queries { // warm both artifact caches while healthy
+		w.expectSame(t, q, url.Values{"k": {"8"}})
+	}
+
+	w.net.setFault("s0a", faultHang)
+	defer w.net.setFault("s0a", faultNone)
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			began := time.Now()
+			w.expectSame(t, q, url.Values{"k": {"8"}})
+			// Well under the 5s attempt timeout a hedge-less router would
+			// pay whenever WRR picks the hung replica first.
+			if took := time.Since(began); took > 3*time.Second {
+				t.Fatalf("request took %v despite hedging (trigger 30ms)", took)
+			}
+		}
+	}
+
+	ts := w.searcher.TailStats()
+	if ts.Hedges == 0 || ts.HedgeWins == 0 {
+		t.Errorf("tail stats %+v, want hedges and hedge wins > 0", ts)
+	}
+	// The hung replica lost hedge races; it never failed an attempt. A
+	// single breaker penalty here would mean hedge losers are being
+	// punished for losing.
+	if rs := w.replicaStats(t, 0, "http://s0a"); rs.Failures != 0 || rs.OpenCycles != 0 || rs.State != "closed" {
+		t.Errorf("hung replica penalized by hedging: %+v, want 0 failures, 0 open cycles, closed", rs)
+	}
+}
+
+// TestChaosBudgetExpiredNotPenalized: a worker answering 504 (its
+// propagated X-Budget-Ms ran out mid-scoring) is the deadline's victim,
+// not a sick process — with FailThreshold 1 even a single mischarged
+// attempt would open the breaker, so a closed breaker after several
+// rescued requests proves 504s never feed it.
+func TestChaosBudgetExpiredNotPenalized(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: 300 * time.Millisecond,
+		FailThreshold:  1, // one miscounted failure would open it — sharpest possible assertion
+		ProbeInterval:  time.Hour,
+	})
+	p := testPipeline(t)
+	q := p.Testbed.TopicQuery(2)
+
+	w.net.setFault("s0a", fault504)
+	defer w.net.setFault("s0a", faultNone)
+	for i := 0; i < 6; i++ { // WRR alternates: half the primaries land on the 504er
+		if _, err := w.searcher.SearchBatch(context.Background(), []string{q}, []int{5}); err != nil {
+			t.Fatalf("request %d: %v (failover from a 504 should succeed)", i, err)
+		}
+	}
+
+	ts := w.searcher.TailStats()
+	if ts.BudgetExpired == 0 || ts.Retries == 0 {
+		t.Errorf("tail stats %+v, want budget_expired and retries > 0", ts)
+	}
+	if rs := w.replicaStats(t, 0, "http://s0a"); rs.OpenCycles != 0 || rs.State != "closed" {
+		t.Errorf("504ing replica's breaker tripped: %+v, want closed with 0 open cycles", rs)
+	}
+}
+
+// TestChaosWholeShardDownPartial: the graceful-degradation gate. With
+// partial results opted in and a whole pool dead, the router must keep
+// answering 200 — never 503 — with the surviving shards correctly
+// merged and the response honestly marked degraded (wire field + HTTP
+// header + counters), then return to bit-identity once the shard heals.
+func TestChaosWholeShardDownPartial(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: 100 * time.Millisecond,
+		AllowPartial:   true,
+		FailThreshold:  1,
+		CooldownBase:   20 * time.Millisecond,
+		CooldownMax:    50 * time.Millisecond,
+		ProbeInterval:  time.Hour,
+	})
+	p := testPipeline(t)
+	q := p.Testbed.TopicQuery(1)
+	// Partial mode enabled + healthy fleet: still bit-identical.
+	w.expectSame(t, q, url.Values{"k": {"5"}})
+
+	w.net.setFault("s1a", faultRefused)
+	w.net.setFault("s1b", faultRefused)
+
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(searchURL(w.router.URL, q, url.Values{"k": {"5"}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d with a whole shard down: %d %s, want 200 degraded (never 503)", i, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), `"degraded":true`) {
+			t.Fatalf("request %d body lacks the degraded marker: %s", i, body)
+		}
+		if resp.Header.Get(server.HeaderDegraded) != "true" {
+			t.Errorf("request %d: %s header = %q, want true", i, server.HeaderDegraded, resp.Header.Get(server.HeaderDegraded))
+		}
+	}
+
+	// The degraded merge must be exactly the surviving shard's lists —
+	// shard 0 merged against nothing — not garbage or a partial blend.
+	lists, info, err := w.searcher.SearchBatchPartial(context.Background(), []string{q}, []int{8})
+	if err != nil || !info.Degraded {
+		t.Fatalf("SearchBatchPartial: err=%v degraded=%v, want nil/true", err, info.Degraded)
+	}
+	shardLists, _, err := p.Engine.SearchShardBatch(context.Background(), 0, []string{q}, []int{8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := make([]ranking.Hit, len(shardLists[0]))
+	for i, sr := range shardLists[0] {
+		hits[i] = ranking.Hit{Doc: sr.Doc, DocID: sr.DocID, Score: sr.Score}
+	}
+	want := ranking.MergeSegments([][]ranking.Hit{hits, nil}, 8)
+	if len(lists[0]) != len(want) {
+		t.Fatalf("degraded merge has %d hits, want %d (shard 0 only)", len(lists[0]), len(want))
+	}
+	for i := range want {
+		if lists[0][i].DocID != want[i].DocID || lists[0][i].Score != want[i].Score {
+			t.Fatalf("degraded merge[%d] = %s/%g, want %s/%g", i, lists[0][i].DocID, lists[0][i].Score, want[i].DocID, want[i].Score)
+		}
+	}
+	if ts := w.searcher.TailStats(); ts.Degraded == 0 || ts.ShardsDropped == 0 {
+		t.Errorf("tail stats %+v, want degraded and shards_dropped > 0", ts)
+	}
+
+	// Heal: full-fidelity bit-identical service resumes (degraded
+	// artifacts were never cached, so nothing stale survives recovery).
+	w.net.setFault("s1a", faultNone)
+	w.net.setFault("s1b", faultNone)
+	time.Sleep(70 * time.Millisecond)
+	w.searcher.ProbeOnce(context.Background())
+	w.expectSame(t, q, url.Values{"k": {"5"}})
+}
+
+// TestChaosClientCancelMidHedge: a client hanging up while a hedge race
+// is in flight must not leak the attempt goroutines (both racers are
+// blocked in hung workers) and must not charge any replica's breaker.
+func TestChaosClientCancelMidHedge(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: time.Hour,
+		HedgeAfter:     20 * time.Millisecond,
+		HedgeQuantile:  0,
+		FailThreshold:  1,
+		ProbeInterval:  time.Hour,
+	})
+	for _, host := range []string{"s0a", "s0b", "s1a", "s1b"} {
+		w.net.setFault(host, faultHang)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	_, err := w.searcher.SearchBatch(ctx, []string{"topic01"}, []int{5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if ts := w.searcher.TailStats(); ts.Hedges == 0 {
+		t.Errorf("tail stats %+v: no hedge launched before the cancel (trigger 20ms, deadline 120ms)", ts)
+	}
+
+	// All four attempt goroutines (2 primaries + up to 2 hedges) were
+	// parked in hung workers; cancellation must unwind every one.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines %d -> %d after cancel mid-hedge: attempts leaked", before, n)
+	}
+	for _, ps := range w.searcher.Stats() {
+		for _, rs := range ps.Replicas {
+			if rs.State != "closed" || rs.Failures != 0 {
+				t.Errorf("replica %s after cancel mid-hedge: state=%s failures=%d, want closed/0", rs.URL, rs.State, rs.Failures)
 			}
 		}
 	}

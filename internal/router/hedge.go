@@ -1,0 +1,173 @@
+package router
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errBudgetExpired marks a worker 504: the attempt's propagated budget
+// ran out while the worker was still scoring. That is the deadline's
+// fault, not the replica's, so — like a client hang-up — it never feeds
+// the circuit breaker.
+var errBudgetExpired = errors.New("budget expired at worker")
+
+// tokenBucket is the global extra-attempt budget (Finagle-style retry
+// budget): every primary attempt earns ratio tokens (capped at burst),
+// every extra attempt — a hedge or a failover retry — spends one. Under
+// a brownout the spend rate exceeds the earn rate, the bucket drains,
+// and the searcher falls back to single-attempt behavior instead of
+// amplifying the overload into a retry storm. The bucket starts full so
+// cold-start failovers are never starved.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+func newTokenBucket(ratio, burst float64) *tokenBucket {
+	return &tokenBucket{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// earn credits one primary attempt's worth of budget.
+func (b *tokenBucket) earn() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// take spends one token for an extra attempt; false means the budget is
+// exhausted (nothing is spent).
+func (b *tokenBucket) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// level reads the current balance (for /stats).
+func (b *tokenBucket) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+const (
+	// latWindowSize bounds the per-pool latency ring; 128 successful
+	// samples is enough for a stable p95 while still tracking regime
+	// changes within a few hundred requests.
+	latWindowSize = 128
+	// latMinSamples gates the online quantile: below this the fixed
+	// HedgeAfter trigger is used, so a cold router doesn't hedge off two
+	// noisy samples.
+	latMinSamples = 16
+)
+
+// latWindow is a fixed-size ring of recent successful attempt latencies
+// for one shard's pool; the hedge trigger reads a high quantile of it.
+type latWindow struct {
+	mu      sync.Mutex
+	samples [latWindowSize]time.Duration
+	n       int // total observed; ring index is n % latWindowSize
+}
+
+func (w *latWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.n%latWindowSize] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile over the window, or false before
+// latMinSamples observations have warmed it up.
+func (w *latWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	if w.n < latMinSamples {
+		w.mu.Unlock()
+		return 0, false
+	}
+	n := w.n
+	if n > latWindowSize {
+		n = latWindowSize
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, w.samples[:n])
+	w.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx], true
+}
+
+// hedgeDelay resolves the hedge trigger for one pool. Hedging is enabled
+// iff HedgeAfter > 0; once the pool's latency window is warm and
+// HedgeQuantile is set, the online per-shard quantile estimate replaces
+// the fixed duration (clamped to >= 1ms so a microsecond-fast fleet
+// doesn't hedge every request).
+func (s *Searcher) hedgeDelay(p *pool) (time.Duration, bool) {
+	if s.cfg.HedgeAfter <= 0 {
+		return 0, false
+	}
+	if q := s.cfg.HedgeQuantile; q > 0 && q < 1 {
+		if d, ok := p.lat.quantile(q); ok {
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			return d, true
+		}
+	}
+	return s.cfg.HedgeAfter, true
+}
+
+// tailCounters aggregates the searcher-wide tail-tolerance telemetry
+// (atomic: bumped from scatter goroutines, read lock-free by /stats).
+type tailCounters struct {
+	hedges        atomic.Int64 // hedge attempts launched
+	hedgeWins     atomic.Int64 // hedges that answered first
+	retries       atomic.Int64 // failover retries launched
+	extraDenied   atomic.Int64 // extra attempts suppressed by the budget
+	budgetExpired atomic.Int64 // attempts answered 504 (budget ran out worker-side)
+	degraded      atomic.Int64 // partial-mode responses served degraded
+	shardsDropped atomic.Int64 // shards omitted from degraded merges
+}
+
+// TailStats is the wire form of the tail-tolerance counters in the
+// router's /stats.
+type TailStats struct {
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	Retries       int64   `json:"retries"`
+	ExtraDenied   int64   `json:"extra_denied"`
+	BudgetExpired int64   `json:"budget_expired"`
+	Degraded      int64   `json:"degraded"`
+	ShardsDropped int64   `json:"shards_dropped"`
+	ExtraTokens   float64 `json:"extra_tokens"` // current retry-budget balance
+}
+
+// TailStats snapshots the tail-tolerance counters.
+func (s *Searcher) TailStats() TailStats {
+	return TailStats{
+		Hedges:        s.tail.hedges.Load(),
+		HedgeWins:     s.tail.hedgeWins.Load(),
+		Retries:       s.tail.retries.Load(),
+		ExtraDenied:   s.tail.extraDenied.Load(),
+		BudgetExpired: s.tail.budgetExpired.Load(),
+		Degraded:      s.tail.degraded.Load(),
+		ShardsDropped: s.tail.shardsDropped.Load(),
+		ExtraTokens:   s.extra.level(),
+	}
+}

@@ -1,0 +1,151 @@
+package router
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTokenBucket pins the Finagle-style retry-budget arithmetic: the
+// bucket starts full, takes spend whole tokens, earns credit fractional
+// ones capped at the burst, and an empty bucket denies without going
+// negative.
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(0.5, 2)
+	if b.level() != 2 {
+		t.Fatalf("new bucket level = %v, want full burst 2", b.level())
+	}
+	if !b.take() || !b.take() {
+		t.Fatal("full bucket denied a take")
+	}
+	if b.take() {
+		t.Fatal("empty bucket granted a take")
+	}
+	if b.level() != 0 {
+		t.Fatalf("level after denial = %v, want 0 (denial must not spend)", b.level())
+	}
+	b.earn() // +0.5: still below 1, still denied
+	if b.take() {
+		t.Fatal("take granted with 0.5 tokens (extra attempts cost a whole token)")
+	}
+	b.earn() // 1.0: one extra attempt affordable again
+	if !b.take() {
+		t.Fatal("take denied with 1.0 tokens")
+	}
+	for i := 0; i < 10; i++ {
+		b.earn()
+	}
+	if b.level() != 2 {
+		t.Fatalf("level after over-earning = %v, want capped at burst 2", b.level())
+	}
+}
+
+// TestLatWindowQuantile: the online estimator stays cold below
+// latMinSamples, then tracks order statistics over the ring.
+func TestLatWindowQuantile(t *testing.T) {
+	var w latWindow
+	for i := 0; i < latMinSamples-1; i++ {
+		w.observe(time.Duration(i+1) * time.Millisecond)
+	}
+	if _, ok := w.quantile(0.95); ok {
+		t.Fatalf("quantile warm after %d samples, want cold below %d", latMinSamples-1, latMinSamples)
+	}
+	w.observe(time.Duration(latMinSamples) * time.Millisecond)
+	// Samples are now 1ms..16ms: the 0.95-quantile index over n=16 is
+	// int(0.95*15)=14, i.e. the 15ms sample; the median index is 7 -> 8ms.
+	if d, ok := w.quantile(0.95); !ok || d != 15*time.Millisecond {
+		t.Errorf("p95 over 1..16ms = %v/%v, want 15ms warm", d, ok)
+	}
+	if d, _ := w.quantile(0.5); d != 8*time.Millisecond {
+		t.Errorf("p50 over 1..16ms = %v, want 8ms", d)
+	}
+	// Flood the ring with a new regime: the estimate must follow, because
+	// old samples are overwritten rather than averaged in forever.
+	for i := 0; i < latWindowSize; i++ {
+		w.observe(100 * time.Millisecond)
+	}
+	if d, _ := w.quantile(0.95); d != 100*time.Millisecond {
+		t.Errorf("p95 after regime change = %v, want 100ms", d)
+	}
+}
+
+// TestHedgeDelayResolution: hedging is off while HedgeAfter is 0; the
+// fixed trigger serves until the pool's window warms; then the online
+// quantile (clamped to >= 1ms) takes over.
+func TestHedgeDelayResolution(t *testing.T) {
+	p := &pool{}
+	s := &Searcher{cfg: Config{HedgeQuantile: 0.95}}
+	if _, ok := s.hedgeDelay(p); ok {
+		t.Fatal("hedging enabled with HedgeAfter 0")
+	}
+
+	s.cfg.HedgeAfter = 40 * time.Millisecond
+	if d, ok := s.hedgeDelay(p); !ok || d != 40*time.Millisecond {
+		t.Fatalf("cold pool trigger = %v/%v, want fixed 40ms", d, ok)
+	}
+
+	for i := 0; i < latMinSamples; i++ {
+		p.lat.observe(10 * time.Millisecond)
+	}
+	if d, ok := s.hedgeDelay(p); !ok || d != 10*time.Millisecond {
+		t.Fatalf("warm pool trigger = %v/%v, want online p95 10ms", d, ok)
+	}
+
+	// A microsecond-fast pool must not hedge every request: the online
+	// trigger clamps at 1ms.
+	fast := &pool{}
+	for i := 0; i < latMinSamples; i++ {
+		fast.lat.observe(50 * time.Microsecond)
+	}
+	if d, _ := s.hedgeDelay(fast); d != time.Millisecond {
+		t.Fatalf("fast-pool trigger = %v, want clamped to 1ms", d)
+	}
+
+	// Quantile 0 disables the online refinement: fixed trigger forever.
+	s.cfg.HedgeQuantile = 0
+	if d, _ := s.hedgeDelay(p); d != 40*time.Millisecond {
+		t.Fatalf("quantile-off trigger = %v, want fixed 40ms", d)
+	}
+}
+
+// TestRetryBudgetExhaustedSingleAttempt: with the extra-attempt bucket
+// drained, a failing shard gets exactly ONE attempt — no failover retry
+// — and the error says why. This is the anti-retry-storm contract: a
+// brownout cannot multiply load.
+func TestRetryBudgetExhaustedSingleAttempt(t *testing.T) {
+	w := newChaosWorld(t, Config{
+		AttemptTimeout: 200 * time.Millisecond,
+		FailThreshold:  100, // keep breakers out of the picture
+		ProbeInterval:  time.Hour,
+	})
+	w.net.setFault("s0a", fault500)
+	w.net.setFault("s0b", fault500)
+
+	for w.searcher.extra.take() { // drain the budget
+	}
+	s0aBefore := w.replicaStats(t, 0, "http://s0a").Requests + w.replicaStats(t, 0, "http://s0b").Requests
+
+	_, err := w.searcher.SearchBatch(context.Background(), []string{"topic01"}, []int{5})
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want a retry-budget-exhausted failure", err)
+	}
+	attempts := w.replicaStats(t, 0, "http://s0a").Requests + w.replicaStats(t, 0, "http://s0b").Requests - s0aBefore
+	if attempts != 1 {
+		t.Errorf("shard 0 saw %d attempts with an empty budget, want exactly 1 (no retry amplification)", attempts)
+	}
+	if ts := w.searcher.TailStats(); ts.ExtraDenied == 0 {
+		t.Errorf("tail stats %+v, want extra_denied > 0", ts)
+	}
+
+	// Earning replenishes: once primaries refill the bucket past one
+	// token, failover works again and the request succeeds.
+	w.net.setFault("s0a", faultNone)
+	w.net.setFault("s0b", fault500)
+	for i := 0; i < 10; i++ {
+		w.searcher.extra.earn()
+	}
+	if _, err := w.searcher.SearchBatch(context.Background(), []string{"topic01"}, []int{5}); err != nil {
+		t.Fatalf("after refill: %v, want failover success", err)
+	}
+}

@@ -1,15 +1,24 @@
 package router
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 )
 
-// pool is the replica set serving one shard.
+// pool is the replica set serving one shard. It owns the breaker tuning
+// (shared across its replicas), a seeded RNG for cooldown jitter, and
+// the latency window feeding the hedge trigger.
 type pool struct {
 	shard int
+	bcfg  breakerConfig
+
+	// lat records successful attempt latencies for the online hedge
+	// quantile (own lock; updated outside pool.mu).
+	lat latWindow
 
 	mu       sync.Mutex
+	rng      *rand.Rand // jitters cooldowns; guarded by mu
 	replicas []*replica
 }
 
@@ -71,13 +80,13 @@ func pickSmoothWRR(cands []*replica) *replica {
 
 // onResult feeds a request outcome into the replica's breaker (passive
 // failure detection: live traffic updates health, not just probes).
-func (p *pool) onResult(r *replica, ok bool, now time.Time, threshold int, base, max time.Duration) {
+func (p *pool) onResult(r *replica, ok bool, now time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if ok {
 		r.onSuccess()
 	} else {
-		r.onFailure(now, threshold, base, max)
+		r.onFailure(now, p.bcfg, p.rng)
 	}
 }
 
@@ -87,7 +96,7 @@ func (p *pool) onResult(r *replica, ok bool, now time.Time, threshold int, base,
 // re-admitted by the probe loop even with zero live traffic. A failed
 // probe marks it unhealthy and counts as a breaker failure, so a dead
 // replica is ejected even when no request has touched it yet.
-func (p *pool) onProbe(r *replica, ok bool, now time.Time, threshold int, base, max time.Duration) {
+func (p *pool) onProbe(r *replica, ok bool, now time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	r.probed = true
@@ -99,7 +108,7 @@ func (p *pool) onProbe(r *replica, ok bool, now time.Time, threshold int, base, 
 		// Probe success during an unexpired cooldown does NOT short-
 		// circuit re-admission: the backoff schedule is the contract.
 	} else {
-		r.onFailure(now, threshold, base, max)
+		r.onFailure(now, p.bcfg, p.rng)
 	}
 }
 

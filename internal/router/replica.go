@@ -1,9 +1,22 @@
 package router
 
 import (
+	"math/rand"
 	"sync/atomic"
 	"time"
 )
+
+// breakerConfig is the pool-owned breaker tuning: threshold consecutive
+// failures open a breaker, cooldowns grow base<<(cycle-1) capped at max,
+// and jitter adds up to that fraction of extra random cooldown AFTER the
+// cap — so a fleet of routers that all saw the same outage doesn't
+// re-probe the recovering replica in lockstep.
+type breakerConfig struct {
+	threshold int
+	base      time.Duration
+	max       time.Duration
+	jitter    float64
+}
 
 // breakerState is a replica's circuit-breaker state.
 type breakerState int
@@ -83,23 +96,28 @@ func (r *replica) onSuccess() {
 // thresholds. A half-open replica reopens on its first failure
 // (probation is one strike); a closed replica opens after threshold
 // consecutive failures. Callers hold pool.mu.
-func (r *replica) onFailure(now time.Time, threshold int, base, max time.Duration) {
+func (r *replica) onFailure(now time.Time, cfg breakerConfig, rng *rand.Rand) {
 	r.fails++
 	if r.state == breakerOpen {
 		return
 	}
-	if r.state == breakerHalfOpen || r.fails >= threshold {
-		r.open(now, base, max)
+	if r.state == breakerHalfOpen || r.fails >= cfg.threshold {
+		r.open(now, cfg, rng)
 	}
 }
 
-func (r *replica) open(now time.Time, base, max time.Duration) {
+func (r *replica) open(now time.Time, cfg breakerConfig, rng *rand.Rand) {
 	r.state = breakerOpen
 	r.openedAt = now
 	r.openCount++
-	d := base << (r.openCount - 1)
-	if d > max || d <= 0 { // <= 0 guards shift overflow
-		d = max
+	d := cfg.base << (r.openCount - 1)
+	if d > cfg.max || d <= 0 { // <= 0 guards shift overflow
+		d = cfg.max
+	}
+	// Jitter after capping: even replicas pinned at the max cooldown get
+	// decorrelated re-probe times across a router fleet.
+	if cfg.jitter > 0 && rng != nil {
+		d += time.Duration(cfg.jitter * rng.Float64() * float64(d))
 	}
 	r.cooldown = d
 }

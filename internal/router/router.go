@@ -29,6 +29,7 @@ func NewRouter(inner *server.Server, s *Searcher) *Router {
 type RouterStats struct {
 	Serving *server.StatsResponse `json:"serving,omitempty"`
 	Shards  []PoolStats           `json:"shards"`
+	Tail    TailStats             `json:"tail"`
 }
 
 // RouterReady is the router's /readyz body.
@@ -67,7 +68,7 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := RouterStats{Shards: rt.searcher.Stats()}
+	st := RouterStats{Shards: rt.searcher.Stats(), Tail: rt.searcher.TailStats()}
 	if snap, ok := rt.inner.StatsSnapshot(); ok {
 		st.Serving = &snap
 	}

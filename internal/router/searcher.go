@@ -7,10 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro"
 	"repro/internal/engine"
 	"repro/internal/ranking"
 )
@@ -39,9 +42,46 @@ type Config struct {
 	// healthy replica. Retrying is safe unconditionally: /shard/search
 	// is a pure read of an immutable snapshot.
 	AttemptTimeout time.Duration
-	// MaxAttempts bounds the failover loop per shard per request
-	// (default: the pool size — each replica at most once).
+	// MaxAttempts bounds the attempts (primary + hedges + failover
+	// retries) per shard per request (default: the pool size — each
+	// replica at most once).
 	MaxAttempts int
+
+	// HedgeAfter enables hedged requests: when a shard's attempt has
+	// been in flight this long without answering, a second attempt is
+	// fired at the next-best replica and the first success wins, with
+	// the loser promptly canceled (default 0: hedging disabled). Hedge
+	// cancellations never count as breaker failures.
+	HedgeAfter time.Duration
+	// HedgeQuantile, when in (0,1), replaces the fixed trigger with the
+	// online per-shard latency quantile (e.g. 0.95 hedges anything
+	// slower than the pool's recent p95) once the pool's window has
+	// latMinSamples successes. Ignored while HedgeAfter is 0.
+	HedgeQuantile float64
+
+	// ExtraRatio and ExtraBurst parameterize the global token bucket
+	// bounding extra attempts (hedges + failover retries): each primary
+	// attempt earns ExtraRatio tokens (capped at ExtraBurst), each extra
+	// attempt spends one. An exhausted bucket degrades to single-attempt
+	// behavior instead of amplifying a brownout into a retry storm.
+	// Defaults 0.2 and 10.
+	ExtraRatio float64
+	ExtraBurst float64
+
+	// AllowPartial opts SearchBatchPartial into graceful degradation:
+	// when a whole pool is down (or a shard's sub-budget expires) but at
+	// least one shard answered, the survivors are merged and the
+	// response marked degraded instead of failing. SearchBatch is always
+	// strict — bit-identity gates run through it.
+	AllowPartial bool
+
+	// ScatterFraction carves the scatter sub-budget from the remaining
+	// request budget when the caller's context carries a deadline:
+	// attempts get fraction*remaining, reserving the rest for the merge
+	// and diversification stages (default 0.65; >= 1 disables
+	// sub-budgeting). The remaining attempt budget is propagated to
+	// workers via the X-Budget-Ms header.
+	ScatterFraction float64
 
 	// FailThreshold consecutive failures open a replica's breaker
 	// (default 3; a failure during half-open probation reopens
@@ -49,8 +89,14 @@ type Config struct {
 	FailThreshold int
 	// CooldownBase is the first open cooldown; each consecutive open
 	// cycle doubles it up to CooldownMax (defaults 500ms, 30s).
-	CooldownBase time.Duration
-	CooldownMax  time.Duration
+	// CooldownJitter adds up to that fraction of random extra cooldown
+	// after capping (default 0: deterministic schedule), decorrelating
+	// re-probes across a router fleet; JitterSeed pins the per-pool RNG
+	// for tests (0: seeded from the clock).
+	CooldownBase   time.Duration
+	CooldownMax    time.Duration
+	CooldownJitter float64
+	JitterSeed     int64
 
 	// ProbeInterval spaces the health-check rounds (default 1s);
 	// ProbeTimeout bounds each GET /readyz (default 1s).
@@ -68,6 +114,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AttemptTimeout <= 0 {
 		c.AttemptTimeout = 2 * time.Second
+	}
+	if c.ExtraRatio <= 0 {
+		c.ExtraRatio = 0.2
+	}
+	if c.ExtraBurst <= 0 {
+		c.ExtraBurst = 10
+	}
+	if c.ScatterFraction <= 0 {
+		c.ScatterFraction = 0.65
 	}
 	if c.FailThreshold <= 0 {
 		c.FailThreshold = 3
@@ -94,11 +149,18 @@ func (c Config) withDefaults() Config {
 // that scatters each query batch over one replica per shard, gathers
 // the per-shard hit lists, and k-way merges them with the same
 // deterministic merge the in-process fan-out uses — so its output is
-// bit-identical to engine.SearchBatch over the same world.
+// bit-identical to engine.SearchBatch over the same world. It is also a
+// repro.PartialSearcher: with AllowPartial set, a dead shard degrades
+// the response instead of failing it.
 type Searcher struct {
 	cfg    Config
 	pools  []*pool
 	client *http.Client
+
+	// extra is the global budget for hedges + failover retries; tail
+	// holds the tail-tolerance counters surfaced at /stats.
+	extra *tokenBucket
+	tail  tailCounters
 
 	// expectedEpoch pins the fleet to the first snapshot epoch seen; a
 	// replica answering from a diverged snapshot is treated as failed
@@ -122,13 +184,28 @@ func NewSearcher(cfg Config) (*Searcher, error) {
 	s := &Searcher{
 		cfg:    cfg,
 		client: &http.Client{Transport: cfg.Transport},
+		extra:  newTokenBucket(cfg.ExtraRatio, cfg.ExtraBurst),
 		stop:   make(chan struct{}),
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	bcfg := breakerConfig{
+		threshold: cfg.FailThreshold,
+		base:      cfg.CooldownBase,
+		max:       cfg.CooldownMax,
+		jitter:    cfg.CooldownJitter,
 	}
 	for si, specs := range cfg.Shards {
 		if len(specs) == 0 {
 			return nil, fmt.Errorf("router: shard %d has no replicas", si)
 		}
-		p := &pool{shard: si}
+		p := &pool{
+			shard: si,
+			bcfg:  bcfg,
+			rng:   rand.New(rand.NewSource(seed + int64(si))),
+		}
 		for _, spec := range specs {
 			w := spec.Weight
 			if w <= 0 {
@@ -182,7 +259,7 @@ func (s *Searcher) ProbeOnce(ctx context.Context) {
 				if !ok {
 					r.probeFail.Add(1)
 				}
-				p.onProbe(r, ok, s.cfg.Now(), s.cfg.FailThreshold, s.cfg.CooldownBase, s.cfg.CooldownMax)
+				p.onProbe(r, ok, s.cfg.Now())
 			}(p, r)
 		}
 	}
@@ -236,29 +313,84 @@ func (s *Searcher) Stats() []PoolStats {
 }
 
 // SearchBatch implements repro.Searcher: scatter the batch to one
-// replica per shard (with failover), gather, and deterministically
-// merge. The error is either ctx.Err() or "shard i: all replicas
-// failed" — partial answers are never returned, because a missing shard
-// silently changes results.
+// replica per shard (hedging and failing over as configured), gather,
+// and deterministically merge. Strict: the error is either ctx.Err() or
+// "shard i: ..." — partial answers are never returned through this
+// method, because a missing shard silently changes results and the
+// bit-identity gates run through here.
 func (s *Searcher) SearchBatch(ctx context.Context, queries []string, ks []int) ([][]engine.Result, error) {
+	lists, _, err := s.searchBatch(ctx, queries, ks, false)
+	return lists, err
+}
+
+// SearchBatchPartial implements repro.PartialSearcher: like SearchBatch,
+// but when AllowPartial is set a shard whose whole pool is down (or
+// whose sub-budget expired) is dropped from the merge instead of
+// failing the request, and the response is marked Degraded. At least
+// one shard must answer — an empty SERP helps nobody — and a canceled
+// client context still fails strictly.
+func (s *Searcher) SearchBatchPartial(ctx context.Context, queries []string, ks []int) ([][]engine.Result, repro.SearchInfo, error) {
+	return s.searchBatch(ctx, queries, ks, s.cfg.AllowPartial)
+}
+
+// searchBatch is the shared scatter-gather-merge. When the caller's
+// context carries a deadline, the scatter runs under a sub-budget of
+// ScatterFraction*remaining so the merge and the diversification stages
+// downstream keep their share of the request budget.
+func (s *Searcher) searchBatch(ctx context.Context, queries []string, ks []int, partial bool) ([][]engine.Result, repro.SearchInfo, error) {
+	var info repro.SearchInfo
+	scatterCtx := ctx
+	if dl, ok := ctx.Deadline(); ok && s.cfg.ScatterFraction < 1 {
+		sub := time.Duration(s.cfg.ScatterFraction * float64(time.Until(dl)))
+		var cancel context.CancelFunc
+		scatterCtx, cancel = context.WithTimeout(ctx, sub)
+		defer cancel()
+	}
+
 	perShard := make([][][]WireHit, len(s.pools))
+	hedgedBy := make([]bool, len(s.pools))
 	errs := make([]error, len(s.pools))
 	var wg sync.WaitGroup
 	for si := range s.pools {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			perShard[si], errs[si] = s.searchShard(ctx, si, queries, ks)
+			perShard[si], hedgedBy[si], errs[si] = s.searchShard(scatterCtx, si, queries, ks)
 		}(si)
 	}
 	wg.Wait()
-	for si, err := range errs {
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			return nil, fmt.Errorf("shard %d: %w", si, err)
+	for _, h := range hedgedBy {
+		if h {
+			info.Hedged = true
 		}
+	}
+	survivors := 0
+	for _, err := range errs {
+		if err == nil {
+			survivors++
+		}
+	}
+	for si, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil, info, ctx.Err()
+		}
+		if partial && survivors > 0 {
+			// Degrade: drop the shard, merge the survivors. The caller
+			// sees Degraded and must not treat the lists as complete
+			// (they are never cached, and bit-identity gates don't
+			// apply).
+			perShard[si] = nil
+			info.Degraded = true
+			s.tail.shardsDropped.Add(1)
+			continue
+		}
+		return nil, info, fmt.Errorf("shard %d: %w", si, err)
+	}
+	if info.Degraded {
+		s.tail.degraded.Add(1)
 	}
 
 	out := make([][]engine.Result, len(queries))
@@ -266,7 +398,10 @@ func (s *Searcher) SearchBatch(ctx context.Context, queries []string, ks []int) 
 	for q := range queries {
 		snippets := make(map[string]string)
 		for si := range s.pools {
-			wire := perShard[si][q]
+			var wire []WireHit
+			if perShard[si] != nil { // nil: shard dropped from a degraded merge
+				wire = perShard[si][q]
+			}
 			hl := make([]ranking.Hit, len(wire))
 			for j, wh := range wire {
 				hl[j] = ranking.Hit{Doc: wh.Doc, DocID: wh.ID, Score: wh.Score}
@@ -281,54 +416,144 @@ func (s *Searcher) SearchBatch(ctx context.Context, queries []string, ks []int) 
 		}
 		out[q] = res
 	}
-	return out, nil
+	return out, info, nil
 }
 
-// searchShard runs the bounded failover loop for one shard: pick the
-// best untried replica, attempt with a per-attempt timeout, and on
-// failure feed the breaker and move to the next. Parent-context
-// cancellation aborts without penalizing the replica in flight — a
-// client hanging up is not evidence the worker is sick.
-func (s *Searcher) searchShard(ctx context.Context, si int, queries []string, ks []int) ([][]WireHit, error) {
+// attemptDone is one finished attempt in searchShard's event loop.
+type attemptDone struct {
+	r     *replica
+	lists [][]WireHit
+	err   error
+	hedge bool
+	began time.Time
+}
+
+// searchShard answers one shard with a hedged, budgeted attempt state
+// machine. One primary attempt launches immediately; if hedging is
+// enabled and the primary outlives the hedge trigger, a second attempt
+// races it on the next-best replica and the first success wins — the
+// loser is promptly canceled, and because its result is simply never
+// read, a hedge cancellation can never feed a breaker. Failures fall
+// back to the bounded failover loop. Every extra attempt (hedge or
+// retry) spends the global token budget; when the bucket is empty the
+// shard degrades to single-attempt behavior.
+//
+// Parent-context cancellation aborts without penalizing the replica in
+// flight — a client hanging up is not evidence the worker is sick — and
+// a worker-side 504 (propagated budget ran out) is likewise charged to
+// the deadline, not the replica.
+func (s *Searcher) searchShard(ctx context.Context, si int, queries []string, ks []int) ([][]WireHit, bool, error) {
 	body, err := json.Marshal(ShardSearchRequest{Shard: si, Queries: queries, Ks: ks})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	p := s.pools[si]
 	maxAttempts := s.cfg.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = len(p.replicas)
 	}
+
+	// Buffered to maxAttempts so a canceled loser's goroutine can always
+	// deposit its (unread) result and exit: no goroutine leaks, no
+	// accounting for attempts that lost a race they didn't fail.
+	results := make(chan attemptDone, maxAttempts)
 	tried := make(map[*replica]bool, maxAttempts)
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	cancels := make([]context.CancelFunc, 0, 2)
+	defer func() {
+		for _, c := range cancels {
+			c()
 		}
+	}()
+	started, inflight := 0, 0
+	hedged := false
+
+	launch := func(hedge bool) bool {
 		r := p.pick(s.cfg.Now(), tried)
 		if r == nil {
-			break // every replica tried
+			return false // every replica tried
 		}
 		tried[r] = true
-		lists, err := s.attempt(ctx, r, body, len(queries))
-		if err == nil {
-			p.onResult(r, true, s.cfg.Now(), s.cfg.FailThreshold, s.cfg.CooldownBase, s.cfg.CooldownMax)
-			return lists, nil
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		r.failures.Add(1)
-		p.onResult(r, false, s.cfg.Now(), s.cfg.FailThreshold, s.cfg.CooldownBase, s.cfg.CooldownMax)
-		lastErr = fmt.Errorf("%s: %w", r.url, err)
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		started++
+		inflight++
+		began := s.cfg.Now()
+		go func() {
+			lists, err := s.attempt(actx, r, body, len(queries))
+			results <- attemptDone{r: r, lists: lists, err: err, hedge: hedge, began: began}
+		}()
+		return true
 	}
-	if lastErr == nil {
-		lastErr = errors.New("no replica available")
+
+	if !launch(false) {
+		return nil, false, errors.New("all replicas failed: no replica available")
 	}
-	return nil, fmt.Errorf("all replicas failed: %w", lastErr)
+	s.extra.earn() // primaries fund the extra-attempt budget
+
+	var hedgeCh <-chan time.Time
+	if delay, ok := s.hedgeDelay(p); ok && started < maxAttempts {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, hedged, ctx.Err()
+		case <-hedgeCh:
+			hedgeCh = nil
+			if !s.extra.take() {
+				s.tail.extraDenied.Add(1)
+				continue
+			}
+			if launch(true) {
+				hedged = true
+				s.tail.hedges.Add(1)
+			}
+		case d := <-results:
+			inflight--
+			if d.err == nil {
+				p.onResult(d.r, true, s.cfg.Now())
+				p.lat.observe(s.cfg.Now().Sub(d.began))
+				if d.hedge {
+					s.tail.hedgeWins.Add(1)
+				}
+				return d.lists, hedged, nil
+			}
+			if ctx.Err() != nil {
+				return nil, hedged, ctx.Err()
+			}
+			if errors.Is(d.err, errBudgetExpired) {
+				// The propagated budget ran out worker-side: the
+				// deadline's fault, never the replica's.
+				s.tail.budgetExpired.Add(1)
+			} else {
+				d.r.failures.Add(1)
+				p.onResult(d.r, false, s.cfg.Now())
+			}
+			lastErr = fmt.Errorf("%s: %w", d.r.url, d.err)
+			if inflight > 0 {
+				continue // a racing hedge may still win
+			}
+			if started >= maxAttempts {
+				return nil, hedged, fmt.Errorf("all replicas failed: %w", lastErr)
+			}
+			if !s.extra.take() {
+				s.tail.extraDenied.Add(1)
+				return nil, hedged, fmt.Errorf("all replicas failed (retry budget exhausted): %w", lastErr)
+			}
+			if !launch(false) {
+				return nil, hedged, fmt.Errorf("all replicas failed: %w", lastErr)
+			}
+			s.tail.retries.Add(1)
+		}
+	}
 }
 
-// attempt runs one scatter call against one replica.
+// attempt runs one scatter call against one replica, propagating the
+// remaining attempt budget to the worker via X-Budget-Ms.
 func (s *Searcher) attempt(ctx context.Context, r *replica, body []byte, nq int) ([][]WireHit, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.AttemptTimeout)
 	defer cancel()
@@ -337,6 +562,11 @@ func (s *Searcher) attempt(ctx context.Context, r *replica, body []byte, nq int)
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(HeaderBudgetMs, strconv.FormatInt(ms, 10))
+		}
+	}
 	r.requests.Add(1)
 	resp, err := s.client.Do(req)
 	if err != nil {
@@ -346,6 +576,9 @@ func (s *Searcher) attempt(ctx context.Context, r *replica, body []byte, nq int)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.StatusCode == http.StatusGatewayTimeout {
+		return nil, errBudgetExpired
+	}
 	if resp.StatusCode != http.StatusOK {
 		// Read a little of the error body for the failover trail.
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))

@@ -21,7 +21,22 @@
 // re-admission, per-attempt timeouts, and bounded failover to the next
 // healthy replica. A request fails only when every replica of some
 // shard is down.
+//
+// The tail-tolerance layer rides on top: hedged requests (a slow
+// attempt races a second replica, first success wins, the loser is
+// canceled without breaker penalty), deadline propagation (the client's
+// total budget is carved into a scatter sub-budget and advertised to
+// workers via X-Budget-Ms so they stop work that cannot make the
+// deadline), a global token bucket bounding extra attempts, and an
+// opt-in partial-results mode that merges surviving shards with an
+// explicit degraded marker instead of 503ing when a whole pool is down.
 package router
+
+// HeaderBudgetMs propagates the attempt's remaining deadline budget
+// from the router to a worker: an integer count of milliseconds. The
+// worker stops scoring when it runs out and answers 504, which the
+// router charges to the deadline, never to the replica's breaker.
+const HeaderBudgetMs = "X-Budget-Ms"
 
 // ShardSearchRequest is the wire form of one scatter call: score every
 // query of the batch against one shard of the deterministic index.

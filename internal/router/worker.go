@@ -1,9 +1,12 @@
 package router
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -17,9 +20,10 @@ import (
 // (and answer liveness probes) before the deterministic build finishes;
 // until Publish, /readyz reports not-ready and /shard/search sheds 503.
 type Worker struct {
-	eng      atomic.Pointer[engine.Engine]
-	searches atomic.Int64
-	shed     atomic.Int64
+	eng           atomic.Pointer[engine.Engine]
+	searches      atomic.Int64
+	shed          atomic.Int64
+	budgetExpired atomic.Int64 // searches cut short by a propagated budget
 }
 
 // NewWorker returns a worker with no engine yet (not ready). Pass a
@@ -51,10 +55,11 @@ func (w *Worker) Handler() http.Handler {
 
 func (w *Worker) handleHealthz(wr http.ResponseWriter, r *http.Request) {
 	writeJSON(wr, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"ready":    w.Ready(),
-		"searches": w.searches.Load(),
-		"shed":     w.shed.Load(),
+		"status":         "ok",
+		"ready":          w.Ready(),
+		"searches":       w.searches.Load(),
+		"shed":           w.shed.Load(),
+		"budget_expired": w.budgetExpired.Load(),
 	})
 }
 
@@ -88,11 +93,29 @@ func (w *Worker) handleShardSearch(wr http.ResponseWriter, r *http.Request) {
 		writeJSON(wr, http.StatusBadRequest, errorBody{Error: "queries and ks length mismatch"})
 		return
 	}
-	lists, epoch, err := e.SearchShardBatch(r.Context(), req.Shard, req.Queries, req.Ks, nil)
+	// Deadline propagation: the router advertises the attempt's
+	// remaining budget in X-Budget-Ms; work that cannot make the
+	// deadline is stopped here rather than scored into a response
+	// nobody will read. A budget expiry answers 504 so the router can
+	// tell "the deadline ran out" (no breaker penalty) apart from "the
+	// replica is sick" (500).
+	ctx := r.Context()
+	if h := r.Header.Get(HeaderBudgetMs); h != "" {
+		if ms, perr := strconv.ParseInt(h, 10, 64); perr == nil && ms > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+			defer cancel()
+		}
+	}
+	lists, epoch, err := e.SearchShardBatch(ctx, req.Shard, req.Queries, req.Ks, nil)
 	if err != nil {
 		code := http.StatusInternalServerError
-		if r.Context().Err() != nil {
+		switch {
+		case r.Context().Err() != nil:
 			code = 499 // client closed request; the scatter was aborted, not broken
+		case ctx.Err() != nil:
+			code = http.StatusGatewayTimeout // propagated budget ran out mid-search
+			w.budgetExpired.Add(1)
 		}
 		writeJSON(wr, code, errorBody{Error: err.Error()})
 		return

@@ -26,6 +26,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -56,7 +57,30 @@ type Config struct {
 	DefaultAlg core.Algorithm
 	// MaxK caps the per-request result size. Default 100.
 	MaxK int
+	// DefaultBudget, when positive, bounds each /search end to end
+	// (queueing included): the request context gets this deadline, which
+	// a distributed Searcher propagates into scatter sub-budgets and
+	// worker-side stop decisions. Per-request X-Search-Budget headers
+	// override it. Default 0: no deadline beyond the client's.
+	DefaultBudget time.Duration
 }
+
+// Headers carrying the deadline/degradation contract between clients
+// and the serving tier.
+const (
+	// HeaderSearchBudget is a client's per-request total budget for
+	// /search, as a Go duration string (e.g. "250ms"); it overrides
+	// Config.DefaultBudget. Invalid values are a 400.
+	HeaderSearchBudget = "X-Search-Budget"
+	// HeaderDegraded is set to "true" on responses assembled from a
+	// partial candidate set (a shard dropped in partial-results mode);
+	// the body carries the same marker in its degraded field.
+	HeaderDegraded = "X-Degraded"
+	// HeaderHedged is set to "true" when answering the request involved
+	// a hedged scatter attempt (latency salvage; results are NOT
+	// affected — hedges race identical reads of the same snapshot).
+	HeaderHedged = "X-Hedged"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -108,6 +132,8 @@ type Server struct {
 	serveNano atomic.Int64 // cumulative in-worker latency
 	ingests   atomic.Int64 // documents accepted by POST /ingest
 	deletes   atomic.Int64 // documents removed by POST /delete
+	degraded  atomic.Int64 // searches answered from a partial candidate set
+	hedged    atomic.Int64 // searches whose scatter involved a hedge
 
 	// latency histograms per endpoint, measured around the whole handler
 	// (for /search that includes worker-pool queueing, unlike serveNano
@@ -195,12 +221,20 @@ type SpecializationInfo struct {
 
 // SearchResponse is the JSON body of GET /search.
 type SearchResponse struct {
-	Query           string               `json:"query"`
-	NormalizedQuery string               `json:"normalized_query"`
-	Algorithm       string               `json:"algorithm"`
-	K               int                  `json:"k"`
-	Ambiguous       bool                 `json:"ambiguous"`
-	CacheHit        bool                 `json:"cache_hit"`
+	Query           string `json:"query"`
+	NormalizedQuery string `json:"normalized_query"`
+	Algorithm       string `json:"algorithm"`
+	K               int    `json:"k"`
+	Ambiguous       bool   `json:"ambiguous"`
+	CacheHit        bool   `json:"cache_hit"`
+	// Degraded marks a response assembled from a partial candidate set
+	// (a shard was down in partial-results mode). It omits when false so
+	// healthy responses stay byte-identical to a single-process server's.
+	// Hedging deliberately has NO body field: a hedged response carries
+	// identical result bytes (hedges race identical reads of the same
+	// snapshot), so it is flagged out-of-band via X-Hedged only and the
+	// byte-identity gate keeps covering it.
+	Degraded        bool                 `json:"degraded,omitempty"`
 	TookMicros      int64                `json:"took_us"`
 	Specializations []SpecializationInfo `json:"specializations,omitempty"`
 	Results         []SearchResult       `json:"results"`
@@ -284,6 +318,8 @@ type StatsResponse struct {
 	CacheHits      int64                   `json:"cache_hits"`
 	Ingests        int64                   `json:"ingests"`
 	Deletes        int64                   `json:"deletes"`
+	Degraded       int64                   `json:"degraded"`
+	Hedged         int64                   `json:"hedged"`
 	AvgLatencyMsec float64                 `json:"avg_latency_ms"`
 	Index          IndexStats              `json:"index"`
 	Fused          FusedStats              `json:"fused"`
@@ -354,17 +390,42 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Deadline propagation starts here: the total budget (flag default,
+	// overridden per request by X-Search-Budget) becomes the request
+	// context's deadline, covering queueing, retrieval — where a
+	// distributed Searcher carves scatter sub-budgets from it and
+	// advertises the remainder to workers — and diversification.
+	budget := s.cfg.DefaultBudget
+	if raw := r.Header.Get(HeaderSearchBudget); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			s.fail(w, http.StatusBadRequest, "invalid "+HeaderSearchBudget+" (want a positive Go duration, e.g. 250ms)")
+			return
+		}
+		budget = d
+	}
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+
 	s.requests.Add(1)
 
-	// Bounded worker pool: block for a slot, shedding on timeout or
-	// client disconnect.
+	// Bounded worker pool: block for a slot, shedding on timeout, spent
+	// budget, or client disconnect.
 	timeout := time.NewTimer(s.cfg.QueueTimeout)
 	defer timeout.Stop()
 	select {
 	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
+	case <-ctx.Done():
 		s.rejected.Add(1)
-		s.fail(w, http.StatusServiceUnavailable, "client gave up while queued")
+		if r.Context().Err() == nil {
+			s.fail(w, http.StatusServiceUnavailable, "request budget spent while queued")
+		} else {
+			s.fail(w, http.StatusServiceUnavailable, "client gave up while queued")
+		}
 		return
 	case <-timeout.C:
 		s.rejected.Add(1)
@@ -377,6 +438,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		selected []core.Selected
 		specs    []suggest.Specialization
 		hit      bool
+		info     repro.SearchInfo
 		err      error
 	)
 	func() {
@@ -391,9 +453,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.holdSearch()
 		}
 		// The request context rides into the retrieval fan-out: when the
-		// client disconnects mid-search, the shard workers stop instead
-		// of finishing a SERP nobody will read.
-		selected, specs, hit, err = h.DiversifyCachedKCtx(r.Context(), q, alg, k)
+		// client disconnects (or the budget runs out) mid-search, the
+		// shard workers stop instead of finishing a SERP nobody will
+		// read.
+		selected, specs, hit, info, err = h.DiversifyServe(ctx, q, alg, k)
 	}()
 	took := time.Since(began)
 	if err != nil {
@@ -414,6 +477,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if len(specs) > 0 {
 		s.ambiguous.Add(1)
 	}
+	if info.Degraded {
+		s.degraded.Add(1)
+		w.Header().Set(HeaderDegraded, "true")
+	}
+	if info.Hedged {
+		s.hedged.Add(1)
+		w.Header().Set(HeaderHedged, "true")
+	}
 
 	resp := SearchResponse{
 		Query:           q,
@@ -422,6 +493,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		K:               k,
 		Ambiguous:       len(specs) > 0,
 		CacheHit:        hit,
+		Degraded:        info.Degraded,
 		TookMicros:      took.Microseconds(),
 		Results:         make([]SearchResult, len(selected)),
 	}
@@ -509,6 +581,8 @@ func (s *Server) StatsSnapshot() (StatsResponse, bool) {
 		CacheHits:      s.cacheHits.Load(),
 		Ingests:        s.ingests.Load(),
 		Deletes:        s.deletes.Load(),
+		Degraded:       s.degraded.Load(),
+		Hedged:         s.hedged.Load(),
 		AvgLatencyMsec: avgMs,
 		Index: IndexStats{
 			Shards:          seg.NumShards(),

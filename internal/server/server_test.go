@@ -8,12 +8,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/synth"
 )
 
@@ -322,6 +325,140 @@ func TestStatsIndexShards(t *testing.T) {
 	}
 	if total != testPipeline(t).Engine.NumDocs() {
 		t.Errorf("shard docs sum %d, want %d", total, testPipeline(t).Engine.NumDocs())
+	}
+}
+
+// TestSearchBudgetHeader: X-Search-Budget must parse as a positive Go
+// duration (else 400), a generous budget serves normally, and a budget
+// that cannot possibly be met sheds the request with 503 instead of
+// serving a late answer.
+func TestSearchBudgetHeader(t *testing.T) {
+	p := testPipeline(t)
+	_, ts := newTestServer(t, Config{})
+	q := p.Testbed.TopicQuery(1)
+
+	get := func(budget string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, searchURL(ts.URL, q, nil), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if budget != "" {
+			req.Header.Set(HeaderSearchBudget, budget)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for _, bad := range []string{"nonsense", "100", "-5ms", "0s"} {
+		if code := get(bad); code != http.StatusBadRequest {
+			t.Errorf("budget %q: status %d, want 400", bad, code)
+		}
+	}
+	if code := get("30s"); code != http.StatusOK {
+		t.Errorf("budget 30s: status %d, want 200", code)
+	}
+	if code := get("1ns"); code != http.StatusServiceUnavailable {
+		t.Errorf("budget 1ns: status %d, want 503 (shed, never a late 200)", code)
+	}
+}
+
+// stubPartial is a PartialSearcher that scores against the local engine
+// but reports whatever degradation metadata the test dials in — the
+// server-side contract (wire field, header, counters, cache bypass) in
+// isolation from a real router.
+type stubPartial struct {
+	p        *repro.Pipeline
+	degraded atomic.Bool
+	hedged   atomic.Bool
+}
+
+func (s *stubPartial) SearchBatch(ctx context.Context, queries []string, ks []int) ([][]engine.Result, error) {
+	return s.p.Engine.SearchBatch(ctx, queries, ks)
+}
+
+func (s *stubPartial) SearchBatchPartial(ctx context.Context, queries []string, ks []int) ([][]engine.Result, repro.SearchInfo, error) {
+	lists, err := s.p.Engine.SearchBatch(ctx, queries, ks)
+	return lists, repro.SearchInfo{Degraded: s.degraded.Load(), Hedged: s.hedged.Load()}, err
+}
+
+// TestSearchDegradedResponse pins the degradation surface: a degraded
+// retrieval yields 200 with degraded:true in the body, X-Degraded (and
+// X-Hedged) headers, bumped stats counters, NO hedged field in the body
+// (hedging must not change response bytes), and — critically — no cache
+// entry: the moment the fleet heals, full-fidelity answers return
+// instead of a cached partial SERP.
+func TestSearchDegradedResponse(t *testing.T) {
+	p := testPipeline(t)
+	stub := &stubPartial{p: p}
+	stub.degraded.Store(true)
+	stub.hedged.Store(true)
+	cp := *p
+	cp.Searcher = stub
+	srv := New(cp.NewServeHandle(64, 2), Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	q := p.Testbed.TopicQuery(2)
+
+	get := func() (SearchResponse, http.Header, string) {
+		t.Helper()
+		resp, err := http.Get(searchURL(ts.URL, q, url.Values{"k": {"5"}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var sr SearchResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr, resp.Header, string(body)
+	}
+
+	for i := 0; i < 2; i++ {
+		sr, hdr, body := get()
+		if !sr.Degraded {
+			t.Fatalf("request %d: body degraded = false, want true", i)
+		}
+		if hdr.Get(HeaderDegraded) != "true" || hdr.Get(HeaderHedged) != "true" {
+			t.Errorf("request %d headers: %s=%q %s=%q, want both true",
+				i, HeaderDegraded, hdr.Get(HeaderDegraded), HeaderHedged, hdr.Get(HeaderHedged))
+		}
+		if strings.Contains(body, "hedged") {
+			t.Errorf("request %d body mentions hedging: %s (hedging must stay out of response bytes)", i, body)
+		}
+		// A degraded artifact must never be cached: the repeat is a MISS.
+		if sr.CacheHit {
+			t.Errorf("request %d served a cached degraded artifact", i)
+		}
+		if len(sr.Results) != 5 {
+			t.Errorf("request %d: %d results, want 5 (degraded is partial, not empty)", i, len(sr.Results))
+		}
+	}
+
+	// Fleet heals: the next answer is complete, unmarked — and only now
+	// does the artifact cache start retaining.
+	stub.degraded.Store(false)
+	stub.hedged.Store(false)
+	if sr, hdr, _ := get(); sr.Degraded || hdr.Get(HeaderDegraded) != "" || hdr.Get(HeaderHedged) != "" || sr.CacheHit {
+		t.Fatalf("after heal: %+v headers=%v, want unmarked cache miss", sr, hdr)
+	}
+	if sr, _, _ := get(); !sr.CacheHit {
+		t.Error("repeat after heal: cache miss, want hit (healthy artifacts cache again)")
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Degraded != 2 || st.Hedged != 2 {
+		t.Errorf("stats degraded/hedged = %d/%d, want 2/2", st.Degraded, st.Hedged)
 	}
 }
 

@@ -119,9 +119,15 @@ type ServeHandle struct {
 }
 
 // artifactCall is one in-flight artifact build; followers block on done.
+// degraded records that the leader's fan-out lost a shard (partial-mode
+// scatter): the artifacts are served to the leader and every follower of
+// this singleflight — a partial R_q′ list still diversifies better than
+// none — but they are never cached, and every response built on them
+// carries the degraded marker.
 type artifactCall struct {
-	done chan struct{}
-	art  *queryArtifacts
+	done     chan struct{}
+	art      *queryArtifacts
+	degraded bool
 }
 
 // NewServeHandle wraps the pipeline with a query-artifact cache of the
@@ -164,6 +170,19 @@ func (h *ServeHandle) DiversifyCachedK(query string, alg core.Algorithm, k int) 
 // ctx — its product is cached and served to every follower of the
 // singleflight, so one impatient client must not poison it.
 func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg core.Algorithm, k int) ([]core.Selected, []suggest.Specialization, bool, error) {
+	sel, specs, hit, _, err := h.DiversifyServe(ctx, query, alg, k)
+	return sel, specs, hit, err
+}
+
+// DiversifyServe is the full serving entry point: DiversifyCachedKCtx
+// plus the per-request SearchInfo a tail-tolerant Searcher reports —
+// whether the SERP was built from a degraded (shard-missing) candidate
+// set and whether any scatter leg was answered by a hedge. Degradation
+// can enter through the per-request R_q retrieval or through the
+// artifact build it joined (a degraded build is served but never
+// cached); hedging is reported for this request's own retrievals only.
+// For local engines the info is always zero.
+func (h *ServeHandle) DiversifyServe(ctx context.Context, query string, alg core.Algorithm, k int) ([]core.Selected, []suggest.Specialization, bool, SearchInfo, error) {
 	p := h.Pipeline
 	// Serving normalizes at the edge: the log-mined knowledge (QFG nodes,
 	// recommender keys, popularity function) lives in normalized query
@@ -194,31 +213,34 @@ func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg
 		switch {
 		case err == nil:
 			exec.CountQuery(exec.ModeFused)
-			return sel, art.Specs, true, nil
+			return sel, art.Specs, true, SearchInfo{}, nil
 		case !errors.Is(err, exec.ErrNotFusable):
 			// Request-scoped failure (cancellation); the cached artifacts
 			// are untouched — only this request fails.
-			return nil, nil, true, err
+			return nil, nil, true, SearchInfo{}, err
 		}
 		// Not fusable (pending mutations): fall through to the staged plan.
 	}
 
 	var candidates []core.Doc
+	var candInfo SearchInfo
 	var candErr error
 	if hit {
-		candidates, candErr = p.candidateDocsCtx(ctx, norm)
+		candidates, candInfo, candErr = p.candidateDocsCtx(ctx, norm)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			candidates, candErr = p.candidateDocsCtx(ctx, norm)
+			candidates, candInfo, candErr = p.candidateDocsCtx(ctx, norm)
 		}()
-		art = h.buildOrJoin(key, norm)
-		wg.Wait()
+		var artDegraded bool
+		art, artDegraded = h.buildOrJoin(key, norm)
+		wg.Wait() // candInfo is the retrieval goroutine's until joined
+		candInfo.Merge(SearchInfo{Degraded: artDegraded})
 	}
 	if candErr != nil {
-		return nil, nil, hit, candErr
+		return nil, nil, hit, candInfo, candErr
 	}
 	exec.CountQuery(exec.ModeStaged)
 
@@ -227,9 +249,9 @@ func (h *ServeHandle) DiversifyCachedKCtx(ctx context.Context, query string, alg
 		problem.K = k
 	}
 	if len(art.Specs) == 0 {
-		return core.Baseline(problem), nil, hit, nil
+		return core.Baseline(problem), nil, hit, candInfo, nil
 	}
-	return core.Diversify(alg, problem), art.Specs, hit, nil
+	return core.Diversify(alg, problem), art.Specs, hit, candInfo, nil
 }
 
 // artifactKey scopes a normalized query to an engine epoch. The NUL
@@ -243,14 +265,16 @@ func artifactKey(epoch uint64, norm string) string {
 // key, building them if this goroutine is the first to ask (the leader
 // caches the result) and joining the in-flight build otherwise. The
 // singleflight map is keyed like the cache, so requests racing an epoch
-// swap coalesce only with builds against their own snapshot.
-func (h *ServeHandle) buildOrJoin(key, norm string) *queryArtifacts {
+// swap coalesce only with builds against their own snapshot. The boolean
+// reports a degraded build (partial-mode scatter lost a shard): such
+// artifacts serve this singleflight's requests but are never cached.
+func (h *ServeHandle) buildOrJoin(key, norm string) (*queryArtifacts, bool) {
 	h.mu.Lock()
 	if c, ok := h.inflight[key]; ok {
 		h.mu.Unlock()
 		<-c.done
 		if c.art != nil {
-			return c.art
+			return c.art, c.degraded
 		}
 		// The leader panicked before producing artifacts; retry as (or
 		// joining) a new leader rather than returning nil.
@@ -269,25 +293,28 @@ func (h *ServeHandle) buildOrJoin(key, norm string) *queryArtifacts {
 		h.mu.Unlock()
 		close(c.done)
 	}()
-	art, err := h.buildArtifacts(norm)
+	art, degraded, err := h.buildArtifacts(norm)
 	c.art = art
-	if err == nil {
+	c.degraded = degraded
+	if err == nil && !degraded {
 		h.cache.Put(key, art)
 	}
 	// On error (only a distributed Searcher can fail under Background —
-	// a shard with every replica unreachable) the degraded artifact is
-	// handed to this request's leader and followers but never cached, so
-	// one scatter failure cannot pin a wrong "unambiguous" verdict for
-	// the epoch's lifetime.
-	return art
+	// a shard with every replica unreachable) or a degraded partial-mode
+	// build, the artifact is handed to this request's leader and
+	// followers but never cached, so one scatter failure cannot pin a
+	// wrong (or shard-incomplete) verdict for the epoch's lifetime.
+	return art, degraded
 }
 
 // buildArtifacts runs Algorithm 1 and fetches the R_q′ lists: all |S_q|
 // specialization retrievals are batched into a single scatter-gather
 // round over the index segments (one pass per shard scores every spec's
 // query vector), as in BuildProblemBatched. The build runs under
-// context.Background() on purpose — see DiversifyCachedKCtx.
-func (h *ServeHandle) buildArtifacts(norm string) (*queryArtifacts, error) {
+// context.Background() on purpose — see DiversifyCachedKCtx. Under a
+// partial-capable Searcher a shard outage degrades the lists (reported
+// via the boolean) instead of failing the build.
+func (h *ServeHandle) buildArtifacts(norm string) (*queryArtifacts, bool, error) {
 	p := h.Pipeline
 	specs := p.DetectSpecializations(norm)
 	art := &queryArtifacts{
@@ -295,7 +322,7 @@ func (h *ServeHandle) buildArtifacts(norm string) (*queryArtifacts, error) {
 		SpecLists: make([]core.Specialization, len(specs)),
 	}
 	if len(specs) == 0 {
-		return art, nil
+		return art, false, nil
 	}
 	queries := make([]string, len(specs))
 	ks := make([]int, len(specs))
@@ -303,18 +330,19 @@ func (h *ServeHandle) buildArtifacts(norm string) (*queryArtifacts, error) {
 		queries[i], ks[i] = s.Query, p.Config.PerSpec
 	}
 	var lists [][]engine.Result
+	var info SearchInfo
 	err := countAspectSkips(func() error {
 		var err error
-		lists, err = p.searcher().SearchBatch(context.Background(), queries, ks)
+		lists, info, err = p.searchBatchInfo(context.Background(), queries, ks)
 		return err
 	})
 	if err != nil {
 		// Degrade to an empty (baseline-serving) artifact; buildOrJoin
 		// will not cache it.
-		return &queryArtifacts{}, err
+		return &queryArtifacts{}, false, err
 	}
 	for i := range specs {
 		art.SpecLists[i] = p.specFromResults(specs[i], lists[i])
 	}
-	return art, nil
+	return art, info.Degraded, nil
 }

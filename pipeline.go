@@ -125,6 +125,45 @@ type Searcher interface {
 	SearchBatch(ctx context.Context, queries []string, ks []int) ([][]engine.Result, error)
 }
 
+// SearchInfo is per-request serving metadata reported by a tail-tolerant
+// Searcher: whether the scatter degraded (some shard's results are
+// missing because its whole replica pool was down or its sub-budget
+// expired) and whether any shard's answer came from a hedged attempt.
+// Local engines always report the zero value — retrieval against the
+// in-process index cannot partially fail, and there is nothing to hedge.
+type SearchInfo struct {
+	// Degraded: the result lists were merged from a strict subset of the
+	// shards. The response is still correctly ordered over the documents
+	// it covers, but the bit-identity contract with a single-process
+	// serve does NOT apply to it.
+	Degraded bool
+	// Hedged: at least one shard's list was answered by a hedge attempt
+	// (a duplicate request fired when the primary replica ran slow).
+	// Hedging never changes result bytes — it is purely informational.
+	Hedged bool
+}
+
+// Merge folds another fan-out's metadata into this one (flags are
+// sticky: a request is degraded/hedged if any of its stages was).
+func (i *SearchInfo) Merge(o SearchInfo) {
+	i.Degraded = i.Degraded || o.Degraded
+	i.Hedged = i.Hedged || o.Hedged
+}
+
+// PartialSearcher is a Searcher that can degrade instead of failing:
+// when some shard has no reachable replica (or its scatter sub-budget
+// expires) and the searcher is configured for partial results, it
+// returns the merged lists of the surviving shards with
+// SearchInfo.Degraded set, rather than an error. SearchBatch on the same
+// implementation stays strict — callers that feed caches or bit-identity
+// gates use it so a degraded fan-out can never masquerade as a complete
+// one. The distributed router's Searcher implements this; the local
+// engine does not (it cannot partially fail).
+type PartialSearcher interface {
+	Searcher
+	SearchBatchPartial(ctx context.Context, queries []string, ks []int) ([][]engine.Result, SearchInfo, error)
+}
+
 // Pipeline is a fully assembled diversification system.
 type Pipeline struct {
 	Config      Config
@@ -148,6 +187,20 @@ func (p *Pipeline) searcher() Searcher {
 		return p.Searcher
 	}
 	return p.Engine
+}
+
+// searchBatchInfo runs one scoring fan-out through the active backend,
+// preferring the partial-capable entry point when the backend offers one
+// (the distributed router under -partial): a shard outage then degrades
+// the batch instead of failing it, and the metadata reports it. Strict
+// backends behave exactly as SearchBatch.
+func (p *Pipeline) searchBatchInfo(ctx context.Context, queries []string, ks []int) ([][]engine.Result, SearchInfo, error) {
+	s := p.searcher()
+	if ps, ok := s.(PartialSearcher); ok {
+		return ps.SearchBatchPartial(ctx, queries, ks)
+	}
+	lists, err := s.SearchBatch(ctx, queries, ks)
+	return lists, SearchInfo{}, err
 }
 
 // searchOne retrieves one query's top-k through the active scoring
@@ -203,20 +256,22 @@ func (p *Pipeline) DetectSpecializations(query string) []suggest.Specialization 
 // Vector field stays empty, so a candidate costs int32 term IDs instead
 // of term strings.
 func (p *Pipeline) candidateDocs(query string) []core.Doc {
-	docs, _ := p.candidateDocsCtx(context.Background(), query) // Background never cancels
+	docs, _, _ := p.candidateDocsCtx(context.Background(), query) // Background never cancels
 	return docs
 }
 
 // candidateDocsCtx is candidateDocs with request-scoped cancellation
 // threaded into the retrieval fan-out; against the local engine the only
 // possible error is ctx.Err(), while a distributed Searcher can also
-// surface scatter failures.
-func (p *Pipeline) candidateDocsCtx(ctx context.Context, query string) ([]core.Doc, error) {
-	results, err := p.searchOne(ctx, query, p.Config.NumCandidates)
+// surface scatter failures — or, under a partial-results configuration,
+// degrade (SearchInfo.Degraded) to the candidates of the surviving
+// shards instead of failing.
+func (p *Pipeline) candidateDocsCtx(ctx context.Context, query string) ([]core.Doc, SearchInfo, error) {
+	lists, info, err := p.searchBatchInfo(ctx, []string{query}, []int{p.Config.NumCandidates})
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	return p.candidatesFromResults(results), nil
+	return p.candidatesFromResults(lists[0]), info, nil
 }
 
 // candidatesFromResults converts a retrieved R_q into diversification
@@ -395,7 +450,7 @@ func (p *Pipeline) DiversifyFusedK(ctx context.Context, query string, alg core.A
 	}
 	// Pending mutations: finish on the staged plan with the aspect lists
 	// already in hand.
-	candidates, err := p.candidateDocsCtx(ctx, query)
+	candidates, _, err := p.candidateDocsCtx(ctx, query)
 	if err != nil {
 		return nil, nil, err
 	}

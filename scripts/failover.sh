@@ -18,6 +18,15 @@
 #   3. Re-admission: restart the killed replica and require the
 #      router's breaker to re-admit it (state closed + healthy in
 #      /stats) within the probe/cooldown budget.
+#   4. Tail (SIGSTOP): freeze a shard-0 replica mid-run — the worst
+#      tail case: TCP accepts, nothing answers. Hedged requests must
+#      keep the run at ZERO failures with p99 far under the 2s attempt
+#      timeout, /stats must show hedges + hedge wins, and SIGCONT must
+#      get the replica re-admitted.
+#   5. Degraded (whole shard): freeze shard 1's ONLY replica — with
+#      -partial the router must keep answering 200 with degraded:true
+#      (body + X-Degraded header, never a 503), and recover to
+#      byte-identical full-fidelity service after SIGCONT.
 #
 # Exit status is nonzero on any violation. Needs: go, curl, bash.
 set -euo pipefail
@@ -57,12 +66,16 @@ start_worker() { # $1=addr ; echoes pid
 echo "== starting 3 workers, 1 single-process reference, 1 router"
 w1_pid=$(start_worker "$W1"); pids+=("$w1_pid")
 pids+=("$(start_worker "$W2")")
-pids+=("$(start_worker "$W3")")
+w3_pid=$(start_worker "$W3"); pids+=("$w3_pid")
 "$workdir/serve" $WORLD -shards 2 -addr "$SINGLE" >>"$workdir/log.single" 2>&1 &
 pids+=($!)
+# Tail tolerance on: fixed 150ms hedge trigger (quantile off so hedges
+# fire ONLY when something is actually slow), a generous extra-attempt
+# budget, and partial results for the whole-shard phase.
 "$workdir/router" $WORLD -addr "$ROUTER" \
   -shard "http://$W1,http://$W2" -shard "http://$W3" \
   -fail-threshold 1 -cooldown 200ms -cooldown-max 2s -probe-interval 250ms \
+  -hedge-after 150ms -hedge-quantile 0 -extra-ratio 0.5 -extra-burst 200 -partial \
   >>"$workdir/log.router" 2>&1 &
 pids+=($!)
 
@@ -141,4 +154,91 @@ a=$(curl -sf --get "http://$SINGLE/search" --data-urlencode "q=$q" --data "alg=o
 b=$(curl -sf --get "http://$ROUTER/search" --data-urlencode "q=$q" --data "alg=optselect&k=10" | normalize)
 [ "$a" = "$b" ] || { echo "FAIL: diverged after recovery" >&2; exit 1; }
 
-echo "PASS: differential + failover + re-admission all green"
+tail_stat() { # $1=counter name in the /stats tail block; echoes its value
+  curl -sf "http://$ROUTER/stats" | grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2
+}
+wait_readmitted() { # $1=host:port $2=name
+  local ok=""
+  for _ in $(seq 1 240); do
+    if curl -sf "http://$ROUTER/stats" |
+      grep -q "\"url\":\"http://$1\",\"weight\":1,\"state\":\"closed\",\"healthy\":true"; then
+      ok=yes
+      break
+    fi
+    sleep 0.5
+  done
+  if [ -z "$ok" ]; then
+    echo "FAIL: $2 was not re-admitted after SIGCONT (router /stats):" >&2
+    curl -s "http://$ROUTER/stats" >&2 || true
+    exit 1
+  fi
+  echo "   $2 re-admitted (breaker closed, healthy)"
+}
+
+echo "== tail: SIGSTOP a shard-0 replica under load; hedging must hold p99 with zero failures"
+hedges_before=$(tail_stat hedges)
+"$workdir/loadgen" -addr "http://$ROUTER" -n 600 -c 8 -fail-on-error \
+  -json "$workdir/hedge.json" -name Failover/hedged >"$workdir/loadgen.hedge.out" 2>&1 &
+lg_pid=$!
+sleep 1
+kill -STOP "$w1_pid"
+echo "   replica $W1 frozen (SIGSTOP) mid-run"
+if ! wait "$lg_pid"; then
+  echo "FAIL: loadgen saw failed requests with a frozen replica (hedging should rescue them)" >&2
+  cat "$workdir/loadgen.hedge.out" >&2
+  exit 1
+fi
+grep -E 'requests|errors|hedged' "$workdir/loadgen.hedge.out" | sed 's/^/   /'
+p99=$(grep -o '"p99_ms": *[0-9.]*' "$workdir/hedge.json" | grep -o '[0-9.]*$')
+# A hedge-less router would strand every frozen-replica request until the
+# 2000ms attempt timeout; hedging at 150ms must keep p99 well under that.
+if ! awk -v p="$p99" 'BEGIN { exit !(p < 1500) }'; then
+  echo "FAIL: p99 ${p99}ms with a frozen replica (want < 1500ms via hedging)" >&2
+  exit 1
+fi
+echo "   p99 ${p99}ms under the frozen replica (attempt timeout 2000ms)"
+hedges=$(tail_stat hedges)
+hedge_wins=$(tail_stat hedge_wins)
+if [ "$hedges" -le "${hedges_before:-0}" ] || [ "$hedge_wins" -eq 0 ]; then
+  echo "FAIL: /stats tail shows hedges=$hedges (before: $hedges_before) hedge_wins=$hedge_wins" >&2
+  exit 1
+fi
+echo "   /stats tail: $hedges hedges, $hedge_wins wins"
+
+kill -CONT "$w1_pid"
+echo "== re-admission after SIGCONT"
+wait_readmitted "$W1" "thawed shard-0 replica"
+
+echo "== degraded: freeze shard 1's only replica; -partial must answer 200 degraded, never 503"
+kill -STOP "$w3_pid"
+for i in 1 2 3; do
+  code=$(curl -s -o "$workdir/deg.body" -D "$workdir/deg.hdr" -w '%{http_code}' \
+    -H "X-Search-Budget: 1500ms" --get "http://$ROUTER/search" \
+    --data-urlencode "q=$q" --data "alg=optselect&k=10")
+  if [ "$code" != 200 ]; then
+    echo "FAIL: request $i with shard 1 frozen: HTTP $code (want 200 degraded, never 503)" >&2
+    cat "$workdir/deg.body" >&2
+    exit 1
+  fi
+  grep -q '"degraded":true' "$workdir/deg.body" ||
+    { echo "FAIL: request $i body lacks degraded:true" >&2; cat "$workdir/deg.body" >&2; exit 1; }
+  grep -qi '^X-Degraded: *true' "$workdir/deg.hdr" ||
+    { echo "FAIL: request $i missing X-Degraded header" >&2; cat "$workdir/deg.hdr" >&2; exit 1; }
+done
+degraded=$(tail_stat degraded)
+dropped=$(tail_stat shards_dropped)
+if [ "$degraded" -eq 0 ] || [ "$dropped" -eq 0 ]; then
+  echo "FAIL: /stats tail shows degraded=$degraded shards_dropped=$dropped" >&2
+  exit 1
+fi
+echo "   3/3 degraded 200s (body + header), /stats tail: degraded=$degraded shards_dropped=$dropped"
+
+kill -CONT "$w3_pid"
+echo "== recovery to full fidelity after SIGCONT"
+wait_readmitted "$W3" "thawed shard-1 replica"
+a=$(curl -sf --get "http://$SINGLE/search" --data-urlencode "q=$q" --data "alg=optselect&k=10" | normalize)
+b=$(curl -sf --get "http://$ROUTER/search" --data-urlencode "q=$q" --data "alg=optselect&k=10" | normalize)
+[ "$a" = "$b" ] || { echo "FAIL: diverged after degraded recovery" >&2; exit 1; }
+echo "$b" | grep -q '"degraded":true' && { echo "FAIL: still degraded after recovery" >&2; exit 1; }
+
+echo "PASS: differential + failover + re-admission + hedged-tail + degraded all green"
